@@ -1,0 +1,89 @@
+"""Ablations of the clustering policy's design choices.
+
+Two questions DESIGN.md raises about the Sec. IV-B2 heuristic:
+
+1. **How much does the 3-region restriction cost?**  Compare the
+   clustering optimum against the fine-grained per-recency optimum
+   (coordinate ascent; the paper's "more transition points" limit).
+2. **What is the recovery region worth?**  Re-simulate the optimised
+   policy with its aggressive tail removed: missed events then strand
+   the sensor and QoM collapses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _util import record, run_once
+
+from repro.core import optimize_clustering
+from repro.core.policy import InfoModel, VectorPolicy
+from repro.energy import BernoulliRecharge
+from repro.events import WeibullInterArrival
+from repro.experiments.config import DELTA1, DELTA2, bench_horizon
+from repro.mdp import refine_recency_policy
+from repro.sim import simulate_single
+
+EVENTS = WeibullInterArrival(20, 3)
+E_RATES = (0.3, 0.6, 0.9)
+
+
+def test_clustering_vs_fine_grained(benchmark):
+    def run():
+        rows = []
+        for e in E_RATES:
+            clustering = optimize_clustering(EVENTS, e, DELTA1, DELTA2)
+            refined = refine_recency_policy(
+                EVENTS,
+                e,
+                DELTA1,
+                DELTA2,
+                initial=clustering.policy.vector,
+                max_rounds=2,
+            )
+            rows.append((e, clustering.qom, refined.qom))
+        return rows
+
+    rows = run_once(benchmark, run)
+    lines = [
+        "# Ablation: 3-region clustering vs fine-grained recency optimum",
+        "e     clustering  fine-grained  gap",
+    ]
+    for e, c, r in rows:
+        lines.append(f"{e:4.2f}  {c:9.4f}  {r:11.4f}  {r - c:+.4f}")
+    record("ablation_clustering_vs_refined", "\n".join(lines))
+    for e, c, r in rows:
+        assert r >= c - 1e-6          # the refiner never loses
+        assert r - c < 0.10           # the heuristic stays close
+
+
+def test_recovery_region_value(benchmark):
+    def run():
+        horizon = bench_horizon()
+        e = 0.5
+        clustering = optimize_clustering(EVENTS, e, DELTA1, DELTA2)
+        with_recovery = simulate_single(
+            EVENTS, clustering.policy, BernoulliRecharge(0.5, 1.0),
+            capacity=1000, delta1=DELTA1, delta2=DELTA2,
+            horizon=horizon, seed=99,
+        )
+        # Same policy with the aggressive tail cut off: no recovery.
+        crippled = VectorPolicy(
+            clustering.policy.vector, tail=0.0, info_model=InfoModel.PARTIAL
+        )
+        without_recovery = simulate_single(
+            EVENTS, crippled, BernoulliRecharge(0.5, 1.0),
+            capacity=1000, delta1=DELTA1, delta2=DELTA2,
+            horizon=horizon, seed=99,
+        )
+        return with_recovery.qom, without_recovery.qom
+
+    qom_with, qom_without = run_once(benchmark, run)
+    record(
+        "ablation_recovery_region",
+        "# Ablation: value of the aggressive recovery tail\n"
+        f"with recovery    {qom_with:.4f}\n"
+        f"without recovery {qom_without:.4f}",
+    )
+    # Without recovery the first miss strands the sensor forever.
+    assert qom_without < 0.2
+    assert qom_with > qom_without + 0.3

@@ -1,0 +1,62 @@
+"""Ablation — the closed-form greedy policy vs the truncated LP.
+
+DESIGN.md calls out the greedy solver as the library's load-bearing
+closed form; this benchmark quantifies both its *agreement* with the LP
+optimum (must be exact to solver tolerance on every event family) and
+its *speed advantage* (the reason a resource-constrained sensor can
+afford it).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+from _util import record, run_once
+
+from repro.core import solve_greedy, solve_linear_program
+from repro.events import (
+    GeometricInterArrival,
+    MarkovInterArrival,
+    ParetoInterArrival,
+    UniformInterArrival,
+    WeibullInterArrival,
+)
+from repro.experiments.config import DELTA1, DELTA2
+
+FAMILIES = (
+    ("W(40,3)", WeibullInterArrival(40, 3)),
+    ("P(2,10)", ParetoInterArrival(2, 10)),
+    ("Geo(0.1)", GeometricInterArrival(0.1)),
+    ("U(3,7)", UniformInterArrival(3, 7)),
+    ("Markov(0.3,0.7)", MarkovInterArrival(0.3, 0.7)),
+)
+
+RATES = (0.1, 0.3, 0.5, 0.8)
+
+
+def test_greedy_matches_lp_everywhere(benchmark):
+    def run():
+        rows = []
+        for name, dist in FAMILIES:
+            for e in RATES:
+                t0 = time.perf_counter()
+                greedy = solve_greedy(dist, e, DELTA1, DELTA2)
+                t_greedy = time.perf_counter() - t0
+                t0 = time.perf_counter()
+                lp = solve_linear_program(dist, e, DELTA1, DELTA2)
+                t_lp = time.perf_counter() - t0
+                rows.append((name, e, greedy.qom, lp.qom, t_greedy, t_lp))
+        return rows
+
+    rows = run_once(benchmark, run)
+    lines = ["# Ablation: greedy (Theorem 1) vs truncated LP",
+             "family           e     greedy     lp         t_greedy   t_lp"]
+    for name, e, g, l, tg, tl in rows:
+        lines.append(
+            f"{name:15s}  {e:4.2f}  {g:8.6f}  {l:8.6f}  {tg*1e3:7.2f}ms  {tl*1e3:7.2f}ms"
+        )
+    record("ablation_greedy_vs_lp", "\n".join(lines))
+    for name, e, g, l, _, _ in rows:
+        assert g == pytest.approx(l, abs=1e-6), f"{name} e={e}"

@@ -1,0 +1,53 @@
+"""Ablation — multi-region hot intervals on multimodal event processes.
+
+The paper's clustering policy assumes one hot region.  On a bimodal gap
+mixture (a PoI with a short burst mode and a long cycle mode) the single
+region must either span the valley or abandon a mode; the multi-region
+extension seeds an interval per hazard peak.  This bench quantifies the
+gain across the energy sweep — and verifies it vanishes on unimodal
+events (the extension degenerates gracefully).
+"""
+
+from __future__ import annotations
+
+from _util import record, run_once
+
+from repro.core import optimize_clustering, optimize_multi_region
+from repro.events import MixtureInterArrival, UniformInterArrival, WeibullInterArrival
+from repro.experiments.config import DELTA1, DELTA2
+
+BIMODAL = MixtureInterArrival(
+    [UniformInterArrival(4, 6), UniformInterArrival(24, 26)],
+    [0.5, 0.5],
+)
+UNIMODAL = WeibullInterArrival(15, 3)
+RATES = (0.3, 0.5, 0.8)
+
+
+def test_multiregion_vs_single(benchmark):
+    def run():
+        rows = []
+        for events, label in ((BIMODAL, "bimodal"), (UNIMODAL, "unimodal")):
+            for e in RATES:
+                single = optimize_clustering(events, e, DELTA1, DELTA2)
+                multi = optimize_multi_region(events, e, DELTA1, DELTA2)
+                rows.append((label, e, single.qom, multi.qom))
+        return rows
+
+    rows = run_once(benchmark, run)
+    lines = [
+        "# Ablation: single vs multi hot region (extension)",
+        "events    e     single    multi     gain",
+    ]
+    for label, e, s, m in rows:
+        lines.append(f"{label:8s}  {e:4.2f}  {s:7.4f}  {m:7.4f}  {m - s:+.4f}")
+    record("ablation_multiregion", "\n".join(lines))
+
+    bimodal_gains = [m - s for label, _, s, m in rows if label == "bimodal"]
+    unimodal_gains = [m - s for label, _, s, m in rows if label == "unimodal"]
+    # Clearly helps on the bimodal mixture; on unimodal events the
+    # interval-growing search stays within a small tolerance of the
+    # dedicated single-region optimiser (whose fractional boundary
+    # slots it cannot represent exactly).
+    assert max(bimodal_gains) > 0.05
+    assert all(g >= -0.05 for g in bimodal_gains + unimodal_gains)

@@ -1,0 +1,34 @@
+"""Fig. 3 — asymptotic optimality of pi*_FI and pi'_PI in battery size K.
+
+Paper setup: e = 0.5, X ~ W(40, 3), three recharge processes (Bernoulli,
+Periodic, Uniform).  Expected shape: both policies' simulated QoM rises
+with K and flattens at the energy-assumption bound, independent of the
+recharge process.
+"""
+
+from __future__ import annotations
+
+from _util import record, run_once
+
+from repro.experiments import run_fig3
+
+
+def test_fig3a_full_information(benchmark):
+    result = run_once(benchmark, lambda: run_fig3("full"))
+    record("fig3a_full_information", result.format_table())
+    bound = result.get("Upper Bound").y[0]
+    for label in ("Bernoulli", "Periodic", "Uniform"):
+        series = result.get(label)
+        # Largest battery within 5% of the bound; small battery clearly off.
+        assert series.y[-1] >= bound - 0.05
+        assert series.y[-1] <= bound + 0.03
+
+
+def test_fig3b_partial_information(benchmark):
+    result = run_once(benchmark, lambda: run_fig3("partial"))
+    record("fig3b_partial_information", result.format_table())
+    bound = result.get("Upper Bound").y[0]
+    for label in ("Bernoulli", "Periodic", "Uniform"):
+        series = result.get(label)
+        assert series.y[-1] >= bound - 0.06
+        assert series.y[-1] <= bound + 0.03

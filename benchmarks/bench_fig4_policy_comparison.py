@@ -1,0 +1,44 @@
+"""Fig. 4 — single-sensor PI policies: clustering vs aggressive vs periodic.
+
+Paper setup: K = 1000, Bernoulli recharge q = 0.5, sweep per-recharge
+amount c; events W(40, 3) in panel (a), P(2, 10) in panel (b).  Expected
+shape: clustering dominates both baselines across the sweep, all curves
+increase in c and saturate at 1.
+"""
+
+from __future__ import annotations
+
+from _util import record, run_once
+
+from repro.experiments import run_fig4
+
+
+def _check_dominance(result, slack=0.03):
+    clustering = result.get("pi'_PI(e)")
+    aggressive = result.get("pi_AG")
+    periodic = result.get("pi_PE")
+    wins_ag = sum(
+        clustering.y[i] >= aggressive.y[i] - slack
+        for i in range(len(clustering.x))
+    )
+    wins_pe = sum(
+        clustering.y[i] >= periodic.y[i] - slack
+        for i in range(len(clustering.x))
+    )
+    n = len(clustering.x)
+    assert wins_ag == n, f"clustering lost to aggressive at {n - wins_ag} points"
+    assert wins_pe == n, f"clustering lost to periodic at {n - wins_pe} points"
+
+
+def test_fig4a_weibull(benchmark):
+    result = run_once(benchmark, lambda: run_fig4("weibull"))
+    record("fig4a_weibull", result.format_table())
+    _check_dominance(result)
+    clustering = result.get("pi'_PI(e)")
+    assert clustering.y[-1] >= 0.95  # saturates near 1 at large c
+
+
+def test_fig4b_pareto(benchmark):
+    result = run_once(benchmark, lambda: run_fig4("pareto"))
+    record("fig4b_pareto", result.format_table())
+    _check_dominance(result)

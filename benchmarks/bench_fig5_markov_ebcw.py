@@ -1,0 +1,33 @@
+"""Fig. 5 — clustering policy vs EBCW on two-state Markov events.
+
+Paper setup: Bernoulli recharge q = 0.5, c = 2 (e = 1), K = 1000; sweep
+a for b = 0.2 and b = 0.7.  Expected shape: the curves coincide where
+a, b > 0.5 (EBCW's design regime) and clustering wins elsewhere.
+"""
+
+from __future__ import annotations
+
+from _util import record, run_once
+
+from repro.experiments import run_fig5
+
+
+def test_fig5_b02(benchmark):
+    result = run_once(benchmark, lambda: run_fig5(b=0.2))
+    record("fig5_b02", result.format_table())
+    clustering = result.get("pi'_PI(e)")
+    ebcw = result.get("pi_EBCW")
+    for x, c_qom, e_qom in zip(clustering.x, clustering.y, ebcw.y):
+        assert c_qom >= e_qom - 0.03, f"clustering lost at a={x}"
+
+
+def test_fig5_b07(benchmark):
+    result = run_once(benchmark, lambda: run_fig5(b=0.7))
+    record("fig5_b07", result.format_table())
+    clustering = result.get("pi'_PI(e)")
+    ebcw = result.get("pi_EBCW")
+    for x, c_qom, e_qom in zip(clustering.x, clustering.y, ebcw.y):
+        assert c_qom >= e_qom - 0.03, f"clustering lost at a={x}"
+        if x > 0.5:
+            # EBCW's design regime: the two must coincide.
+            assert abs(c_qom - e_qom) < 0.05, f"should tie at a={x}"

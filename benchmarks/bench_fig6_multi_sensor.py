@@ -1,0 +1,50 @@
+"""Fig. 6 — multi-sensor QoM: M-FI / M-PI vs aggressive / periodic.
+
+Paper setup: Bernoulli recharge q = 0.1, K = 1000, events W(40, 3);
+panel (a) sweeps N at c = 1, panel (b) sweeps c at N = 5.  Expected
+shape: M-FI >= M-PI >> baselines; M-PI approaches M-FI as N or c grows;
+the baselines improve roughly linearly while M-FI/M-PI saturate faster.
+"""
+
+from __future__ import annotations
+
+from _util import record, run_once
+
+from repro.experiments import run_fig6a, run_fig6b
+
+
+def _check_ordering(result, slack=0.04):
+    mfi = result.get("M-FI")
+    mpi = result.get("M-PI")
+    ag = result.get("pi_AG")
+    pe = result.get("pi_PE")
+    for i in range(len(mfi.x)):
+        assert mfi.y[i] >= mpi.y[i] - slack
+        assert mpi.y[i] >= ag.y[i] - slack
+        assert mpi.y[i] >= pe.y[i] - slack
+
+
+def test_fig6a_vs_n(benchmark):
+    result = run_once(benchmark, run_fig6a)
+    record("fig6a_vs_n", result.format_table())
+    _check_ordering(result)
+    mfi, mpi, ag = (result.get(k) for k in ("M-FI", "M-PI", "pi_AG"))
+    # Monotone in N and the gap M-FI - M-PI closes as N grows.
+    assert mfi.y[-1] > mfi.y[0]
+    early_gap = mfi.y[1] - mpi.y[1]
+    late_gap = mfi.y[-1] - mpi.y[-1]
+    assert late_gap <= early_gap + 0.03
+    # The dynamic policies saturate much faster than aggressive: at the
+    # fleet's steepest point the lead is large (everyone reaches ~1 at
+    # the right edge, so compare the maximum lead over the sweep).
+    assert mfi.y[-1] >= 0.9
+    max_lead = max(m - a for m, a in zip(mfi.y, ag.y))
+    assert max_lead > 0.15
+
+
+def test_fig6b_vs_c(benchmark):
+    result = run_once(benchmark, run_fig6b)
+    record("fig6b_vs_c", result.format_table())
+    _check_ordering(result)
+    mfi = result.get("M-FI")
+    assert mfi.y[-1] > mfi.y[0]

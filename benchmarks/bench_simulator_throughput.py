@@ -1,0 +1,61 @@
+"""Throughput of the slotted simulator (pure engine benchmark).
+
+Unlike the figure benches this one exercises pytest-benchmark properly
+(multiple rounds) because raw simulator speed is what bounds every
+experiment above; a regression here multiplies across the whole harness.
+"""
+
+from __future__ import annotations
+
+from repro.core import AggressivePolicy, solve_greedy
+from repro.energy import BernoulliRecharge
+from repro.events import WeibullInterArrival
+from repro.experiments.config import DELTA1, DELTA2
+from repro.sim import simulate_single
+
+EVENTS = WeibullInterArrival(40, 3)
+RECHARGE = BernoulliRecharge(0.5, 1.0)
+HORIZON = 100_000
+
+
+def test_single_sensor_throughput_aggressive(benchmark):
+    result = benchmark.pedantic(
+        lambda: simulate_single(
+            EVENTS, AggressivePolicy(), RECHARGE,
+            capacity=1000, delta1=DELTA1, delta2=DELTA2,
+            horizon=HORIZON, seed=1,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.horizon == HORIZON
+
+
+def test_single_sensor_throughput_greedy(benchmark):
+    policy = solve_greedy(EVENTS, 0.5, DELTA1, DELTA2).as_policy()
+    result = benchmark.pedantic(
+        lambda: simulate_single(
+            EVENTS, policy, RECHARGE,
+            capacity=1000, delta1=DELTA1, delta2=DELTA2,
+            horizon=HORIZON, seed=1,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.horizon == HORIZON
+
+
+def test_network_throughput(benchmark):
+    from repro.core import MultiAggressiveCoordinator
+    from repro.sim import simulate_network
+
+    result = benchmark.pedantic(
+        lambda: simulate_network(
+            EVENTS, MultiAggressiveCoordinator(5), RECHARGE,
+            capacity=1000, delta1=DELTA1, delta2=DELTA2,
+            horizon=HORIZON, seed=1,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.n_sensors == 5

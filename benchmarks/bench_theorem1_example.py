@@ -1,0 +1,19 @@
+"""Sec. IV-A worked example — the numbers behind Theorem 1's greedy rule."""
+
+from __future__ import annotations
+
+import pytest
+from _util import record, run_once
+
+from repro.experiments import format_example, run_theorem1_example
+
+
+def test_theorem1_worked_example(benchmark):
+    example = run_once(benchmark, run_theorem1_example)
+    record("theorem1_example", format_example(example))
+    # Paper: 800 activations capture 480 events in slot 1; 320
+    # activations capture 320 in slot 2; scarce energy goes to slot 2.
+    assert example.slot1_captures == pytest.approx(480)
+    assert example.slot2_activations == pytest.approx(320)
+    assert example.slot2_captures == pytest.approx(320)
+    assert example.scarce_energy_slot == 2

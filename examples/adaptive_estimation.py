@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Learning the event model from data, then acting on it.
+
+The paper assumes the gap distribution is known.  In the field you
+estimate it: capture some events, fit a model, design the policy on the
+fit, and pay a regret for the estimation error.  This example runs that
+pipeline end to end for growing sample sizes and shows the regret
+vanish — plus what happens if you fit the *wrong family* (a memoryless
+geometric model on wear-out Weibull events), which no amount of data
+fixes.
+
+Run:  python examples/adaptive_estimation.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.events import estimate_then_optimize
+
+DELTA1, DELTA2 = 1.0, 6.0
+E_RATE = 0.5
+
+
+def main() -> None:
+    true_model = repro.WeibullInterArrival(scale=30, shape=3)
+    optimal = repro.solve_greedy(true_model, E_RATE, DELTA1, DELTA2).qom
+    print(f"true events: {true_model}, optimal QoM at e={E_RATE}: {optimal:.4f}\n")
+
+    print("fitting the right family (Weibull):")
+    print(f"{'samples':>8s}  {'fitted model':34s}  {'QoM':>7s}  {'regret':>7s}")
+    for n in (10, 30, 100, 1_000, 10_000):
+        result = estimate_then_optimize(
+            true_model, n_samples=n, e=E_RATE,
+            delta1=DELTA1, delta2=DELTA2, family="weibull", seed=n,
+        )
+        print(f"{n:8d}  {result.fitted!r:34s}  "
+              f"{result.true_qom:7.4f}  {result.regret:+7.4f}")
+
+    print("\nfitting the wrong family (memoryless geometric):")
+    for n in (100, 10_000):
+        result = estimate_then_optimize(
+            true_model, n_samples=n, e=E_RATE,
+            delta1=DELTA1, delta2=DELTA2, family="geometric", seed=n,
+        )
+        print(f"{n:8d}  {result.fitted!r:34s}  "
+              f"{result.true_qom:7.4f}  {result.regret:+7.4f}")
+
+    print(
+        "\na memoryless model cannot express the wear-out hot region: its "
+        "hazard is flat,\nso where the policy lands is an accident of "
+        "tie-breaking, and more data does\nnot drive the regret to zero "
+        "the way it does for the right family above —\nthe event *memory* "
+        "is what the paper's dynamic activation monetises."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Multimodal events: when one hot region is not enough.
+
+A gate to a facility sees two kinds of arrivals: quick follow-ups (a
+convoy member ~4-6 slots after the last) and the regular cycle (the next
+convoy, ~24-26 slots).  The hazard is bimodal, so the paper's
+single-hot-region clustering policy must pick a side; the multi-region
+extension seeds one interval per hazard peak and covers both.
+
+Run:  python examples/bimodal_multiregion.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.core import optimize_clustering, optimize_multi_region
+
+DELTA1, DELTA2 = 1.0, 6.0
+E_RATE = 0.5
+HORIZON = 300_000
+
+
+def main() -> None:
+    events = repro.MixtureInterArrival(
+        [repro.UniformInterArrival(4, 6), repro.UniformInterArrival(24, 26)],
+        [0.5, 0.5],
+    )
+    beta = events.beta
+    print("bimodal gate arrivals: 50% follow-up (4-6 slots), "
+          "50% next convoy (24-26 slots)")
+    print("hazard peaks:",
+          ", ".join(f"slot {i + 1}: {b:.2f}"
+                    for i, b in enumerate(beta) if b > 0.15))
+
+    single = optimize_clustering(events, E_RATE, DELTA1, DELTA2)
+    multi = optimize_multi_region(events, E_RATE, DELTA1, DELTA2)
+    print(f"\nsingle region : {single.policy}")
+    print(f"  analysis QoM {single.qom:.4f} at drain {single.energy_rate:.4f}")
+    print(f"multi region  : {multi.policy}")
+    print(f"  analysis QoM {multi.qom:.4f} at drain {multi.energy_rate:.4f}")
+
+    recharge = repro.BernoulliRecharge(q=0.5, c=1.0)
+    for name, policy in (("single", single.policy), ("multi", multi.policy)):
+        result = repro.simulate_single(
+            events, policy, recharge,
+            capacity=1000, delta1=DELTA1, delta2=DELTA2,
+            horizon=HORIZON, seed=17,
+        )
+        print(f"simulated {name:6s}: QoM {result.qom:.4f} "
+              f"({result.n_captures}/{result.n_events} events)")
+
+    print(
+        "\nthe single region chooses the long-cycle mode and forfeits "
+        "most follow-ups;\nthe multi-region policy watches both windows "
+        "and recovers the difference."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Multi-sensor collaboration — M-FI and M-PI round-robin (Sec. V).
+
+One sensor's harvesting is often too slow for a demanding QoM target;
+the paper's answer is N sensors sharing the slots of a renewal period
+round-robin, each executing the single-sensor policy computed for the
+*aggregate* recharge rate N*e.
+
+The example first replays the paper's deterministic 2-sensor trace
+(Sec. V-A), then sweeps N to show how the fleet closes the gap to
+perfect capture — and how much slower the non-adaptive baselines climb.
+
+Run:  python examples/multi_sensor_network.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.core import (
+    MultiAggressiveCoordinator,
+    RoundRobinCoordinator,
+    make_mfi,
+    make_mpi,
+    make_multi_periodic,
+)
+
+DELTA1, DELTA2 = 1.0, 6.0
+HORIZON = 200_000
+CAPACITY = 1000.0
+
+
+def replay_paper_trace() -> None:
+    """The Sec. V-A example: pi*_FI(2e) = (0,0,1,1,...), 2 sensors."""
+    policy = repro.VectorPolicy(
+        np.array([0.0, 0.0]), tail=1.0, info_model=repro.InfoModel.FULL
+    )
+    coordinator = RoundRobinCoordinator(policy, 2)
+    print("paper trace (Sec. V): slots 1..7, events in slots 4 and 6")
+    print("slot  state  responsible  action")
+    event_states = {1: 1, 2: 2, 3: 3, 4: 4, 5: 1, 6: 2, 7: 1}
+    for t in range(1, 8):
+        h = event_states[t]
+        sensor, prob = coordinator.decide(t, h)
+        action = "a1 (activate)" if prob >= 1.0 else "a2 (sleep)"
+        print(f"{t:4d}  h_{h:<4d} sensor {sensor + 1}     {action}")
+    print()
+
+
+def sweep_fleet_size() -> None:
+    events = repro.WeibullInterArrival(40, 3)
+    harvest = repro.BernoulliRecharge(q=0.1, c=1.0)
+    e = harvest.mean_rate
+    print(f"fleet sweep: events ~ {events}, per-sensor e = {e}")
+    print(f"{'N':>3s}  {'M-FI':>7s}  {'M-PI':>7s}  {'multi-AG':>8s}  {'multi-PE':>8s}")
+    for n in (1, 2, 4, 6, 8):
+        coordinators = {
+            "M-FI": make_mfi(events, e, n, DELTA1, DELTA2)[0],
+            "M-PI": make_mpi(events, e, n, DELTA1, DELTA2)[0],
+            "multi-AG": MultiAggressiveCoordinator(n),
+            "multi-PE": make_multi_periodic(events, e, n, DELTA1, DELTA2),
+        }
+        qoms = {}
+        for name, coordinator in coordinators.items():
+            result = repro.simulate_network(
+                events, coordinator, harvest,
+                capacity=CAPACITY, delta1=DELTA1, delta2=DELTA2,
+                horizon=HORIZON, seed=400 + n,
+            )
+            qoms[name] = result.qom
+        print(
+            f"{n:3d}  {qoms['M-FI']:7.4f}  {qoms['M-PI']:7.4f}  "
+            f"{qoms['multi-AG']:8.4f}  {qoms['multi-PE']:8.4f}"
+        )
+    print(
+        "\nM-FI/M-PI saturate quickly because the shared event state "
+        "concentrates the\nfleet's aggregate energy in the hot region; "
+        "the baselines climb only linearly."
+    )
+
+
+def main() -> None:
+    replay_paper_trace()
+    sweep_fleet_size()
+
+
+if __name__ == "__main__":
+    main()

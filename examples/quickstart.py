@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: one rechargeable sensor, Weibull events, greedy activation.
+
+Walks through the library's core loop in ~40 lines:
+
+1. model the events at the point of interest as a renewal process;
+2. solve for the optimal full-information activation policy (Theorem 1);
+3. check the energy balance and the theoretical capture probability;
+4. simulate a sensor with a finite battery and compare.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import repro
+
+# Paper parameters: sensing costs 1 energy unit per active slot, a
+# capture costs 6 more, and the environment recharges ~0.5 units/slot.
+DELTA1, DELTA2 = 1.0, 6.0
+RECHARGE_RATE = 0.5
+
+
+def main() -> None:
+    # 1. Events: inter-arrival times ~ Weibull(scale=40, shape=3).  The
+    #    shape > 1 means events become "due" — memory a smart activation
+    #    policy can exploit.
+    events = repro.WeibullInterArrival(scale=40, shape=3)
+    print(f"event model: {events}")
+    print(f"  mean gap mu = {events.mu:.2f} slots")
+    print(f"  hazard at slots 10/30/50: "
+          f"{events.hazard(10):.3f} / {events.hazard(30):.3f} / {events.hazard(50):.3f}")
+
+    # 2. The Theorem 1 greedy policy: pour the per-renewal energy budget
+    #    e * mu into the highest-hazard slots first.
+    solution = repro.solve_greedy(events, RECHARGE_RATE, DELTA1, DELTA2)
+    first_active = int((solution.activation > 0).argmax()) + 1
+    print(f"\ngreedy policy pi*_FI({RECHARGE_RATE}):")
+    print(f"  sleeps through slots 1..{first_active - 1}, then activates")
+    print(f"  theoretical QoM (energy assumption): {solution.qom:.4f}")
+    print(f"  energy budget e*mu = {solution.budget:.2f}, "
+          f"spent = {solution.energy_spent:.2f}")
+
+    # 3. Sanity: the policy is energy balanced by construction.
+    balanced = repro.is_energy_balanced(
+        events, solution.activation, RECHARGE_RATE, DELTA1, DELTA2
+    )
+    print(f"  energy balanced: {balanced}")
+
+    # 4. Simulate with a finite battery (K = 200) and a bursty Bernoulli
+    #    recharge process of the same mean rate.
+    result = repro.simulate_single(
+        events,
+        solution.as_policy(),
+        repro.BernoulliRecharge(q=0.5, c=1.0),
+        capacity=200,
+        delta1=DELTA1,
+        delta2=DELTA2,
+        horizon=500_000,
+        seed=7,
+    )
+    print(f"\nsimulated with K=200: {result.summary()}")
+    print(f"  simulated QoM {result.qom:.4f} vs theory {solution.qom:.4f} "
+          f"(gap {solution.qom - result.qom:+.4f} — shrinks as K grows; "
+          "see Fig. 3 benchmarks)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Detection delay: what happens to the events you miss?
+
+The paper's QoM counts instantaneous captures only.  For a leak or an
+intrusion, the *staleness* of a miss matters too: how long until the
+sensor next captures something and discovers the backlog.  The
+detection-delay analysis computes that distribution exactly for any
+partial-information policy.
+
+This example compares the optimised clustering policy against the
+energy-balanced periodic baseline on the same events and budget.  The
+trade-off the numbers expose is instructive: the clustering policy
+converts far more events into instant captures and truncates the
+*worst-case* staleness (its recovery region hunts for the renewal), at
+the price of a cooling region that a freshly-missed event must wait
+out — so its *mean* delay over missed events is not automatically
+smaller.
+
+Run:  python examples/staleness_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.analysis import detection_delay
+from repro.core.baselines import energy_balanced_period
+
+DELTA1, DELTA2 = 1.0, 6.0
+E_RATE = 0.4
+
+
+def describe(name: str, analysis) -> None:
+    print(f"{name}:")
+    print(f"  instant capture (QoM)     : {analysis.capture_probability:.4f}")
+    print(f"  mean detection delay      : {analysis.mean:.2f} slots")
+    print(f"  90th / 99th delay quantile: {analysis.quantile(0.9)} / "
+          f"{analysis.quantile(0.99)} slots")
+
+
+def main() -> None:
+    events = repro.WeibullInterArrival(20, 3)
+    print(f"events ~ {events} (mean gap {events.mu:.1f}), e = {E_RATE}\n")
+
+    clustering = repro.optimize_clustering(events, E_RATE, DELTA1, DELTA2)
+    describe(
+        "clustering pi'_PI",
+        detection_delay(events, clustering.policy.vector, tail=1.0),
+    )
+
+    periodic = energy_balanced_period(events, E_RATE, DELTA1, DELTA2)
+    # The periodic schedule is slot-driven, not recency-driven; its
+    # recency-marginal behaviour is a constant activation probability
+    # equal to its duty cycle.
+    duty = periodic.duty_cycle
+    describe(
+        f"\nperiodic (duty {duty:.2f}, as recency-marginal)",
+        detection_delay(events, np.array([duty]), tail=duty),
+    )
+
+    print(
+        "\nclustering wins where it matters: half again as many instant "
+        "captures and a\nshorter worst-case tail (99th percentile); its "
+        "cooling region does make the\ntypical miss wait, which is the "
+        "price of concentrating energy in the hot region."
+    )
+
+
+if __name__ == "__main__":
+    main()

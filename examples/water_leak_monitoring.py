@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Water-distribution leak monitoring — the paper's full-information story.
+
+A leak does damage until it is spotted, but it also leaves stains, so a
+sensor that slept through the onset still learns (at the end of the
+slot) that a leak started: the *full-information* model of Sec. IV-A.
+
+This example compares three ways to run one energy-harvesting acoustic
+sensor on a pipe junction where leaks recur with Weibull-distributed
+gaps (wear-out: the longer since the last leak, the likelier the next):
+
+* the Theorem 1 greedy policy (exploits the event memory),
+* an energy-balanced periodic schedule (the classic duty cycle),
+* the aggressive policy (spend energy as it arrives).
+
+Run:  python examples/water_leak_monitoring.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.core.baselines import energy_balanced_period
+
+DELTA1, DELTA2 = 1.0, 6.0
+HORIZON = 500_000
+CAPACITY = 1000.0
+
+
+def main() -> None:
+    # Leaks at this junction: roughly monthly in slot units, wear-out
+    # shape 3 (hazard grows as the pipe ages since the last repair).
+    leaks = repro.WeibullInterArrival(scale=30, shape=3)
+    # Solar harvesting: 1 unit with probability 0.4 per slot.
+    harvest = repro.BernoulliRecharge(q=0.4, c=1.0)
+    e = harvest.mean_rate
+
+    greedy = repro.solve_greedy(leaks, e, DELTA1, DELTA2)
+    periodic = energy_balanced_period(leaks, e, DELTA1, DELTA2)
+    aggressive = repro.AggressivePolicy(info_model=repro.InfoModel.FULL)
+
+    print("water-leak monitoring, full information")
+    print(f"  leak gaps ~ {leaks}, mean {leaks.mu:.1f} slots")
+    print(f"  harvest rate e = {e:.2f} (always-on needs "
+          f"{repro.always_on_threshold(leaks, DELTA1, DELTA2):.2f})")
+    print(f"  theoretical optimum U(pi*_FI) = {greedy.qom:.4f}\n")
+
+    contenders = [
+        ("greedy pi*_FI (Theorem 1)", greedy.as_policy()),
+        (f"periodic {periodic.theta1}/{periodic.theta2}", periodic),
+        ("aggressive", aggressive),
+    ]
+    print(f"{'policy':30s}  {'QoM':>7s}  {'activations':>11s}  {'blocked':>8s}")
+    for name, policy in contenders:
+        result = repro.simulate_single(
+            leaks, policy, harvest,
+            capacity=CAPACITY, delta1=DELTA1, delta2=DELTA2,
+            horizon=HORIZON, seed=2012,
+        )
+        print(
+            f"{name:30s}  {result.qom:7.4f}  "
+            f"{result.total_activations:11d}  {result.blocked_fraction:8.2%}"
+        )
+
+    print(
+        "\nthe greedy policy concentrates its energy in the wear-out "
+        "window where the\nleak hazard peaks, instead of spreading it "
+        "uniformly (periodic) or\nspending it blindly on arrival "
+        "(aggressive)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Wildlife camera trap — the partial-information clustering policy.
+
+A camera trap only knows an animal passed if it was *recording* at that
+moment: the partial-information model of Sec. IV-B.  Visits at a water
+hole are bursty and heavy-tailed (Pareto gaps: a visit often follows
+another quickly, but droughts happen), and the trap runs off a small
+solar panel.
+
+The example builds the clustering policy (cooling / hot / recovery
+regions), prints its structure, and compares it in simulation against
+the aggressive and periodic baselines — Fig. 4(b)'s story on one
+operating point.
+
+Run:  python examples/wildlife_partial_info.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.core.baselines import energy_balanced_period
+
+DELTA1, DELTA2 = 1.0, 6.0
+HORIZON = 400_000
+CAPACITY = 1000.0
+
+
+def main() -> None:
+    visits = repro.ParetoInterArrival(shape=2, scale=10)
+    panel = repro.BernoulliRecharge(q=0.5, c=1.0)
+    e = panel.mean_rate
+
+    print("wildlife camera trap, partial information")
+    print(f"  visit gaps ~ {visits}: minimum {visits.quantile(0.0)} slots, "
+          f"median {visits.quantile(0.5)}, mean {visits.mu:.1f} "
+          "(heavy tail)")
+    print(f"  solar harvest e = {e:.2f}\n")
+
+    solution = repro.optimize_clustering(visits, e, DELTA1, DELTA2)
+    p = solution.policy
+    print("optimised clustering policy:")
+    print(f"  cooling   : slots 1..{p.n1 - 1} (sleep, bank energy)")
+    print(f"  hot region: slots {p.n1}..{p.n2} "
+          f"(boundary probabilities {p.c_n1:.2f}/{p.c_n2:.2f})")
+    print(f"  recovery  : from slot {p.n3} activate whenever charged")
+    print(f"  analysis: QoM {solution.qom:.4f} at drain "
+          f"{solution.energy_rate:.4f} <= {e}\n")
+
+    contenders = [
+        ("clustering pi'_PI", solution.policy),
+        ("aggressive", repro.AggressivePolicy()),
+        (
+            "periodic",
+            energy_balanced_period(visits, e, DELTA1, DELTA2),
+        ),
+    ]
+    print(f"{'policy':20s}  {'QoM':>7s}  {'visits':>7s}  {'recorded':>8s}")
+    for name, policy in contenders:
+        result = repro.simulate_single(
+            visits, policy, panel,
+            capacity=CAPACITY, delta1=DELTA1, delta2=DELTA2,
+            horizon=HORIZON, seed=77,
+        )
+        print(
+            f"{name:20s}  {result.qom:7.4f}  {result.n_events:7d}  "
+            f"{result.n_captures:8d}"
+        )
+
+    print(
+        "\nthe trap sleeps through the guaranteed-quiet minimum gap, "
+        "records hard in the\nburst window right after it, and falls "
+        "back to opportunistic recording during\ndroughts so a missed "
+        "visit cannot strand it."
+    )
+
+
+if __name__ == "__main__":
+    main()

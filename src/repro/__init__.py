@@ -1,0 +1,195 @@
+"""repro — Dynamic Activation Policies for Event Capture with Rechargeable Sensors.
+
+Reproduction of Ren, Cheng, Chen, Yau & Sun (ICDCS 2012).  The library
+provides:
+
+* renewal event-process models (:mod:`repro.events`);
+* the energy substrate — batteries and recharge processes
+  (:mod:`repro.energy`);
+* the paper's policies: the Theorem 1 greedy full-information optimum,
+  the heuristic clustering policy for partial information, the
+  aggressive / periodic / EBCW baselines, and the M-FI / M-PI
+  multi-sensor coordinators (:mod:`repro.core`);
+* exact renewal-theoretic and partial-information analysis
+  (:mod:`repro.analysis`);
+* generic MDP / POMDP solvers used to cross-validate the closed forms
+  (:mod:`repro.mdp`);
+* a slotted simulator (:mod:`repro.sim`) and the experiment drivers that
+  regenerate every figure in the paper (:mod:`repro.experiments`).
+
+Quickstart::
+
+    import repro
+
+    events = repro.WeibullInterArrival(scale=40, shape=3)
+    solution = repro.solve_greedy(events, e=0.5, delta1=1, delta2=6)
+    result = repro.simulate_single(
+        events, solution.as_policy(),
+        repro.BernoulliRecharge(q=0.5, c=1.0),
+        capacity=200, delta1=1, delta2=6, horizon=100_000, seed=7,
+    )
+    print(solution.qom, result.qom)
+"""
+
+from repro.analysis import (
+    DelayAnalysis,
+    MismatchReport,
+    PartialInfoAnalysis,
+    detection_delay,
+    find_sufficient_capacity,
+    full_info_mismatch,
+    partial_info_mismatch,
+    always_on_threshold,
+    analyse_partial_info_policy,
+    conditional_hazards,
+    energy_only_bound,
+    upper_bound_qom,
+)
+from repro.core import (
+    ActivationPolicy,
+    MultiRegionPolicy,
+    MultiRegionSolution,
+    OverflowGuardPolicy,
+    optimize_multi_region,
+    AggressivePolicy,
+    ClusteringPolicy,
+    ClusteringSolution,
+    Coordinator,
+    EBCWSolution,
+    GreedySolution,
+    InfoModel,
+    LPSolution,
+    MultiAggressiveCoordinator,
+    MultiPeriodicCoordinator,
+    PeriodicPolicy,
+    RoundRobinCoordinator,
+    VectorPolicy,
+    energy_balanced_period,
+    evaluate_clustering,
+    make_mfi,
+    make_mpi,
+    make_multi_periodic,
+    optimize_clustering,
+    solve_ebcw,
+    solve_greedy,
+    solve_linear_program,
+    theorem1_qom,
+)
+from repro.energy import (
+    Battery,
+    DiurnalRecharge,
+    MarkovRecharge,
+    BernoulliRecharge,
+    CompoundRecharge,
+    ConstantRecharge,
+    PeriodicRecharge,
+    RechargeProcess,
+    UniformRandomRecharge,
+    energy_budget,
+    is_energy_balanced,
+    policy_discharge_rate,
+    policy_energy_per_renewal,
+    xi_coefficients,
+)
+from repro.events import (
+    DeterministicInterArrival,
+    GammaInterArrival,
+    LogNormalInterArrival,
+    EmpiricalInterArrival,
+    GeometricInterArrival,
+    InterArrivalDistribution,
+    MarkovInterArrival,
+    MixtureInterArrival,
+    ParetoInterArrival,
+    UniformInterArrival,
+    WeibullInterArrival,
+)
+from repro.exceptions import (
+    DistributionError,
+    EnergyError,
+    PolicyError,
+    ReproError,
+    SimulationError,
+    SolverError,
+)
+from repro.sim import SensorStats, SimulationResult, simulate_network, simulate_single
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActivationPolicy",
+    "AggressivePolicy",
+    "Battery",
+    "BernoulliRecharge",
+    "ClusteringPolicy",
+    "ClusteringSolution",
+    "CompoundRecharge",
+    "ConstantRecharge",
+    "Coordinator",
+    "DeterministicInterArrival",
+    "DiurnalRecharge",
+    "GammaInterArrival",
+    "DelayAnalysis",
+    "DistributionError",
+    "EBCWSolution",
+    "EmpiricalInterArrival",
+    "EnergyError",
+    "GeometricInterArrival",
+    "GreedySolution",
+    "InfoModel",
+    "InterArrivalDistribution",
+    "LPSolution",
+    "LogNormalInterArrival",
+    "MarkovInterArrival",
+    "MismatchReport",
+    "MarkovRecharge",
+    "MixtureInterArrival",
+    "MultiAggressiveCoordinator",
+    "MultiPeriodicCoordinator",
+    "MultiRegionPolicy",
+    "MultiRegionSolution",
+    "OverflowGuardPolicy",
+    "ParetoInterArrival",
+    "PartialInfoAnalysis",
+    "PeriodicPolicy",
+    "PeriodicRecharge",
+    "PolicyError",
+    "RechargeProcess",
+    "ReproError",
+    "RoundRobinCoordinator",
+    "SensorStats",
+    "SimulationError",
+    "SimulationResult",
+    "SolverError",
+    "UniformInterArrival",
+    "UniformRandomRecharge",
+    "VectorPolicy",
+    "WeibullInterArrival",
+    "always_on_threshold",
+    "analyse_partial_info_policy",
+    "conditional_hazards",
+    "detection_delay",
+    "energy_balanced_period",
+    "energy_budget",
+    "energy_only_bound",
+    "evaluate_clustering",
+    "find_sufficient_capacity",
+    "full_info_mismatch",
+    "is_energy_balanced",
+    "make_mfi",
+    "make_mpi",
+    "make_multi_periodic",
+    "partial_info_mismatch",
+    "optimize_clustering",
+    "optimize_multi_region",
+    "policy_discharge_rate",
+    "policy_energy_per_renewal",
+    "simulate_network",
+    "simulate_single",
+    "solve_ebcw",
+    "solve_greedy",
+    "solve_linear_program",
+    "theorem1_qom",
+    "upper_bound_qom",
+    "xi_coefficients",
+]

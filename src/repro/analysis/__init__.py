@@ -1,0 +1,56 @@
+"""Analytical machinery: renewal theory, PI hazards, theoretical QoM."""
+
+from repro.analysis.partial_info import (
+    PartialInfoAnalysis,
+    analyse_partial_info_policy,
+    conditional_hazards,
+    expand_activation,
+)
+from repro.analysis.delay import DelayAnalysis, detection_delay
+from repro.analysis.convergence import (
+    CapacityPoint,
+    capacity_profile,
+    find_sufficient_capacity,
+)
+from repro.analysis.sensitivity import (
+    MismatchReport,
+    full_info_mismatch,
+    partial_info_mismatch,
+    scale_sweep,
+)
+from repro.analysis.qom import (
+    always_on_threshold,
+    energy_only_bound,
+    upper_bound_qom,
+)
+from repro.analysis.renewal_math import (
+    expected_renewals,
+    forward_recurrence_cdf,
+    forward_recurrence_pmf,
+    renewal_mass,
+    stationary_gap_age_pmf,
+)
+
+__all__ = [
+    "CapacityPoint",
+    "DelayAnalysis",
+    "MismatchReport",
+    "PartialInfoAnalysis",
+    "always_on_threshold",
+    "analyse_partial_info_policy",
+    "capacity_profile",
+    "conditional_hazards",
+    "detection_delay",
+    "energy_only_bound",
+    "expand_activation",
+    "expected_renewals",
+    "find_sufficient_capacity",
+    "forward_recurrence_cdf",
+    "forward_recurrence_pmf",
+    "full_info_mismatch",
+    "partial_info_mismatch",
+    "renewal_mass",
+    "scale_sweep",
+    "stationary_gap_age_pmf",
+    "upper_bound_qom",
+]

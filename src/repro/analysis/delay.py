@@ -1,0 +1,182 @@
+"""Detection-delay (staleness) analysis for partial-information policies.
+
+The paper's QoM counts only *instantaneous* captures.  A deployment also
+cares how stale its knowledge gets when an event is missed: how many
+slots pass between an event's occurrence and the next time the sensor
+captures *some* event (renewing its schedule and, in applications like
+leak monitoring, discovering the backlog).
+
+For a recency policy this is computable exactly from the same DP that
+yields the conditional hazards.  Working on the capture-recency cycle:
+an event occurring in cycle slot ``t`` (probability proportional to the
+*event* mass at ``t``) is either captured immediately (delay 0) or waits
+until the cycle's eventual capture.  The cycle-position machinery gives
+the full delay distribution, its mean, and tail quantiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.partial_info import expand_activation
+from repro.events.base import InterArrivalDistribution
+from repro.exceptions import PolicyError
+
+
+@dataclass(frozen=True)
+class DelayAnalysis:
+    """Distribution of the detection delay of events under a PI policy.
+
+    ``pmf[d]`` is the probability that an event is detected ``d`` slots
+    after it occurs (``d = 0`` means instantaneously captured, i.e. the
+    QoM mass).  The analysis conditions on the stationary capture cycle
+    and truncates once the residual mass drops below ``1e-6``.
+    """
+
+    pmf: np.ndarray
+    mean: float
+    capture_probability: float  # P(delay = 0) == the paper's QoM
+    truncated: bool
+
+    def quantile(self, q: float) -> int:
+        """Smallest delay ``d`` with ``P(delay <= d) >= q``."""
+        if not 0.0 <= q <= 1.0:
+            raise PolicyError(f"quantile level must be in [0, 1], got {q}")
+        cdf = np.cumsum(self.pmf)
+        idx = int(np.searchsorted(cdf, q, side="left"))
+        return min(idx, self.pmf.size - 1)
+
+
+def detection_delay(
+    distribution: InterArrivalDistribution,
+    activation: np.ndarray,
+    tail: float = 1.0,
+    max_cycle: int = 50_000,
+    residual_eps: float = 1e-6,
+) -> DelayAnalysis:
+    """Exact delay distribution for a recency policy (see module doc).
+
+    Runs the joint (cycle position × event age) DP once, recording for
+    each cycle slot ``t`` the event mass arriving there and the
+    distribution of the remaining time to the cycle's capture; combines
+    them into the delay pmf.  Events that arrive and are captured in the
+    same slot contribute delay 0.
+    """
+    support = distribution.support_max
+    beta_g = distribution.beta
+    c = expand_activation(activation, max_cycle, tail=tail)
+
+    # Forward pass: w[g-1] = P(age g, no capture yet) at cycle slot t.
+    w = np.zeros(min(support, 1024))
+    w[0] = 1.0
+    width = 1
+    event_mass_at = np.zeros(max_cycle)   # events occurring at cycle slot t
+    captured_at = np.zeros(max_cycle)     # events captured at cycle slot t
+    survival = np.zeros(max_cycle)
+    capture_prob_at = np.zeros(max_cycle)  # P(cycle ends at t | reached t)
+    t_max = max_cycle
+    for t in range(1, max_cycle + 1):
+        wt = w[:width]
+        bg = beta_g[:width]
+        mass = float(wt.sum())
+        survival[t - 1] = mass
+        if mass <= residual_eps * 1e-3:
+            t_max = t
+            break
+        event_mass = float(wt @ bg)
+        ct = c[t - 1]
+        event_mass_at[t - 1] = event_mass
+        captured_at[t - 1] = ct * event_mass
+        capture_prob_at[t - 1] = (
+            min(ct * event_mass / mass, 1.0) if mass > 0 else 1.0
+        )
+        new_width = min(width + 1, support)
+        if new_width > w.size:
+            grown = np.zeros(min(support, w.size * 2))
+            grown[: w.size] = w
+            w = grown
+            wt = w[:width]
+        np.multiply(wt, 1.0 - bg, out=wt)
+        w[1:new_width] = w[: new_width - 1]
+        w[0] = event_mass * (1.0 - ct)
+        if new_width < w.size:
+            w[new_width] = 0.0
+        width = new_width
+        # Stop when the cycle is essentially resolved.
+        if mass * (1.0 - capture_prob_at[t - 1]) <= residual_eps:
+            t_max = t
+            break
+    truncated = t_max == max_cycle and survival[t_max - 1] > residual_eps
+
+    event_mass_at = event_mass_at[:t_max]
+    captured_at = captured_at[:t_max]
+    capture_prob_at = capture_prob_at[:t_max]
+
+    total_events = float(event_mass_at.sum())
+    if total_events <= 0:
+        raise PolicyError("no event mass within the analysis horizon")
+
+    # Backward pass: from cycle slot t (uncaptured), distribution of the
+    # remaining slots until the cycle's capture.  remaining[t] is a dict
+    # folded into the delay pmf on the fly.
+    max_delay = t_max + 1
+    delay_pmf = np.zeros(max_delay + 1)
+    # P(capture exactly at slot u | uncaptured past t) factorises through
+    # the per-slot conditional capture probabilities.
+    # Compute survival-to-capture products once.
+    no_capture = 1.0 - capture_prob_at
+    # For each event slot t, the missed mass waits: capture at u >= t+1
+    # gives delay u - t.  (An event missed at t cannot be captured at t.)
+    # Accumulate efficiently by iterating u and distributing backwards.
+    # missed_at[t] = event mass at t that was not captured at t.
+    missed_at = event_mass_at - captured_at
+    delay_pmf[0] += float(captured_at.sum())
+    # weight_u = P(cycle captures at u) conditioned appropriately:
+    # For each t, P(capture at u | reached t+1 uncaptured) =
+    #   capture_prob_at[u] * prod_{v=t+1}^{u-1} no_capture[v].
+    # Iterate t from the end, maintaining the distribution recursively:
+    # dist_{t}(u) for u > t satisfies
+    #   dist_t = capture_prob_at[t+1] at u=t+1, plus
+    #            no_capture[t+1] * dist_{t+1} shifted.
+    # Directly accumulate: for each u, its contribution to delay d=u-t is
+    # missed_at[t] * capture_prob_at[u] * prod(no_capture[t+1..u-1]).
+    # Use prefix products P[u] = prod_{v<=u} no_capture[v]:
+    #   prod(t+1..u-1) = P[u-1] / P[t]   (guard zero products).
+    log_safe = np.where(no_capture > 0, no_capture, 1.0)
+    log_prefix = np.concatenate(([0.0], np.cumsum(np.log(log_safe))))
+    zero_before = np.concatenate(
+        ([0], np.cumsum(no_capture <= 0).astype(int))
+    )
+
+    for t in range(t_max):
+        m = missed_at[t]
+        if m <= 0:
+            continue
+        for u in range(t + 1, t_max):
+            # product of no_capture over v in (t, u) exclusive of u
+            if zero_before[u] - zero_before[t + 1] > 0:
+                break  # a certain-capture slot in between: chain ends
+            log_prod = log_prefix[u] - log_prefix[t + 1]
+            prob = capture_prob_at[u] * float(np.exp(log_prod))
+            if prob <= 0:
+                continue
+            delay_pmf[u - t] += m * prob
+            if capture_prob_at[u] >= 1.0:
+                break
+
+    delay_pmf /= total_events
+    leftover = max(1.0 - delay_pmf.sum(), 0.0)
+    if leftover > residual_eps * 10:
+        truncated = True
+    # Fold any residual into the final bucket so the pmf sums to 1.
+    delay_pmf[-1] += leftover
+
+    mean = float(np.arange(delay_pmf.size) @ delay_pmf)
+    return DelayAnalysis(
+        pmf=delay_pmf,
+        mean=mean,
+        capture_probability=float(delay_pmf[0]),
+        truncated=truncated,
+    )

@@ -1,0 +1,270 @@
+"""Exact partial-information hazard analysis (paper Sec. IV-B, Appendix B).
+
+Under partial information the sensor only knows the time ``i`` since its
+last *capture* (state ``f_i``).  The probability that an event occurs in
+the current slot, conditioned on everything the sensor knows, is the
+conditional hazard
+
+    beta_hat_i = P(event in slot i | capture at slot 0,
+                                     no capture in slots 1..i-1)
+
+which Appendix B expresses through renewal-function integrals.  In slotted
+time it is computed *exactly* by a forward dynamic program over the joint
+law of (slots since capture, slots since the last true event):
+
+Let ``w_t(g)`` be the probability that, at the beginning of slot ``t``
+(measured from the last capture at slot 0), no capture has happened in
+slots ``1..t-1`` and the most recent *true* event is ``g`` slots old.
+With per-slot activation probabilities ``c_t`` (activation is decided
+independently of the event),
+
+    w_1(1)     = 1                                  (capture = event at 0)
+    w_{t+1}(1)   = (1 - c_t) * sum_g w_t(g) beta_g    (event missed)
+    w_{t+1}(g+1) = w_t(g) * (1 - beta_g)              (no event)
+
+    beta_hat_t = sum_g w_t(g) beta_g / sum_g w_t(g)
+
+The survival ``s_t = sum_g w_t(g) = P(no capture in 1..t-1)`` yields the
+stationary distribution of the capture-recency chain ``{f_i}``:
+``y_i = s_i / sum_j s_j``, the QoM ``U = y_1 * mu`` and the mean energy
+drain ``E_out = sum_i y_i c_i (delta1 + beta_hat_i delta2)`` — the
+quantities the clustering-policy optimiser needs (paper Sec. IV-B2).
+
+Heavy-tailed gap distributions (Pareto) make the survival decay only
+polynomially, so :func:`analyse_partial_info_policy` streams the DP and
+closes the cycle with an explicit tail estimate instead of iterating
+until the survival underflows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.events.base import InterArrivalDistribution
+from repro.exceptions import PolicyError
+
+#: Relative tail mass at which the capture cycle is considered resolved.
+DEFAULT_TAIL_REL_EPS = 1e-5
+
+#: Hard cap on the analysis horizon (slots since last capture).
+DEFAULT_MAX_HORIZON = 200_000
+
+
+def expand_activation(
+    activation: np.ndarray, horizon: int, tail: float = 0.0
+) -> np.ndarray:
+    """Pad/truncate an activation vector to ``horizon`` slots.
+
+    ``activation[i - 1]`` is the activation probability in state ``f_i``
+    (or ``h_i``); slots past the vector use the constant ``tail`` value
+    (1.0 models the paper's "aggressive" recovery tail).
+    """
+    arr = np.asarray(activation, dtype=float)
+    if arr.ndim != 1:
+        raise PolicyError("activation vector must be 1-D")
+    if (arr.size and (arr.min() < -1e-12 or arr.max() > 1 + 1e-12)) or not (
+        -1e-12 <= tail <= 1 + 1e-12
+    ):
+        raise PolicyError("activation probabilities must lie in [0, 1]")
+    out = np.full(horizon, float(np.clip(tail, 0.0, 1.0)))
+    n = min(arr.size, horizon)
+    out[:n] = np.clip(arr[:n], 0.0, 1.0)
+    return out
+
+
+@dataclass(frozen=True)
+class PartialInfoAnalysis:
+    """Result of the capture-recency chain analysis for one policy.
+
+    Attributes
+    ----------
+    beta_hat:
+        ``beta_hat[i - 1]`` = conditional event probability in state f_i.
+    survival:
+        ``survival[i - 1] = P(no capture in slots 1..i-1)`` (s_1 = 1).
+    stationary:
+        Stationary distribution ``y_i`` of the capture-recency chain over
+        the computed horizon (the estimated tail mass is folded into the
+        normaliser, so the array sums to slightly less than 1 when a tail
+        correction was applied).
+    expected_cycle:
+        Mean number of slots between consecutive captures (= mu / qom),
+        including the tail correction.
+    qom:
+        Event capture probability ``U = y_1 * mu`` under the energy
+        assumption.
+    energy_rate:
+        Mean energy drain per slot,
+        ``sum_i y_i c_i (delta1 + beta_hat_i delta2)``.
+    truncated:
+        True when the horizon cap was hit before the tail estimate fell
+        below tolerance — ``qom`` is then only an upper estimate.
+    """
+
+    beta_hat: np.ndarray
+    survival: np.ndarray
+    stationary: np.ndarray
+    expected_cycle: float
+    qom: float
+    energy_rate: float
+    truncated: bool
+
+
+def conditional_hazards(
+    distribution: InterArrivalDistribution,
+    activation: np.ndarray,
+    horizon: int,
+    tail: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compute ``(beta_hat, survival)`` for slots ``1..horizon``.
+
+    This is the discrete, fractional-activation generalisation of the
+    Appendix B formulas (see module docstring for the DP).  Fixed-horizon
+    variant; :func:`analyse_partial_info_policy` streams the same DP with
+    adaptive stopping.
+    """
+    if horizon < 1:
+        raise PolicyError(f"horizon must be >= 1, got {horizon}")
+    c = expand_activation(activation, horizon, tail=tail)
+    stepper = _HazardStepper(distribution)
+    beta_hat = np.zeros(horizon)
+    survival = np.zeros(horizon)
+    for t in range(1, horizon + 1):
+        s_t, bh_t = stepper.step(c[t - 1])
+        survival[t - 1] = s_t
+        beta_hat[t - 1] = bh_t
+    return beta_hat, survival
+
+
+class _HazardStepper:
+    """Streams the (capture-recency x event-age) DP one slot at a time.
+
+    ``step(c_t)`` returns ``(s_t, beta_hat_t)`` for the next slot ``t``
+    (starting at t = 1) and advances the internal age distribution using
+    the supplied activation probability.
+    """
+
+    def __init__(self, distribution: InterArrivalDistribution) -> None:
+        self._beta_g = distribution.beta
+        self._support = distribution.support_max
+        # Pre-allocate generously; grown on demand.
+        self._w = np.zeros(min(self._support, 1024))
+        self._w[0] = 1.0
+        self._width = 1
+
+    def step(self, c_t: float) -> tuple[float, float]:
+        width = self._width
+        wt = self._w[:width]
+        bg = self._beta_g[:width]
+        mass = float(wt.sum())
+        if mass <= 0.0:
+            return 0.0, 1.0
+        event_mass = float(wt @ bg)
+        beta_hat = min(event_mass / mass, 1.0)
+        # Advance one slot: ages shift up (no event), missed events reset
+        # the age to 1 without closing the cycle.
+        new_width = min(width + 1, self._support)
+        if new_width > self._w.size:
+            grown = np.zeros(min(self._support, self._w.size * 2))
+            grown[: self._w.size] = self._w
+            self._w = grown
+        wt = self._w[:width]
+        np.multiply(wt, 1.0 - bg, out=wt)
+        # Shift in place: w[1:new_width] = old w[0:new_width-1].
+        self._w[1:new_width] = self._w[: new_width - 1]
+        self._w[0] = event_mass * (1.0 - c_t)
+        if new_width < self._w.size:
+            self._w[new_width] = 0.0
+        self._width = new_width
+        return mass, beta_hat
+
+
+def analyse_partial_info_policy(
+    distribution: InterArrivalDistribution,
+    activation: np.ndarray,
+    delta1: float,
+    delta2: float,
+    tail: float = 1.0,
+    tail_rel_eps: float = DEFAULT_TAIL_REL_EPS,
+    max_horizon: int = DEFAULT_MAX_HORIZON,
+) -> PartialInfoAnalysis:
+    """Full stationary analysis of a partial-information recency policy.
+
+    The DP streams until the *remaining* contribution of uncomputed slots
+    to the expected capture cycle is below ``tail_rel_eps`` of the total
+    (estimated from the current survival and its decay rate, covering
+    both geometric and power-law tails), then closes the cycle with that
+    estimate.  A policy that never captures in the tail (``tail`` and the
+    trailing activation probabilities all zero) cannot close its cycle;
+    it is reported ``truncated`` with the QoM upper estimate at the cap.
+    """
+    if delta1 < 0 or delta2 < 0:
+        raise PolicyError(f"delta1/delta2 must be >= 0, got {delta1}, {delta2}")
+    arr = np.asarray(activation, dtype=float)
+    stepper = _HazardStepper(distribution)
+    tail_c = float(np.clip(tail, 0.0, 1.0))
+
+    beta_hat_list: list[float] = []
+    survival_list: list[float] = []
+    cycle_total = 0.0
+    energy_total = 0.0  # per-cycle expected energy
+    tail_cycle = 0.0
+    tail_energy = 0.0
+    truncated = True
+
+    min_slots = max(arr.size + 1, distribution.quantile(0.999), 32)
+    t = 0
+    while t < max_horizon:
+        t += 1
+        if t <= arr.size:
+            c_t = float(np.clip(arr[t - 1], 0.0, 1.0))
+        else:
+            c_t = tail_c
+        s_t, bh_t = stepper.step(c_t)
+        beta_hat_list.append(bh_t)
+        survival_list.append(s_t)
+        cycle_total += s_t
+        energy_total += s_t * c_t * (delta1 + bh_t * delta2)
+        if s_t <= 0.0:
+            truncated = False
+            break
+        if t >= min_slots:
+            capture_rate = c_t * bh_t
+            if capture_rate <= 0.0:
+                # No capture possible from here on: only an all-zero tail
+                # can cause this; the cycle never closes.
+                continue
+            # Remaining cycle mass: geometric bound s * (1 - r) / r with
+            # r = capture_rate, and power-law bound s * t / (gamma - 1)
+            # with gamma ~ t * capture_rate.  Take the larger (safe).
+            geom = s_t * (1.0 - capture_rate) / capture_rate
+            gamma = t * capture_rate
+            power = s_t * t / max(gamma - 1.0, 1e-3)
+            remaining = max(geom, power)
+            if remaining <= tail_rel_eps * (cycle_total + remaining):
+                tail_cycle = remaining
+                tail_energy = remaining * tail_c * (
+                    delta1 + bh_t * delta2
+                )
+                truncated = False
+                break
+
+    survival = np.asarray(survival_list)
+    beta_hat = np.asarray(beta_hat_list)
+    total = cycle_total + tail_cycle
+    if total <= 0.0:
+        raise PolicyError("degenerate policy: capture cycle has zero length")
+    stationary = survival / total
+    qom = min(distribution.mu / total, 1.0)
+    energy_rate = (energy_total + tail_energy) / total
+    return PartialInfoAnalysis(
+        beta_hat=beta_hat,
+        survival=survival,
+        stationary=stationary,
+        expected_cycle=total,
+        qom=qom,
+        energy_rate=energy_rate,
+        truncated=truncated,
+    )

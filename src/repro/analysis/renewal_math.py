@@ -1,0 +1,105 @@
+"""Discrete renewal theory (the slotted counterpart of paper Appendix B).
+
+Appendix B expresses the partial-information capture probabilities through
+the renewal function ``m(y) = sum_n f_n(y)`` (``f_n`` = n-fold convolution
+of the gap density) and the forward-recurrence-time distribution
+``G_t(x) = P(Psi(t) <= x)`` where ``Psi(t)`` is the time from ``t`` to the
+next renewal.  In slotted time both have exact recursive forms, computed
+here:
+
+* ``renewal_mass(k)``  — probability that *some* renewal occurs exactly at
+  slot ``k`` (the discrete ``m``), via the renewal equation
+  ``m(k) = alpha(k) + sum_{j<k} alpha(j) m(k - j)``.
+* ``forward_recurrence_pmf(t)`` — distribution of the gap from slot ``t``
+  to the next event, given a renewal at slot 0.
+* ``expected_renewals(T)`` — ``M(T)``, with ``M(T)/T -> 1/mu`` (used in
+  the paper's Eq. 5 derivation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.events.base import InterArrivalDistribution
+from repro.exceptions import DistributionError
+
+
+def renewal_mass(
+    distribution: InterArrivalDistribution, horizon: int
+) -> np.ndarray:
+    """``m[k - 1] = P(a renewal occurs at slot k)`` for ``k = 1..horizon``.
+
+    A "renewal at slot k" means some event (the 1st, 2nd, ...) lands on
+    slot ``k``, given the initial event at slot 0.  Computed by the
+    discrete renewal equation in O(horizon^2).
+    """
+    if horizon < 0:
+        raise DistributionError(f"horizon must be >= 0, got {horizon}")
+    alpha = distribution.alpha
+    m = np.zeros(horizon)
+    for k in range(1, horizon + 1):
+        total = distribution.pmf(k)
+        # Convolution sum_{j=1}^{k-1} alpha(j) * m(k - j).
+        j_max = min(k - 1, alpha.size)
+        if j_max >= 1:
+            total += float(np.dot(alpha[:j_max], m[k - 2 :: -1][:j_max]))
+        m[k - 1] = total
+    return m
+
+
+def expected_renewals(
+    distribution: InterArrivalDistribution, horizon: int
+) -> float:
+    """``M(T)``: expected number of events in slots ``1..horizon``."""
+    return float(renewal_mass(distribution, horizon).sum())
+
+
+def forward_recurrence_pmf(
+    distribution: InterArrivalDistribution, t: int, horizon: int
+) -> np.ndarray:
+    """pmf of the forward recurrence time ``Psi(t)`` at slot boundary ``t``.
+
+    ``out[x - 1] = P(next event after slot t occurs at slot t + x)`` for
+    ``x = 1..horizon``, given a renewal at slot 0 and *no conditioning on
+    observations* (pure renewal theory).  For ``t = 0`` this is just the
+    gap pmf.
+    """
+    if t < 0:
+        raise DistributionError(f"t must be >= 0, got {t}")
+    if horizon < 1:
+        raise DistributionError(f"horizon must be >= 1, got {horizon}")
+    out = np.zeros(horizon)
+    if t == 0:
+        for x in range(1, horizon + 1):
+            out[x - 1] = distribution.pmf(x)
+        return out
+    m = renewal_mass(distribution, t)
+    for x in range(1, horizon + 1):
+        # Renewal at slot y <= t (possibly y = 0), gap jumps to t + x.
+        total = distribution.pmf(t + x)
+        for y in range(1, t + 1):
+            total += m[y - 1] * distribution.pmf(t + x - y)
+        out[x - 1] = total
+    return out
+
+
+def forward_recurrence_cdf(
+    distribution: InterArrivalDistribution, t: int, horizon: int
+) -> np.ndarray:
+    """``G_t(x)`` for ``x = 1..horizon`` (cumulative form of the above)."""
+    return np.cumsum(forward_recurrence_pmf(distribution, t, horizon))
+
+
+def stationary_gap_age_pmf(
+    distribution: InterArrivalDistribution,
+) -> np.ndarray:
+    """Stationary distribution of the "age" (slots since the last event).
+
+    In steady state the probability that the last event happened exactly
+    ``i`` slots ago is ``(1 - F(i - 1)) / mu`` — the inspection-paradox
+    size-biased form.  Index ``[i - 1]`` maps to age ``i``.
+    """
+    survival_before = 1.0 - np.concatenate(
+        ([0.0], distribution.cdf_values[:-1])
+    )
+    return survival_before / distribution.mu

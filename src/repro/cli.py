@@ -1,0 +1,261 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Three commands cover the common workflows without writing Python:
+
+* ``solve``      — compute a policy (greedy FI / clustering PI / EBCW)
+  for a named event model and recharge rate, print its structure and
+  theoretical QoM.
+* ``simulate``   — run the slotted simulator for a policy/model pair and
+  print the capture statistics.
+* ``experiment`` — regenerate one of the paper's figures as a table.
+
+Event models are specified as ``family:param1,param2`` — e.g.
+``weibull:40,3``, ``pareto:2,10``, ``geometric:0.1``, ``markov:0.7,0.7``,
+``deterministic:5``, ``uniform:3,7``, ``lognormal:3,0.4``, ``gamma:4,9``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.baselines import (
+    AggressivePolicy,
+    energy_balanced_period,
+    solve_ebcw,
+)
+from repro.core.clustering import optimize_clustering
+from repro.core.greedy import solve_greedy
+from repro.energy.recharge import BernoulliRecharge, ConstantRecharge
+from repro.events import (
+    DeterministicInterArrival,
+    GammaInterArrival,
+    GeometricInterArrival,
+    InterArrivalDistribution,
+    LogNormalInterArrival,
+    MarkovInterArrival,
+    ParetoInterArrival,
+    UniformInterArrival,
+    WeibullInterArrival,
+)
+from repro.exceptions import ReproError
+from repro.sim.engine import simulate_single
+
+_FAMILIES = {
+    "weibull": (WeibullInterArrival, 2),
+    "pareto": (ParetoInterArrival, 2),
+    "geometric": (GeometricInterArrival, 1),
+    "markov": (MarkovInterArrival, 2),
+    "deterministic": (DeterministicInterArrival, 1),
+    "uniform": (UniformInterArrival, 2),
+    "lognormal": (LogNormalInterArrival, 2),
+    "gamma": (GammaInterArrival, 2),
+}
+
+
+def parse_events(spec: str) -> InterArrivalDistribution:
+    """Parse ``family:p1,p2`` into a distribution instance."""
+    family, _, params = spec.partition(":")
+    family = family.strip().lower()
+    if family not in _FAMILIES:
+        raise argparse.ArgumentTypeError(
+            f"unknown event family {family!r}; choose from "
+            f"{sorted(_FAMILIES)}"
+        )
+    cls, arity = _FAMILIES[family]
+    raw = [p for p in params.split(",") if p.strip()]
+    if len(raw) != arity:
+        raise argparse.ArgumentTypeError(
+            f"{family} needs {arity} parameter(s), got {len(raw)}"
+        )
+    values = []
+    for token in raw:
+        number = float(token)
+        values.append(int(number) if number.is_integer() and family in
+                      ("deterministic", "uniform") else number)
+    try:
+        return cls(*values)
+    except ReproError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Dynamic activation policies for event capture with "
+            "rechargeable sensors (ICDCS 2012 reproduction)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="compute a policy and its QoM")
+    solve.add_argument("--events", type=parse_events, required=True,
+                       help="event model, e.g. weibull:40,3")
+    solve.add_argument("--policy", choices=("greedy", "clustering", "ebcw"),
+                       default="greedy")
+    solve.add_argument("--rate", type=float, required=True,
+                       help="mean recharge rate e (energy/slot)")
+    solve.add_argument("--delta1", type=float, default=1.0)
+    solve.add_argument("--delta2", type=float, default=6.0)
+
+    simulate = sub.add_parser("simulate", help="run the slotted simulator")
+    simulate.add_argument("--events", type=parse_events, required=True)
+    simulate.add_argument(
+        "--policy",
+        choices=("greedy", "clustering", "aggressive", "periodic"),
+        default="greedy",
+    )
+    simulate.add_argument("--rate", type=float, required=True)
+    simulate.add_argument("--bernoulli-q", type=float, default=None,
+                          help="use Bernoulli recharge with this q "
+                               "(amount = rate/q); default constant rate")
+    simulate.add_argument("--capacity", type=float, default=1000.0)
+    simulate.add_argument("--horizon", type=int, default=1_000_000)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--delta1", type=float, default=1.0)
+    simulate.add_argument("--delta2", type=float, default=6.0)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper figure as a table"
+    )
+    experiment.add_argument(
+        "figure",
+        choices=("fig3a", "fig3b", "fig4a", "fig4b", "fig5-b02",
+                 "fig5-b07", "fig6a", "fig6b", "theorem1", "all"),
+    )
+    experiment.add_argument("--horizon", type=int, default=None)
+    experiment.add_argument("--seed", type=int, default=None)
+    experiment.add_argument("--output", default=None,
+                            help="with 'all': write the markdown report here")
+    experiment.add_argument("--plot", action="store_true",
+                            help="also render an ASCII chart of the figure")
+    return parser
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    events = args.events
+    if args.policy == "greedy":
+        solution = solve_greedy(events, args.rate, args.delta1, args.delta2)
+        active = np.nonzero(solution.activation > 1e-9)[0] + 1
+        print(f"greedy pi*_FI({args.rate}) on {events!r}")
+        if active.size:
+            print(f"  active slots: {active[0]}..{active[-1]} "
+                  f"({active.size} slots, "
+                  f"{'saturated' if solution.saturated else 'budget-bound'})")
+        else:
+            print("  never activates (budget too small)")
+        print(f"  QoM (energy assumption): {solution.qom:.4f}")
+        print(f"  energy per renewal: {solution.energy_spent:.3f} "
+              f"of budget {solution.budget:.3f}")
+    elif args.policy == "clustering":
+        solution = optimize_clustering(
+            events, args.rate, args.delta1, args.delta2
+        )
+        p = solution.policy
+        print(f"clustering pi'_PI({args.rate}) on {events!r}")
+        print(f"  cooling 1..{p.n1 - 1} | hot {p.n1}..{p.n2} "
+              f"(c={p.c_n1:.3f}) | cooling | recovery from {p.n3}")
+        print(f"  QoM: {solution.qom:.4f}  drain: {solution.energy_rate:.4f}")
+    else:
+        solution = solve_ebcw(events, args.rate, args.delta1, args.delta2)
+        print(f"EBCW({args.rate}) on {events!r}")
+        print(f"  p1 = {solution.p1:.3f}, p0 = {solution.p0:.4f}")
+        print(f"  QoM: {solution.qom:.4f}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    events = args.events
+    if args.policy == "greedy":
+        policy = solve_greedy(
+            events, args.rate, args.delta1, args.delta2
+        ).as_policy()
+    elif args.policy == "clustering":
+        policy = optimize_clustering(
+            events, args.rate, args.delta1, args.delta2
+        ).policy
+    elif args.policy == "aggressive":
+        policy = AggressivePolicy()
+    else:
+        policy = energy_balanced_period(
+            events, args.rate, args.delta1, args.delta2
+        )
+    if args.bernoulli_q:
+        recharge = BernoulliRecharge(
+            args.bernoulli_q, args.rate / args.bernoulli_q
+        )
+    else:
+        recharge = ConstantRecharge(args.rate)
+    result = simulate_single(
+        events, policy, recharge,
+        capacity=args.capacity, delta1=args.delta1, delta2=args.delta2,
+        horizon=args.horizon, seed=args.seed,
+    )
+    print(result.summary())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro import experiments as exp
+
+    kwargs = {}
+    if args.horizon is not None:
+        kwargs["horizon"] = args.horizon
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.figure == "theorem1":
+        print(exp.format_example(exp.run_theorem1_example()))
+        return 0
+    if args.figure == "all":
+        seed = kwargs.get("seed", exp.DEFAULT_SEED)
+        text = exp.generate_report(
+            output_path=args.output,
+            horizon=kwargs.get("horizon"),
+            seed=seed,
+        )
+        if args.output is None:
+            print(text)
+        else:
+            print(f"wrote {args.output}")
+        return 0
+    runners = {
+        "fig3a": lambda: exp.run_fig3("full", **kwargs),
+        "fig3b": lambda: exp.run_fig3("partial", **kwargs),
+        "fig4a": lambda: exp.run_fig4("weibull", **kwargs),
+        "fig4b": lambda: exp.run_fig4("pareto", **kwargs),
+        "fig5-b02": lambda: exp.run_fig5(b=0.2, **kwargs),
+        "fig5-b07": lambda: exp.run_fig5(b=0.7, **kwargs),
+        "fig6a": lambda: exp.run_fig6a(**kwargs),
+        "fig6b": lambda: exp.run_fig6b(**kwargs),
+    }
+    result = runners[args.figure]()
+    print(result.format_table())
+    if args.plot:
+        from repro.viz import ascii_chart
+
+        print()
+        print(ascii_chart(result))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "solve":
+            return _cmd_solve(args)
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        return _cmd_experiment(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

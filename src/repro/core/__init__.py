@@ -1,0 +1,67 @@
+"""The paper's activation policies: greedy FI, clustering PI, baselines,
+multi-sensor coordination, and the LP cross-check."""
+
+from repro.core.baselines import (
+    AggressivePolicy,
+    EBCWSolution,
+    PeriodicPolicy,
+    energy_balanced_period,
+    solve_ebcw,
+)
+from repro.core.battery_aware import OverflowGuardPolicy
+from repro.core.clustering import (
+    ClusteringPolicy,
+    ClusteringSolution,
+    evaluate_clustering,
+    optimize_clustering,
+)
+from repro.core.greedy import GreedySolution, solve_greedy, theorem1_qom
+from repro.core.linprog import LPSolution, solve_linear_program
+from repro.core.multiregion import (
+    MultiRegionPolicy,
+    MultiRegionSolution,
+    optimize_multi_region,
+)
+from repro.core.multi import (
+    NO_SENSOR,
+    Coordinator,
+    MultiAggressiveCoordinator,
+    MultiPeriodicCoordinator,
+    RoundRobinCoordinator,
+    make_mfi,
+    make_mpi,
+    make_multi_periodic,
+)
+from repro.core.policy import ActivationPolicy, InfoModel, VectorPolicy
+
+__all__ = [
+    "ActivationPolicy",
+    "AggressivePolicy",
+    "ClusteringPolicy",
+    "ClusteringSolution",
+    "Coordinator",
+    "EBCWSolution",
+    "GreedySolution",
+    "InfoModel",
+    "LPSolution",
+    "MultiAggressiveCoordinator",
+    "MultiPeriodicCoordinator",
+    "MultiRegionPolicy",
+    "MultiRegionSolution",
+    "NO_SENSOR",
+    "OverflowGuardPolicy",
+    "PeriodicPolicy",
+    "RoundRobinCoordinator",
+    "VectorPolicy",
+    "energy_balanced_period",
+    "evaluate_clustering",
+    "make_mfi",
+    "make_mpi",
+    "make_multi_periodic",
+    "optimize_clustering",
+    "optimize_multi_region",
+    "solve_ebcw",
+    "solve_greedy",
+    "solve_linear_program",
+    "theorem1_qom",
+]

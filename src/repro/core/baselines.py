@@ -1,0 +1,189 @@
+"""Baseline activation policies the paper compares against (Sec. IV-B2, VI).
+
+* **Aggressive** ``pi_AG`` — activate whenever the battery holds at least
+  ``delta1 + delta2``.  Spends energy as it arrives, with no regard for
+  event dynamics.
+* **Periodic** ``pi_PE`` — activate for ``theta1`` slots out of every
+  ``theta2``.  The paper fixes ``theta1 = 3`` and picks the
+  energy-balanced period ``theta2(e) = theta1*delta1/e +
+  theta1*delta2/(e*mu)``.
+* **EBCW** ``pi_EBCW`` — the policy of Jaggi et al. adapted per the
+  paper's Fig. 5 comparison; see :func:`solve_ebcw`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.partial_info import (
+    PartialInfoAnalysis,
+    analyse_partial_info_policy,
+)
+from repro.core.policy import ActivationPolicy, InfoModel, VectorPolicy
+from repro.events.base import InterArrivalDistribution
+from repro.exceptions import PolicyError
+
+
+class AggressivePolicy(ActivationPolicy):
+    """Always request activation; the simulator's energy gate does the rest.
+
+    Under partial information this is the paper's ``pi_AG``: the sensor
+    activates in every slot where ``B_t >= delta1 + delta2``.
+    """
+
+    def __init__(self, info_model: InfoModel = InfoModel.PARTIAL) -> None:
+        self.info_model = info_model
+
+    def activation_probability(self, slot: int, recency: int) -> float:
+        return 1.0
+
+    def recency_probabilities(self, horizon: int) -> tuple[np.ndarray, float]:
+        return np.ones(horizon), 1.0
+
+    def __repr__(self) -> str:
+        return "AggressivePolicy()"
+
+
+class PeriodicPolicy(ActivationPolicy):
+    """Activate for ``theta1`` slots at the start of every ``theta2`` slots.
+
+    The schedule is anchored at absolute slot 1 and ignores all event
+    information — the fixed duty-cycling the paper improves upon.
+    """
+
+    def __init__(self, theta1: int, theta2: int) -> None:
+        if theta1 < 0:
+            raise PolicyError(f"theta1 must be >= 0, got {theta1}")
+        if theta2 < max(theta1, 1):
+            raise PolicyError(
+                f"theta2 ({theta2}) must be >= max(theta1, 1) = {max(theta1, 1)}"
+            )
+        self.theta1 = int(theta1)
+        self.theta2 = int(theta2)
+        self.info_model = InfoModel.PARTIAL
+
+    def activation_probability(self, slot: int, recency: int) -> float:
+        if slot < 1:
+            raise PolicyError(f"slot must be >= 1, got {slot}")
+        return 1.0 if (slot - 1) % self.theta2 < self.theta1 else 0.0
+
+    def slot_probabilities(self, horizon: int) -> np.ndarray:
+        phases = np.arange(horizon) % self.theta2
+        return (phases < self.theta1).astype(float)
+
+    @property
+    def duty_cycle(self) -> float:
+        return self.theta1 / self.theta2
+
+    def __repr__(self) -> str:
+        return f"PeriodicPolicy(theta1={self.theta1}, theta2={self.theta2})"
+
+
+def energy_balanced_period(
+    distribution: InterArrivalDistribution,
+    e: float,
+    delta1: float,
+    delta2: float,
+    theta1: int = 3,
+) -> PeriodicPolicy:
+    """The paper's energy-balanced periodic baseline.
+
+    Uses ``theta2(e) = theta1*delta1/e + theta1*delta2/(e*mu)`` (Sec.
+    VI-A2): the active-slot sensing cost plus the expected capture cost,
+    averaged to the recharge rate.  ``theta2`` is rounded up so the
+    policy never overspends.
+    """
+    if e <= 0:
+        raise PolicyError(f"mean recharge rate must be > 0, got {e}")
+    theta2 = theta1 * delta1 / e + theta1 * delta2 / (e * distribution.mu)
+    theta2 = max(int(math.ceil(theta2)), theta1, 1)
+    return PeriodicPolicy(theta1, theta2)
+
+
+@dataclass(frozen=True)
+class EBCWSolution:
+    """An energy-balanced EBCW policy with its stationary analysis."""
+
+    policy: VectorPolicy
+    analysis: PartialInfoAnalysis
+    p1: float
+    p0: float
+
+    @property
+    def qom(self) -> float:
+        return self.analysis.qom
+
+
+def solve_ebcw(
+    distribution: InterArrivalDistribution,
+    e: float,
+    delta1: float,
+    delta2: float,
+    tail_rel_eps: float = 1e-4,
+    bisect_iters: int = 20,
+) -> EBCWSolution:
+    """EBCW baseline: last-event-conditioned activation (Jaggi et al.).
+
+    Substitution note (see DESIGN.md): the original construction targets
+    two-state Markov events with ``a, b > 0.5`` — temporally clustered
+    events where the slot right after an observed event is the likeliest
+    to hold the next one.  We implement it as the energy-balanced
+    two-level recency policy ``c_1 = p1`` (just after a capture) and
+    ``c_i = p0`` for ``i >= 2`` (constant elsewhere), with ``p1``
+    prioritised: first grow ``p1`` to 1, then spend the remainder on
+    ``p0``.  For ``a, b > 0.5`` this coincides with the clustering
+    policy's optimum; when the clustered-events assumption fails its
+    hard-wired preference for slot 1 is wrong and it underperforms —
+    exactly the Fig. 5 comparison.
+    """
+    if e < 0:
+        raise PolicyError(f"mean recharge rate must be >= 0, got {e}")
+
+    def evaluate(p1: float, p0: float) -> tuple[VectorPolicy, PartialInfoAnalysis]:
+        policy = VectorPolicy(
+            np.array([p1]), tail=p0, info_model=InfoModel.PARTIAL
+        )
+        analysis = analyse_partial_info_policy(
+            distribution,
+            policy.vector,
+            delta1,
+            delta2,
+            tail=p0,
+            tail_rel_eps=tail_rel_eps,
+        )
+        return policy, analysis
+
+    if e == 0.0:
+        policy, analysis = evaluate(0.0, 1e-9)
+        return EBCWSolution(policy=policy, analysis=analysis, p1=0.0, p0=0.0)
+
+    # p1 = 1 is always affordable in the limit p0 -> 0 (an almost-silent
+    # sensor spends almost nothing per slot), so EBCW pins p1 = 1 — its
+    # hard-wired belief that the slot right after a capture is the most
+    # valuable — and bisects p0 on the remaining budget.
+    full_policy, full_analysis = evaluate(1.0, 1.0)
+    if full_analysis.energy_rate <= e * (1.0 + 1e-9):
+        return EBCWSolution(
+            policy=full_policy, analysis=full_analysis, p1=1.0, p0=1.0
+        )
+    lo, hi = 0.0, 1.0
+    best_policy, best_analysis, p0_best = None, None, 0.0
+    for _ in range(bisect_iters):
+        mid = (lo + hi) / 2.0
+        policy, analysis = evaluate(1.0, mid)
+        if analysis.energy_rate <= e * (1.0 + 1e-9):
+            lo = mid
+            best_policy, best_analysis, p0_best = policy, analysis, mid
+        else:
+            hi = mid
+    if best_policy is None:
+        # Bisection never found a feasible midpoint within its iteration
+        # budget; fall back to a vanishing background probability.
+        p0_best = hi / 2.0 ** bisect_iters
+        best_policy, best_analysis = evaluate(1.0, p0_best)
+    return EBCWSolution(
+        policy=best_policy, analysis=best_analysis, p1=1.0, p0=p0_best
+    )

@@ -1,0 +1,161 @@
+"""The full-information greedy optimal policy (paper Theorem 1 + Remark 1).
+
+Under the energy assumption, the optimal full-information activation
+vector maximises ``sum_i alpha_i c_i`` subject to the energy-balance
+constraint ``sum_i xi_i c_i = e * mu`` with ``0 <= c_i <= 1`` (the linear
+program (7)-(8)).  Because the benefit/cost ratio
+
+    alpha_i / xi_i = beta_i / (delta1 + delta2 * beta_i)
+
+is increasing in the hazard ``beta_i``, the LP is a fractional knapsack:
+pour the per-renewal energy budget ``e * mu`` into slots in decreasing
+order of ``beta_i``, filling each slot to ``c_i = 1`` before moving on,
+with at most one fractional slot.  Theorem 1 states this for monotone
+hazards; Remark 1 extends it to arbitrary hazards by sorting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.policy import InfoModel, VectorPolicy
+from repro.energy.balance import energy_budget, xi_coefficients
+from repro.events.base import InterArrivalDistribution
+from repro.exceptions import PolicyError
+
+
+@dataclass(frozen=True)
+class GreedySolution:
+    """Optimal FI activation vector and its energy-assumption QoM.
+
+    Attributes
+    ----------
+    activation:
+        Optimal per-state probabilities ``c_i`` (index ``[i - 1]``).
+    qom:
+        ``U(pi*_FI(e)) = sum_i alpha_i c_i`` — the capture probability
+        under the energy assumption, which ``U_K`` approaches as ``K``
+        grows (paper Remark 2, Fig. 3a).
+    energy_spent:
+        Energy used per renewal, ``sum_i xi_i c_i``; equals
+        ``min(e * mu, sum_i xi_i)``.
+    budget:
+        The per-renewal budget ``e * mu``.
+    saturated:
+        True when the budget covers activating in every slot (the sensor
+        can behave as an always-on sensor and capture everything).
+    """
+
+    activation: np.ndarray
+    qom: float
+    energy_spent: float
+    budget: float
+    saturated: bool
+
+    def as_policy(self) -> VectorPolicy:
+        """Materialise the solution as a simulator-ready policy."""
+        return VectorPolicy(
+            self.activation, tail=1.0 if self.saturated else 0.0,
+            info_model=InfoModel.FULL,
+        )
+
+
+def solve_greedy(
+    distribution: InterArrivalDistribution,
+    e: float,
+    delta1: float,
+    delta2: float,
+) -> GreedySolution:
+    """Compute the Theorem 1 greedy optimal policy ``pi*_FI(e)``.
+
+    Slots are processed in decreasing hazard order (Remark 1); ties are
+    broken toward earlier slots, which never changes the achieved QoM.
+    """
+    if e < 0:
+        raise PolicyError(f"mean recharge rate must be >= 0, got {e}")
+    alpha = distribution.alpha
+    beta = distribution.beta
+    xi = xi_coefficients(distribution, delta1, delta2)
+    budget = energy_budget(distribution, e)
+
+    # Sort by decreasing hazard; break ties toward *later* slots so that a
+    # monotone increasing hazard always yields the suffix-of-ones structure
+    # of Theorem 1 (ties have equal benefit/cost, so QoM is unaffected).
+    order = np.lexsort((-np.arange(beta.size), -beta))
+    activation = np.zeros_like(alpha)
+    remaining = budget
+    for idx in order:
+        cost = xi[idx]
+        if cost <= 0.0:
+            # A zero-cost slot can only be a zero-probability slot;
+            # activating there is free but also useless.  Leave it off so
+            # the policy spends no energy where no event can occur.
+            continue
+        if remaining >= cost:
+            activation[idx] = 1.0
+            remaining -= cost
+        elif remaining > 0.0:
+            activation[idx] = remaining / cost
+            remaining = 0.0
+        else:
+            break
+
+    energy_spent = float(np.dot(xi, activation))
+    qom = float(np.dot(alpha, activation))
+    saturated = bool(np.all(activation[alpha > 0] >= 1.0 - 1e-12))
+    return GreedySolution(
+        activation=activation,
+        qom=qom,
+        energy_spent=energy_spent,
+        budget=budget,
+        saturated=saturated,
+    )
+
+
+def theorem1_qom(
+    distribution: InterArrivalDistribution,
+    e: float,
+    delta1: float,
+    delta2: float,
+) -> float:
+    """Closed-form QoM of Theorem 1 for monotone increasing hazards.
+
+    With ``beta_1 <= beta_2 <= ...`` the optimal vector is
+    ``(0, ..., 0, c_{k+1}, 1, 1, ...)`` and
+
+        U(pi*_FI(e)) = 1 - F(k + 1) + c_{k+1} * alpha_{k+1}.
+
+    Raises :class:`PolicyError` when the hazard is not monotone (use
+    :func:`solve_greedy`, which covers the general case via Remark 1).
+    """
+    beta = distribution.beta
+    if np.any(np.diff(beta) < -1e-12):
+        raise PolicyError(
+            "theorem1_qom requires a monotone increasing hazard; "
+            "use solve_greedy for the general (Remark 1) case"
+        )
+    solution = solve_greedy(distribution, e, delta1, delta2)
+    if solution.saturated:
+        return solution.qom
+    # Find k: the last all-zero prefix index before the fractional slot.
+    fractional = np.nonzero(
+        (solution.activation > 1e-12) & (solution.activation < 1.0 - 1e-12)
+    )[0]
+    if fractional.size == 0:
+        # Budget landed exactly on a slot boundary; the formula still
+        # holds with c_{k+1} in {0, 1}.
+        ones = np.nonzero(solution.activation > 1.0 - 1e-12)[0]
+        if ones.size == 0:
+            return 0.0
+        k_plus_1 = int(ones[0]) + 1
+        c_k1 = 1.0
+    else:
+        k_plus_1 = int(fractional[0]) + 1
+        c_k1 = float(solution.activation[k_plus_1 - 1])
+    return (
+        1.0
+        - distribution.cdf(k_plus_1)
+        + c_k1 * distribution.pmf(k_plus_1)
+    )

@@ -1,0 +1,190 @@
+"""Multi-sensor coordination strategies (paper Sec. V).
+
+``N`` identical sensors monitor one PoI.  To avoid redundant concurrent
+activations, slots are assigned to sensors round-robin; within its
+assigned slots each sensor follows the single-sensor policy computed for
+the *aggregate* recharge rate ``N * e``:
+
+* **M-FI** — the shared state is the time since the last event (known to
+  all sensors under full information); the responsible sensor applies
+  the Theorem 1 greedy policy ``pi*_FI(N e)``.
+* **M-PI** — the shared state is the time since the last captured event
+  (a capture is broadcast by the sink over a negligible-energy channel);
+  the responsible sensor applies the clustering policy ``pi'_PI(N e)``.
+* **Multi-aggressive / multi-periodic** — the baselines of Sec. VI-B:
+  aggressive within per-sensor assigned slots, and block-rotated
+  energy-balanced periodic schedules.
+
+Sec. V-A's load-balancing mitigation (round robin over slots the policy
+can actually use, instead of all slots) is available via
+``assignment="active-slot"``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.baselines import energy_balanced_period
+from repro.core.clustering import ClusteringSolution, optimize_clustering
+from repro.core.greedy import GreedySolution, solve_greedy
+from repro.core.policy import ActivationPolicy, InfoModel
+from repro.events.base import InterArrivalDistribution
+from repro.exceptions import PolicyError
+
+#: Sentinel sensor index meaning "no sensor is responsible this slot".
+NO_SENSOR = -1
+
+
+class Coordinator(abc.ABC):
+    """Assigns each slot to (at most) one sensor and sets its activation.
+
+    Coordinators are stateful (the active-slot assignment rotates on use)
+    — call :meth:`reset` before reusing one across simulation runs.
+    """
+
+    def __init__(self, n_sensors: int, info_model: InfoModel) -> None:
+        if n_sensors < 1:
+            raise PolicyError(f"need at least one sensor, got {n_sensors}")
+        self.n_sensors = int(n_sensors)
+        self.info_model = info_model
+
+    def reset(self) -> None:
+        """Clear any rotation state before a fresh run."""
+
+    @abc.abstractmethod
+    def decide(self, slot: int, recency: int) -> tuple[int, float]:
+        """Return ``(sensor_index, activation_probability)`` for ``slot``.
+
+        ``sensor_index`` is 0-based, or :data:`NO_SENSOR` when every
+        sensor stays inactive.  ``recency`` carries the shared event
+        state (``H_t`` under full information, ``F_t`` under partial).
+        """
+
+
+class RoundRobinCoordinator(Coordinator):
+    """M-FI / M-PI: rotate slot responsibility, shared recency state.
+
+    ``assignment="slot"`` reproduces the paper's Step 2 (``t = kN + s``);
+    ``assignment="active-slot"`` rotates only over slots where the policy
+    has positive activation probability, the paper's load-balancing fix
+    for hazard profiles that would otherwise pin all work on one sensor.
+    """
+
+    def __init__(
+        self,
+        policy: ActivationPolicy,
+        n_sensors: int,
+        assignment: str = "slot",
+    ) -> None:
+        super().__init__(n_sensors, policy.info_model)
+        if assignment not in ("slot", "active-slot"):
+            raise PolicyError(
+                f"assignment must be 'slot' or 'active-slot', got {assignment!r}"
+            )
+        self.policy = policy
+        self.assignment = assignment
+        self._counter = 0
+
+    def reset(self) -> None:
+        self._counter = 0
+
+    def decide(self, slot: int, recency: int) -> tuple[int, float]:
+        prob = self.policy.activation_probability(slot, recency)
+        if self.assignment == "slot":
+            return (slot - 1) % self.n_sensors, prob
+        if prob <= 0.0:
+            return NO_SENSOR, 0.0
+        sensor = self._counter % self.n_sensors
+        self._counter += 1
+        return sensor, prob
+
+
+class MultiAggressiveCoordinator(Coordinator):
+    """Sec. VI-B aggressive baseline: each sensor aggressive in its slots."""
+
+    def __init__(self, n_sensors: int) -> None:
+        super().__init__(n_sensors, InfoModel.PARTIAL)
+
+    def decide(self, slot: int, recency: int) -> tuple[int, float]:
+        return (slot - 1) % self.n_sensors, 1.0
+
+
+class MultiPeriodicCoordinator(Coordinator):
+    """Sec. VI-B periodic baseline with block-rotated responsibility.
+
+    Each sensor takes charge of ``theta2`` consecutive slots in turn and
+    applies the (``theta1`` on, ``theta2 - theta1`` off) schedule within
+    its block, so each sensor individually stays energy balanced.
+    """
+
+    def __init__(self, theta1: int, theta2: int, n_sensors: int) -> None:
+        super().__init__(n_sensors, InfoModel.PARTIAL)
+        if theta1 < 0:
+            raise PolicyError(f"theta1 must be >= 0, got {theta1}")
+        if theta2 < max(theta1, 1):
+            raise PolicyError(
+                f"theta2 ({theta2}) must be >= max(theta1, 1)"
+            )
+        self.theta1 = int(theta1)
+        self.theta2 = int(theta2)
+
+    def decide(self, slot: int, recency: int) -> tuple[int, float]:
+        block, phase = divmod(slot - 1, self.theta2)
+        sensor = block % self.n_sensors
+        return sensor, 1.0 if phase < self.theta1 else 0.0
+
+
+def make_mfi(
+    distribution: InterArrivalDistribution,
+    e: float,
+    n_sensors: int,
+    delta1: float,
+    delta2: float,
+    assignment: str = "slot",
+) -> tuple[RoundRobinCoordinator, GreedySolution]:
+    """Build the M-FI coordinator: greedy policy at aggregate rate N*e."""
+    solution = solve_greedy(distribution, n_sensors * e, delta1, delta2)
+    coordinator = RoundRobinCoordinator(
+        solution.as_policy(), n_sensors, assignment=assignment
+    )
+    return coordinator, solution
+
+
+def make_mpi(
+    distribution: InterArrivalDistribution,
+    e: float,
+    n_sensors: int,
+    delta1: float,
+    delta2: float,
+    assignment: str = "slot",
+    **optimizer_kwargs,
+) -> tuple[RoundRobinCoordinator, ClusteringSolution]:
+    """Build the M-PI coordinator: clustering policy at rate N*e."""
+    solution = optimize_clustering(
+        distribution, n_sensors * e, delta1, delta2, **optimizer_kwargs
+    )
+    coordinator = RoundRobinCoordinator(
+        solution.policy, n_sensors, assignment=assignment
+    )
+    return coordinator, solution
+
+
+def make_multi_periodic(
+    distribution: InterArrivalDistribution,
+    e: float,
+    n_sensors: int,
+    delta1: float,
+    delta2: float,
+    theta1: int = 3,
+) -> MultiPeriodicCoordinator:
+    """Energy-balanced multi-sensor periodic baseline.
+
+    The period is computed at the aggregate rate ``N * e``: the network
+    is active ``theta1`` slots out of every ``theta2``, and since each
+    sensor is in charge of one block in ``N`` its individual drain is
+    ``e`` — each sensor is energy balanced, as the paper requires.
+    """
+    single = energy_balanced_period(
+        distribution, n_sensors * e, delta1, delta2, theta1
+    )
+    return MultiPeriodicCoordinator(single.theta1, single.theta2, n_sensors)

@@ -1,0 +1,36 @@
+"""Energy substrate: batteries, recharge processes, balance accounting."""
+
+from repro.energy.balance import (
+    energy_budget,
+    is_energy_balanced,
+    policy_discharge_rate,
+    policy_energy_per_renewal,
+    xi_coefficients,
+)
+from repro.energy.battery import Battery
+from repro.energy.solar import DiurnalRecharge, MarkovRecharge
+from repro.energy.recharge import (
+    BernoulliRecharge,
+    CompoundRecharge,
+    ConstantRecharge,
+    PeriodicRecharge,
+    RechargeProcess,
+    UniformRandomRecharge,
+)
+
+__all__ = [
+    "Battery",
+    "BernoulliRecharge",
+    "CompoundRecharge",
+    "ConstantRecharge",
+    "DiurnalRecharge",
+    "MarkovRecharge",
+    "PeriodicRecharge",
+    "RechargeProcess",
+    "UniformRandomRecharge",
+    "energy_budget",
+    "is_energy_balanced",
+    "policy_discharge_rate",
+    "policy_energy_per_renewal",
+    "xi_coefficients",
+]

@@ -1,0 +1,103 @@
+"""Energy-balance accounting for activation policies (paper Eq. 4-6).
+
+A stationary full-information policy is a vector ``c`` of per-state
+activation probabilities.  Over one renewal period the expected energy a
+sensor spends is ``sum_i xi_i c_i`` where
+
+    xi_i = delta1 * (1 - F(i - 1)) + delta2 * alpha_i        (Eq. 6)
+
+(``delta1`` per active slot while the renewal is still pending, plus
+``delta2`` when the slot's event is captured).  Energy balance requires
+this to equal the energy harvested per renewal, ``e * mu``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.events.base import InterArrivalDistribution
+from repro.exceptions import EnergyError, PolicyError
+
+
+def xi_coefficients(
+    distribution: InterArrivalDistribution, delta1: float, delta2: float
+) -> np.ndarray:
+    """Per-slot expected energy costs ``xi_i`` of activating in state h_i.
+
+    ``xi[i - 1]`` corresponds to slot ``i``; the array covers the
+    distribution's truncated support (past it, ``1 - F = 0`` so every
+    ``xi_i`` vanishes).
+    """
+    if delta1 < 0 or delta2 < 0:
+        raise EnergyError(f"delta1/delta2 must be >= 0, got {delta1}, {delta2}")
+    alpha = distribution.alpha
+    survival_before = 1.0 - np.concatenate(([0.0], distribution.cdf_values[:-1]))
+    return delta1 * survival_before + delta2 * alpha
+
+
+def energy_budget(distribution: InterArrivalDistribution, e: float) -> float:
+    """Energy available per renewal period, ``e * mu`` (RHS of Eq. 8)."""
+    if e < 0:
+        raise EnergyError(f"mean recharge rate must be >= 0, got {e}")
+    return e * distribution.mu
+
+
+def policy_energy_per_renewal(
+    distribution: InterArrivalDistribution,
+    activation: np.ndarray,
+    delta1: float,
+    delta2: float,
+) -> float:
+    """Expected energy a full-information policy spends per renewal.
+
+    ``activation[i - 1]`` is the probability of activating in state
+    ``h_i``; entries past the array are treated as 0.
+    """
+    activation = _validated_activation(activation, distribution.support_max)
+    xi = xi_coefficients(distribution, delta1, delta2)
+    return float(np.dot(xi[: activation.size], activation[: xi.size]))
+
+
+def policy_discharge_rate(
+    distribution: InterArrivalDistribution,
+    activation: np.ndarray,
+    delta1: float,
+    delta2: float,
+) -> float:
+    """Long-run average energy spent per slot under a FI policy.
+
+    Per Eq. 5-6 this is the per-renewal energy divided by ``mu``; energy
+    balance holds when it equals the mean recharge rate ``e``.
+    """
+    per_renewal = policy_energy_per_renewal(distribution, activation, delta1, delta2)
+    return per_renewal / distribution.mu
+
+
+def is_energy_balanced(
+    distribution: InterArrivalDistribution,
+    activation: np.ndarray,
+    e: float,
+    delta1: float,
+    delta2: float,
+    rtol: float = 1e-9,
+) -> bool:
+    """Whether a FI policy's long-run discharge rate is within the budget.
+
+    A policy may also *under*-spend when even the all-ones vector costs
+    less than ``e * mu`` (surplus recharge); that still counts as balanced
+    because the surplus simply overflows a full battery.
+    """
+    spent = policy_energy_per_renewal(distribution, activation, delta1, delta2)
+    budget = energy_budget(distribution, e)
+    full_cost = float(xi_coefficients(distribution, delta1, delta2).sum())
+    target = min(budget, full_cost)
+    return spent <= target * (1.0 + rtol) + 1e-12
+
+
+def _validated_activation(activation: np.ndarray, support: int) -> np.ndarray:
+    arr = np.asarray(activation, dtype=float)
+    if arr.ndim != 1:
+        raise PolicyError("activation vector must be 1-D")
+    if arr.size and (np.any(arr < -1e-12) or np.any(arr > 1.0 + 1e-12)):
+        raise PolicyError("activation probabilities must lie in [0, 1]")
+    return np.clip(arr, 0.0, 1.0)

@@ -1,0 +1,70 @@
+"""The sensor's energy bucket (paper Sec. III-A).
+
+Each sensor owns a battery of capacity ``K`` energy units.  Recharge
+energy arriving when the bucket is full is lost (overflow); the paper's
+asymptotic results require ``K`` large enough to absorb bursts in both
+the recharge and discharge processes, and Fig. 3 quantifies how large.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import EnergyError
+
+
+class Battery:
+    """A finite energy bucket with overflow accounting.
+
+    Parameters
+    ----------
+    capacity:
+        Bucket size ``K`` in energy units (may be fractional).
+    initial:
+        Starting level; the paper's experiments start at ``K / 2``.
+    """
+
+    __slots__ = ("capacity", "level", "total_harvested", "total_overflow", "total_consumed")
+
+    def __init__(self, capacity: float, initial: float | None = None) -> None:
+        if capacity < 0:
+            raise EnergyError(f"battery capacity must be >= 0, got {capacity}")
+        self.capacity = float(capacity)
+        if initial is None:
+            initial = capacity / 2.0
+        if not 0 <= initial <= capacity:
+            raise EnergyError(
+                f"initial level {initial} outside [0, {capacity}]"
+            )
+        self.level = float(initial)
+        self.total_harvested = 0.0
+        self.total_overflow = 0.0
+        self.total_consumed = 0.0
+
+    def recharge(self, amount: float) -> float:
+        """Add ``amount`` energy, clipping at capacity; returns overflow."""
+        if amount < 0:
+            raise EnergyError(f"recharge amount must be >= 0, got {amount}")
+        space = self.capacity - self.level
+        stored = min(amount, space)
+        overflow = amount - stored
+        self.level += stored
+        self.total_harvested += amount
+        self.total_overflow += overflow
+        return overflow
+
+    def can_afford(self, cost: float) -> bool:
+        """True when the current level covers ``cost``."""
+        return self.level >= cost - 1e-12
+
+    def discharge(self, amount: float) -> None:
+        """Consume ``amount`` energy; raises :class:`EnergyError` if short."""
+        if amount < 0:
+            raise EnergyError(f"discharge amount must be >= 0, got {amount}")
+        if not self.can_afford(amount):
+            raise EnergyError(
+                f"cannot discharge {amount} from level {self.level}"
+            )
+        self.level = max(self.level - amount, 0.0)
+        self.total_consumed += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Battery(level={self.level:.3f}/{self.capacity:.3f})"

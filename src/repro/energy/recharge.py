@@ -1,0 +1,163 @@
+"""Stochastic recharge processes (paper Sec. III-A and VI).
+
+The sensor harvests ``e_t >= 0`` units at the very beginning of slot
+``t``, with mean rate ``e = E[e_t]``.  The exact process is unknown to
+the policies — they see only the mean rate — and Fig. 3 demonstrates the
+policies' robustness to the process shape using three models:
+
+* **Bernoulli(q, c)** — ``c`` units with probability ``q`` per slot
+  (mean ``q * c``); the paper's default, labelled "Poisson" in Fig. 3.
+* **Periodic(amount, period)** — ``amount`` units every ``period`` slots
+  (the paper uses 5 units every 10 slots).
+* **Constant(rate)** — ``rate`` units every slot (the paper's "Uniform").
+
+A :class:`UniformRandomRecharge` (uniform on ``[low, high]``) and
+:class:`CompoundRecharge` (sum of independent processes, e.g. solar +
+vibration) extend the family beyond the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import EnergyError
+
+
+class RechargeProcess(abc.ABC):
+    """Source of per-slot harvested energy amounts."""
+
+    @property
+    @abc.abstractmethod
+    def mean_rate(self) -> float:
+        """Long-run average energy harvested per slot, ``e``."""
+
+    @abc.abstractmethod
+    def sequence(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        """Harvest amounts for slots ``1..horizon`` as a float array."""
+
+    def _check_horizon(self, horizon: int) -> None:
+        if horizon < 0:
+            raise EnergyError(f"horizon must be >= 0, got {horizon}")
+
+
+class BernoulliRecharge(RechargeProcess):
+    """``c`` units with probability ``q`` each slot; mean rate ``q * c``."""
+
+    def __init__(self, q: float, c: float) -> None:
+        if not 0 <= q <= 1:
+            raise EnergyError(f"q must be in [0, 1], got {q}")
+        if c < 0:
+            raise EnergyError(f"c must be >= 0, got {c}")
+        self.q = float(q)
+        self.c = float(c)
+
+    @property
+    def mean_rate(self) -> float:
+        return self.q * self.c
+
+    def sequence(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_horizon(horizon)
+        return np.where(rng.random(horizon) < self.q, self.c, 0.0)
+
+    def __repr__(self) -> str:
+        return f"BernoulliRecharge(q={self.q}, c={self.c})"
+
+
+class PeriodicRecharge(RechargeProcess):
+    """``amount`` units once every ``period`` slots (deterministic).
+
+    The pulse lands on slots where ``(t - 1 - phase) % period == 0`` for
+    1-based slot index ``t``, so with the default ``phase=0`` the first
+    pulse arrives in slot 1.
+    """
+
+    def __init__(self, amount: float, period: int, phase: int = 0) -> None:
+        if amount < 0:
+            raise EnergyError(f"amount must be >= 0, got {amount}")
+        if period < 1:
+            raise EnergyError(f"period must be >= 1, got {period}")
+        if not 0 <= phase < period:
+            raise EnergyError(f"phase must be in [0, {period}), got {phase}")
+        self.amount = float(amount)
+        self.period = int(period)
+        self.phase = int(phase)
+
+    @property
+    def mean_rate(self) -> float:
+        return self.amount / self.period
+
+    def sequence(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_horizon(horizon)
+        out = np.zeros(horizon)
+        out[self.phase :: self.period] = self.amount
+        return out
+
+    def __repr__(self) -> str:
+        return f"PeriodicRecharge(amount={self.amount}, period={self.period})"
+
+
+class ConstantRecharge(RechargeProcess):
+    """``rate`` units every slot — the paper's "Uniform" process."""
+
+    def __init__(self, rate: float) -> None:
+        if rate < 0:
+            raise EnergyError(f"rate must be >= 0, got {rate}")
+        self.rate = float(rate)
+
+    @property
+    def mean_rate(self) -> float:
+        return self.rate
+
+    def sequence(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_horizon(horizon)
+        return np.full(horizon, self.rate)
+
+    def __repr__(self) -> str:
+        return f"ConstantRecharge(rate={self.rate})"
+
+
+class UniformRandomRecharge(RechargeProcess):
+    """Per-slot harvest uniform on ``[low, high]`` (extension)."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if low < 0 or high < low:
+            raise EnergyError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    @property
+    def mean_rate(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def sequence(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_horizon(horizon)
+        return rng.uniform(self.low, self.high, size=horizon)
+
+    def __repr__(self) -> str:
+        return f"UniformRandomRecharge(low={self.low}, high={self.high})"
+
+
+class CompoundRecharge(RechargeProcess):
+    """Sum of independent recharge processes (e.g. solar + vibration)."""
+
+    def __init__(self, components: Sequence[RechargeProcess]) -> None:
+        if len(components) == 0:
+            raise EnergyError("compound recharge needs at least one component")
+        self.components = list(components)
+
+    @property
+    def mean_rate(self) -> float:
+        return sum(c.mean_rate for c in self.components)
+
+    def sequence(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_horizon(horizon)
+        total = np.zeros(horizon)
+        for component in self.components:
+            total += component.sequence(horizon, rng)
+        return total
+
+    def __repr__(self) -> str:
+        return f"CompoundRecharge(n_components={len(self.components)})"

@@ -1,0 +1,58 @@
+"""Renewal event-process models (paper Sec. III-A).
+
+Events at a point of interest arrive as a renewal process in slotted
+time; this package provides the gap-distribution families used in the
+paper (Weibull, Pareto, Poisson/geometric, two-state Markov) plus
+deterministic / uniform / empirical / mixture families, and the event
+sequence generators the simulator consumes.
+"""
+
+from repro.events.base import (
+    ContinuousDiscretisedDistribution,
+    InterArrivalDistribution,
+)
+from repro.events.deterministic import DeterministicInterArrival, UniformInterArrival
+from repro.events.empirical import EmpiricalInterArrival, MixtureInterArrival
+from repro.events.estimation import (
+    EstimationPipelineResult,
+    estimate_then_optimize,
+    fit_empirical_smoothed,
+    fit_geometric,
+    fit_markov,
+    fit_weibull,
+)
+from repro.events.geometric import GeometricInterArrival
+from repro.events.lognormal import GammaInterArrival, LogNormalInterArrival
+from repro.events.markov import MarkovInterArrival, simulate_markov_chain
+from repro.events.pareto import ParetoInterArrival
+from repro.events.renewal import (
+    empirical_gaps,
+    generate_event_flags,
+    generate_event_slots,
+)
+from repro.events.weibull import WeibullInterArrival
+
+__all__ = [
+    "ContinuousDiscretisedDistribution",
+    "DeterministicInterArrival",
+    "EmpiricalInterArrival",
+    "EstimationPipelineResult",
+    "GammaInterArrival",
+    "GeometricInterArrival",
+    "InterArrivalDistribution",
+    "LogNormalInterArrival",
+    "MarkovInterArrival",
+    "MixtureInterArrival",
+    "ParetoInterArrival",
+    "UniformInterArrival",
+    "WeibullInterArrival",
+    "empirical_gaps",
+    "estimate_then_optimize",
+    "fit_empirical_smoothed",
+    "fit_geometric",
+    "fit_markov",
+    "fit_weibull",
+    "generate_event_flags",
+    "generate_event_slots",
+    "simulate_markov_chain",
+]

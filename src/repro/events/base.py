@@ -1,0 +1,237 @@
+"""Base classes for slotted renewal inter-arrival distributions.
+
+The paper models events at a point of interest as a renewal process in
+slotted time: inter-arrival times ``X`` are i.i.d. positive integers (slot
+counts) with
+
+* pmf      ``alpha_i = P(X = i) = F(i) - F(i - 1)``        (paper Eq. 2)
+* hazard   ``beta_i  = P(X <= i | X > i - 1)
+                     = alpha_i / (1 - F(i - 1))``           (paper Eq. 3)
+* mean     ``mu = sum_i i * alpha_i``
+
+Continuous distributions (Weibull, Pareto, ...) are discretised exactly as
+the paper prescribes, by integrating their density over each unit slot.
+
+All arrays produced by this module are indexed so that ``array[i - 1]``
+corresponds to slot ``i`` (slots are 1-based in the paper).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import DistributionError
+
+#: Default tail mass below which an infinite-support distribution is
+#: truncated (and renormalised).  1e-12 keeps ``mu`` accurate to far more
+#: digits than any simulation can resolve.
+DEFAULT_TAIL_EPS = 1e-12
+
+#: Hard cap on the truncated support, to bound memory for very heavy tails.
+DEFAULT_MAX_SUPPORT = 2_000_000
+
+
+class InterArrivalDistribution(abc.ABC):
+    """A distribution of event inter-arrival times in whole slots.
+
+    Concrete subclasses provide the pmf ``alpha`` (via :meth:`_compute_pmf`);
+    this base class derives the cdf, hazard, mean, sampling, and assorted
+    helpers from it, with caching.
+    """
+
+    def __init__(self) -> None:
+        self._alpha: Optional[np.ndarray] = None
+        self._cdf: Optional[np.ndarray] = None
+        self._beta: Optional[np.ndarray] = None
+        self._mu: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Abstract surface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _compute_pmf(self) -> np.ndarray:
+        """Return the pmf over slots ``1..n`` as a 1-D float array.
+
+        The returned array must be non-negative and sum to 1 within
+        floating-point tolerance; the base class validates and renormalises.
+        """
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def alpha(self) -> np.ndarray:
+        """pmf array; ``alpha[i - 1] = P(X = i)``."""
+        if self._alpha is None:
+            pmf = np.asarray(self._compute_pmf(), dtype=float)
+            if pmf.ndim != 1 or pmf.size == 0:
+                raise DistributionError("pmf must be a non-empty 1-D array")
+            if np.any(pmf < -1e-15) or not np.all(np.isfinite(pmf)):
+                raise DistributionError("pmf values must be finite and non-negative")
+            pmf = np.clip(pmf, 0.0, None)
+            total = pmf.sum()
+            if not np.isclose(total, 1.0, atol=1e-6):
+                raise DistributionError(
+                    f"pmf sums to {total!r}, expected 1 (within 1e-6)"
+                )
+            self._alpha = pmf / total
+        return self._alpha
+
+    @property
+    def cdf_values(self) -> np.ndarray:
+        """cdf array; ``cdf_values[i - 1] = F(i) = P(X <= i)``."""
+        if self._cdf is None:
+            self._cdf = np.cumsum(self.alpha)
+            # Guard against accumulated rounding pushing F past 1.
+            self._cdf = np.minimum(self._cdf, 1.0)
+            self._cdf[-1] = 1.0
+        return self._cdf
+
+    @property
+    def beta(self) -> np.ndarray:
+        """Hazard array; ``beta[i - 1] = P(X <= i | X > i - 1)`` (Eq. 3)."""
+        if self._beta is None:
+            alpha = self.alpha
+            # Backward cumulative sum avoids the catastrophic cancellation
+            # of 1 - F(i-1) deep in the tail, keeping the hazard exactly
+            # monotone for monotone families.
+            survival_before = np.cumsum(alpha[::-1])[::-1]
+            beta = np.zeros_like(alpha)
+            positive = survival_before > 0
+            beta[positive] = alpha[positive] / survival_before[positive]
+            self._beta = np.clip(beta, 0.0, 1.0)
+        return self._beta
+
+    @property
+    def mu(self) -> float:
+        """Mean inter-arrival time in slots."""
+        if self._mu is None:
+            slots = np.arange(1, self.alpha.size + 1, dtype=float)
+            self._mu = float(np.dot(slots, self.alpha))
+        return self._mu
+
+    @property
+    def support_max(self) -> int:
+        """Largest slot with positive probability after truncation."""
+        return int(self.alpha.size)
+
+    # ------------------------------------------------------------------
+    # Point evaluations (1-based slot indices, out-of-range friendly)
+    # ------------------------------------------------------------------
+    def pmf(self, i: int) -> float:
+        """``P(X = i)`` for slot ``i >= 1``; zero outside the support."""
+        if i < 1 or i > self.alpha.size:
+            return 0.0
+        return float(self.alpha[i - 1])
+
+    def cdf(self, i: int) -> float:
+        """``F(i) = P(X <= i)``; ``F(0) = 0`` and ``F(i) = 1`` past support."""
+        if i < 1:
+            return 0.0
+        if i >= self.cdf_values.size:
+            return 1.0
+        return float(self.cdf_values[i - 1])
+
+    def hazard(self, i: int) -> float:
+        """``beta_i``; slots past the support renew with probability 1."""
+        if i < 1:
+            return 0.0
+        if i > self.beta.size:
+            return 1.0
+        return float(self.beta[i - 1])
+
+    def survival(self, i: int) -> float:
+        """``P(X > i) = 1 - F(i)``."""
+        return 1.0 - self.cdf(i)
+
+    def quantile(self, q: float) -> int:
+        """Smallest slot ``i`` with ``F(i) >= q``, for ``q`` in ``[0, 1]``."""
+        if not 0.0 <= q <= 1.0:
+            raise DistributionError(f"quantile level must be in [0, 1], got {q}")
+        idx = int(np.searchsorted(self.cdf_values, q, side="left"))
+        return min(idx + 1, self.support_max)
+
+    @property
+    def variance(self) -> float:
+        """Variance of the inter-arrival time."""
+        slots = np.arange(1, self.alpha.size + 1, dtype=float)
+        return float(np.dot(slots**2, self.alpha) - self.mu**2)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` i.i.d. inter-arrival times (integer slots >= 1).
+
+        Uses inverse-transform sampling on the discretised pmf so that
+        simulation and analysis share exactly the same event model.
+        """
+        if size < 0:
+            raise DistributionError(f"sample size must be >= 0, got {size}")
+        uniforms = rng.random(size)
+        idx = np.searchsorted(self.cdf_values, uniforms, side="right")
+        idx = np.minimum(idx, self.support_max - 1)
+        return idx + 1
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(support_max={self.support_max})"
+
+
+class ContinuousDiscretisedDistribution(InterArrivalDistribution):
+    """Discretisation of a continuous positive distribution onto slots.
+
+    Subclasses supply the continuous cdf ``F(x)``; slot ``i`` receives mass
+    ``F(i) - F(i - 1)``, i.e. all events landing in the interval
+    ``(i - 1, i]`` are attributed to slot ``i`` — the paper's convention.
+    The support is truncated where the remaining tail mass drops below
+    ``tail_eps`` and the pmf renormalised.
+    """
+
+    def __init__(
+        self,
+        tail_eps: float = DEFAULT_TAIL_EPS,
+        max_support: int = DEFAULT_MAX_SUPPORT,
+    ) -> None:
+        super().__init__()
+        if not 0 < tail_eps < 1:
+            raise DistributionError(f"tail_eps must be in (0, 1), got {tail_eps}")
+        if max_support < 1:
+            raise DistributionError(f"max_support must be >= 1, got {max_support}")
+        self._tail_eps = float(tail_eps)
+        self._max_support = int(max_support)
+
+    @abc.abstractmethod
+    def continuous_cdf(self, x: np.ndarray) -> np.ndarray:
+        """Vectorised continuous cdf ``F(x)`` of the underlying variable."""
+
+    def _compute_pmf(self) -> np.ndarray:
+        # Grow the evaluated support geometrically until the tail is small.
+        n = 64
+        while True:
+            grid = np.arange(0, n + 1, dtype=float)
+            cdf = np.asarray(self.continuous_cdf(grid), dtype=float)
+            tail = 1.0 - cdf[-1]
+            if tail <= self._tail_eps or n >= self._max_support:
+                break
+            n *= 2
+        if tail > 1e-3:
+            raise DistributionError(
+                f"tail mass {tail:.3g} at max_support={self._max_support}; "
+                "increase max_support or tail_eps"
+            )
+        pmf = np.diff(cdf)
+        # Fold the (tiny) remaining tail into the final slot so the pmf is
+        # a proper distribution.
+        pmf[-1] += tail
+        # Trim trailing slots that carry (numerically) no mass.
+        nonzero = np.nonzero(pmf > 0)[0]
+        if nonzero.size == 0:
+            raise DistributionError("discretised pmf has no positive mass")
+        pmf = pmf[: nonzero[-1] + 1]
+        return pmf / pmf.sum()

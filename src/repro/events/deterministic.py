@@ -1,0 +1,60 @@
+"""Deterministic and discrete-uniform inter-arrival times.
+
+These two families are not used in the paper's headline figures, but they
+are the extreme cases of event memory (a deterministic gap is perfectly
+predictable; a uniform gap has a linearly increasing hazard) and make
+excellent unit-test fixtures: the optimal policies have closed forms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.events.base import InterArrivalDistribution
+from repro.exceptions import DistributionError
+
+
+class DeterministicInterArrival(InterArrivalDistribution):
+    """Events arrive exactly every ``period`` slots.
+
+    The hazard is 0 everywhere except slot ``period`` where it is 1, so
+    the optimal full-information policy activates only in that slot and a
+    recharge rate of ``(delta1 + delta2) / period`` suffices for perfect
+    capture.
+    """
+
+    def __init__(self, period: int) -> None:
+        if period < 1:
+            raise DistributionError(f"period must be >= 1, got {period}")
+        super().__init__()
+        self.period = int(period)
+
+    def _compute_pmf(self) -> np.ndarray:
+        pmf = np.zeros(self.period)
+        pmf[-1] = 1.0
+        return pmf
+
+    def __repr__(self) -> str:
+        return f"DeterministicInterArrival(period={self.period})"
+
+
+class UniformInterArrival(InterArrivalDistribution):
+    """Inter-arrival times uniform on the integers ``low..high`` inclusive."""
+
+    def __init__(self, low: int, high: int) -> None:
+        if low < 1:
+            raise DistributionError(f"low must be >= 1, got {low}")
+        if high < low:
+            raise DistributionError(f"high ({high}) must be >= low ({low})")
+        super().__init__()
+        self.low = int(low)
+        self.high = int(high)
+
+    def _compute_pmf(self) -> np.ndarray:
+        pmf = np.zeros(self.high)
+        count = self.high - self.low + 1
+        pmf[self.low - 1 :] = 1.0 / count
+        return pmf
+
+    def __repr__(self) -> str:
+        return f"UniformInterArrival(low={self.low}, high={self.high})"

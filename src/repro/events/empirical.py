@@ -1,0 +1,80 @@
+"""Empirical (user-supplied) discrete inter-arrival distributions."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.events.base import InterArrivalDistribution
+from repro.exceptions import DistributionError
+
+
+class EmpiricalInterArrival(InterArrivalDistribution):
+    """Inter-arrival distribution given directly as a pmf over slots 1..n.
+
+    ``pmf[i]`` is the probability of a gap of ``i + 1`` slots.  This is the
+    workhorse for unit tests (it can express any finite renewal process)
+    and for users who estimate the gap distribution from field data.
+    """
+
+    def __init__(self, pmf: Sequence[float]) -> None:
+        super().__init__()
+        arr = np.asarray(list(pmf), dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise DistributionError("pmf must be a non-empty 1-D sequence")
+        self._pmf = arr
+
+    def _compute_pmf(self) -> np.ndarray:
+        return self._pmf
+
+    @classmethod
+    def from_samples(cls, gaps: Iterable[int]) -> "EmpiricalInterArrival":
+        """Estimate a pmf from observed integer gaps (each >= 1)."""
+        samples = np.asarray(list(gaps), dtype=int)
+        if samples.size == 0:
+            raise DistributionError("need at least one gap sample")
+        if np.any(samples < 1):
+            raise DistributionError("gap samples must be >= 1 slot")
+        counts = np.bincount(samples, minlength=int(samples.max()) + 1)[1:]
+        return cls(counts / counts.sum())
+
+    def __repr__(self) -> str:
+        return f"EmpiricalInterArrival(support_max={self._pmf.size})"
+
+
+class MixtureInterArrival(InterArrivalDistribution):
+    """Finite mixture of inter-arrival distributions.
+
+    Useful for multi-modal event patterns (e.g. a PoI with both a short
+    "burst" mode and a long "quiet" mode), which produce two separated hot
+    regions and exercise the clustering policy's region search.
+    """
+
+    def __init__(
+        self,
+        components: Sequence[InterArrivalDistribution],
+        weights: Sequence[float],
+    ) -> None:
+        super().__init__()
+        if len(components) == 0:
+            raise DistributionError("mixture needs at least one component")
+        if len(components) != len(weights):
+            raise DistributionError(
+                f"{len(components)} components but {len(weights)} weights"
+            )
+        w = np.asarray(list(weights), dtype=float)
+        if np.any(w < 0) or w.sum() <= 0:
+            raise DistributionError("mixture weights must be non-negative, sum > 0")
+        self.components = list(components)
+        self.weights = w / w.sum()
+
+    def _compute_pmf(self) -> np.ndarray:
+        size = max(c.support_max for c in self.components)
+        pmf = np.zeros(size)
+        for weight, component in zip(self.weights, self.components):
+            pmf[: component.support_max] += weight * component.alpha
+        return pmf
+
+    def __repr__(self) -> str:
+        return f"MixtureInterArrival(n_components={len(self.components)})"

@@ -1,0 +1,43 @@
+"""Geometric inter-arrival times: the slotted Poisson process.
+
+A Poisson arrival process observed in slotted time produces geometric
+inter-arrival gaps: an event occurs in each slot independently with
+probability ``p``, so ``P(X = i) = p * (1 - p)**(i - 1)``.  The hazard
+``beta_i = p`` is *constant* — the memoryless case the paper singles out
+as the exception where no hot region exists and dynamic activation can do
+no better than energy-balanced random activation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.events.base import InterArrivalDistribution
+from repro.exceptions import DistributionError
+
+
+class GeometricInterArrival(InterArrivalDistribution):
+    """Memoryless slotted arrivals with per-slot event probability ``p``."""
+
+    def __init__(self, p: float, tail_eps: float = 1e-12) -> None:
+        if not 0 < p <= 1:
+            raise DistributionError(f"geometric p must be in (0, 1], got {p}")
+        if not 0 < tail_eps < 1:
+            raise DistributionError(f"tail_eps must be in (0, 1), got {tail_eps}")
+        super().__init__()
+        self.p = float(p)
+        self._tail_eps = float(tail_eps)
+
+    def _compute_pmf(self) -> np.ndarray:
+        if self.p == 1.0:
+            return np.array([1.0])
+        # Truncate where the tail (1-p)^n falls below tail_eps.
+        n = int(np.ceil(np.log(self._tail_eps) / np.log(1.0 - self.p)))
+        n = max(n, 1)
+        slots = np.arange(1, n + 1, dtype=float)
+        pmf = self.p * (1.0 - self.p) ** (slots - 1.0)
+        pmf[-1] += (1.0 - self.p) ** n  # fold the tail into the last slot
+        return pmf / pmf.sum()
+
+    def __repr__(self) -> str:
+        return f"GeometricInterArrival(p={self.p})"

@@ -1,0 +1,66 @@
+"""Pareto inter-arrival times, ``X ~ P(gamma1, gamma2)``.
+
+The paper uses the Pareto distribution (``P(2, 10)`` in Fig. 4(b)) as a
+heavy-tailed event model, motivated by self-similar network workloads.
+Its pdf is
+
+    f(x) = gamma1 * gamma2**gamma1 / x**(gamma1 + 1),  x >= gamma2
+
+with tail index ``gamma1 > 0`` and scale (minimum) ``gamma2 > 0``.  The
+hazard is *decreasing*, so the hot region sits immediately after the
+minimum gap ``gamma2`` and the tail calls for a recovery strategy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.events.base import (
+    DEFAULT_MAX_SUPPORT,
+    DEFAULT_TAIL_EPS,
+    ContinuousDiscretisedDistribution,
+)
+from repro.exceptions import DistributionError
+
+
+class ParetoInterArrival(ContinuousDiscretisedDistribution):
+    """Slotted Pareto inter-arrival distribution ``P(shape, scale)``.
+
+    Small tail indices make the truncated support huge (the support grows
+    like ``tail_eps**(-1/shape)``), so the default ``tail_eps`` loosens
+    automatically for heavy tails.  For ``shape = 2`` the default keeps
+    the truncated mean within 0.1% of the continuous one while holding
+    the support near ``10**4`` slots.
+    """
+
+    def __init__(
+        self,
+        shape: float,
+        scale: float,
+        tail_eps: float | None = None,
+        max_support: int = DEFAULT_MAX_SUPPORT,
+    ) -> None:
+        if shape <= 0:
+            raise DistributionError(f"Pareto shape must be > 0, got {shape}")
+        if scale <= 0:
+            raise DistributionError(f"Pareto scale must be > 0, got {scale}")
+        if tail_eps is None:
+            if shape > 4.0:
+                tail_eps = DEFAULT_TAIL_EPS
+            elif shape > 1.2:
+                tail_eps = 1e-6
+            else:
+                tail_eps = 1e-4
+        super().__init__(tail_eps=tail_eps, max_support=max_support)
+        self.shape = float(shape)
+        self.scale = float(scale)
+
+    def continuous_cdf(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        above = x >= self.scale
+        out[above] = 1.0 - (self.scale / x[above]) ** self.shape
+        return out
+
+    def __repr__(self) -> str:
+        return f"ParetoInterArrival(shape={self.shape}, scale={self.scale})"

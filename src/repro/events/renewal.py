@@ -1,0 +1,69 @@
+"""Renewal event-sequence generation for the slotted simulator.
+
+The paper assumes an event occurs at slot 0 (the initial renewal) and at
+most one event per slot thereafter.  :func:`generate_event_flags` draws
+gaps from an :class:`~repro.events.base.InterArrivalDistribution` and lays
+the events onto the slot axis ``1..horizon``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.events.base import InterArrivalDistribution
+from repro.exceptions import SimulationError
+
+
+def generate_event_slots(
+    distribution: InterArrivalDistribution,
+    horizon: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Return the (1-based) slot indices of events in ``1..horizon``.
+
+    An implicit renewal happens at slot 0 and is *not* included in the
+    returned array; the first returned event is the first renewal after 0.
+    """
+    if horizon < 0:
+        raise SimulationError(f"horizon must be >= 0, got {horizon}")
+    if horizon == 0:
+        return np.empty(0, dtype=np.int64)
+    # Draw gaps in batches sized from the mean so one draw usually suffices.
+    mean_gap = max(distribution.mu, 1.0)
+    batch = max(int(horizon / mean_gap * 1.2) + 16, 16)
+    times: list[np.ndarray] = []
+    current = 0
+    while current <= horizon:
+        gaps = distribution.sample(rng, batch)
+        arrivals = current + np.cumsum(gaps)
+        times.append(arrivals)
+        current = int(arrivals[-1])
+    all_times = np.concatenate(times)
+    return all_times[all_times <= horizon]
+
+
+def generate_event_flags(
+    distribution: InterArrivalDistribution,
+    horizon: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Boolean array ``flags[t - 1] = True`` iff an event occurs in slot t.
+
+    Covers slots ``1..horizon`` (the initial renewal at slot 0 is implicit).
+    """
+    flags = np.zeros(horizon, dtype=bool)
+    slots = generate_event_slots(distribution, horizon, rng)
+    flags[slots - 1] = True
+    return flags
+
+
+def empirical_gaps(flags: np.ndarray) -> np.ndarray:
+    """Recover the observed inter-arrival gaps from an event-flag array.
+
+    Includes the gap from the implicit renewal at slot 0 to the first
+    event.  Useful for validating samplers against their distributions.
+    """
+    slots = np.nonzero(np.asarray(flags, dtype=bool))[0] + 1
+    if slots.size == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.diff(np.concatenate(([0], slots)))

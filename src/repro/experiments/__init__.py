@@ -1,0 +1,49 @@
+"""Experiment drivers reproducing every figure of the paper's Sec. VI."""
+
+from repro.experiments.common import FigureResult, Series
+from repro.experiments.config import (
+    DEFAULT_SEED,
+    DELTA1,
+    DELTA2,
+    PAPER_HORIZON,
+    bench_horizon,
+)
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.report import (
+    Claim,
+    ExperimentReport,
+    generate_report,
+    render_markdown,
+    run_all_experiments,
+)
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6a, run_fig6b
+from repro.experiments.theorem1_example import (
+    Theorem1Example,
+    format_example,
+    run_theorem1_example,
+)
+
+__all__ = [
+    "DEFAULT_SEED",
+    "DELTA1",
+    "DELTA2",
+    "Claim",
+    "ExperimentReport",
+    "FigureResult",
+    "PAPER_HORIZON",
+    "Series",
+    "Theorem1Example",
+    "bench_horizon",
+    "format_example",
+    "generate_report",
+    "render_markdown",
+    "run_all_experiments",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6a",
+    "run_fig6b",
+    "run_theorem1_example",
+]

@@ -1,0 +1,68 @@
+"""Result containers and table formatting shared by all experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled curve of an experiment figure."""
+
+    label: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: {len(self.x)} x-values vs "
+                f"{len(self.y)} y-values"
+            )
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """All series of one reproduced figure, plus run metadata."""
+
+    figure: str
+    x_label: str
+    y_label: str
+    series: tuple[Series, ...]
+    horizon: int
+    seed: int
+    notes: str = ""
+
+    def get(self, label: str) -> Series:
+        """Look up a series by its label."""
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(
+            f"no series {label!r}; have {[s.label for s in self.series]}"
+        )
+
+    def format_table(self) -> str:
+        """Render the figure's data as an aligned text table."""
+        header = [self.x_label] + [s.label for s in self.series]
+        xs = self.series[0].x if self.series else ()
+        rows = []
+        for i, x in enumerate(xs):
+            row = [f"{x:g}"] + [f"{s.y[i]:.4f}" for s in self.series]
+            rows.append(row)
+        widths = [
+            max(len(header[j]), *(len(r[j]) for r in rows)) if rows else len(header[j])
+            for j in range(len(header))
+        ]
+        lines = [
+            f"# {self.figure} (horizon={self.horizon}, seed={self.seed})"
+        ]
+        if self.notes:
+            lines.append(f"# {self.notes}")
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(header, widths))
+        )
+        for row in rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Shared experiment configuration (paper Sec. VI).
+
+The paper's simulations use sensing cost ``delta1 = 1``, capture cost
+``delta2 = 6`` and a working duration of ``T = 1e6`` slots.  Benchmarks
+default to a reduced horizon so the whole suite runs in minutes; set the
+``REPRO_BENCH_SLOTS`` environment variable (e.g. to ``1000000``) to match
+the paper exactly.  ``EXPERIMENTS.md`` records the horizon used for every
+reported number.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Sensing energy per active slot (paper Sec. VI).
+DELTA1 = 1.0
+
+#: Additional energy per captured event (paper Sec. VI).
+DELTA2 = 6.0
+
+#: The paper's full simulation horizon.
+PAPER_HORIZON = 1_000_000
+
+#: Default reduced horizon for benchmark runs.
+DEFAULT_BENCH_HORIZON = 200_000
+
+#: Default seed so benchmark output is reproducible run to run.
+DEFAULT_SEED = 20120618  # ICDCS 2012 opening day
+
+
+def bench_horizon() -> int:
+    """Simulation horizon for benchmarks (``REPRO_BENCH_SLOTS`` override)."""
+    raw = os.environ.get("REPRO_BENCH_SLOTS", "")
+    if not raw:
+        return DEFAULT_BENCH_HORIZON
+    value = int(raw)
+    if value < 1:
+        raise ValueError(f"REPRO_BENCH_SLOTS must be >= 1, got {value}")
+    return value

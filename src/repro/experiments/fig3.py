@@ -1,0 +1,110 @@
+"""Fig. 3 — asymptotic optimality in the battery capacity ``K``.
+
+Setup (paper Sec. VI-A1): recharge rate ``e = 0.5``, events
+``X ~ W(40, 3)``, three recharge processes with the same mean rate —
+Bernoulli(q=0.5, c=1), Periodic(5 energy units every 10 slots) and
+Uniform (0.5 units every slot).  Panel (a) sweeps ``K`` for the greedy
+full-information policy ``pi*_FI(e)``; panel (b) for the clustering
+partial-information policy ``pi'_PI(e)``.  Both converge to their
+energy-assumption bound ("Upper Bound" in the figure), independently of
+the recharge process shape.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.clustering import optimize_clustering
+from repro.core.greedy import solve_greedy
+from repro.core.policy import ActivationPolicy
+from repro.energy.recharge import (
+    BernoulliRecharge,
+    ConstantRecharge,
+    PeriodicRecharge,
+    RechargeProcess,
+)
+from repro.events.base import InterArrivalDistribution
+from repro.events.weibull import WeibullInterArrival
+from repro.experiments.common import FigureResult, Series
+from repro.experiments.config import DEFAULT_SEED, DELTA1, DELTA2, bench_horizon
+from repro.sim.engine import simulate_single
+
+#: Paper's three recharge models for Fig. 3 (the figure legend labels the
+#: Bernoulli process "Poisson").
+PAPER_RECHARGES: tuple[tuple[str, RechargeProcess], ...] = (
+    ("Bernoulli", BernoulliRecharge(q=0.5, c=1.0)),
+    ("Periodic", PeriodicRecharge(amount=5.0, period=10)),
+    ("Uniform", ConstantRecharge(rate=0.5)),
+)
+
+#: Capacity sweep covering the paper's 0..200 range.
+DEFAULT_CAPACITIES: tuple[float, ...] = (10, 20, 35, 50, 75, 100, 150, 200)
+
+
+def run_fig3(
+    info: str,
+    e: float = 0.5,
+    distribution: Optional[InterArrivalDistribution] = None,
+    capacities: Sequence[float] = DEFAULT_CAPACITIES,
+    recharges: Sequence[tuple[str, RechargeProcess]] = PAPER_RECHARGES,
+    horizon: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+) -> FigureResult:
+    """Reproduce Fig. 3(a) (``info="full"``) or Fig. 3(b) (``info="partial"``)."""
+    if info not in ("full", "partial"):
+        raise ValueError(f"info must be 'full' or 'partial', got {info!r}")
+    if distribution is None:
+        distribution = WeibullInterArrival(40, 3)
+    if horizon is None:
+        horizon = bench_horizon()
+
+    policy, bound = _policy_for(info, distribution, e)
+    series = [
+        Series(
+            label="Upper Bound",
+            x=tuple(float(k) for k in capacities),
+            y=tuple(bound for _ in capacities),
+        )
+    ]
+    for idx, (label, recharge) in enumerate(recharges):
+        qoms = []
+        for k_idx, capacity in enumerate(capacities):
+            result = simulate_single(
+                distribution,
+                policy,
+                recharge,
+                capacity=capacity,
+                delta1=DELTA1,
+                delta2=DELTA2,
+                horizon=horizon,
+                seed=seed + 1000 * idx + k_idx,
+            )
+            qoms.append(result.qom)
+        series.append(
+            Series(
+                label=label,
+                x=tuple(float(k) for k in capacities),
+                y=tuple(qoms),
+            )
+        )
+    panel = "a" if info == "full" else "b"
+    return FigureResult(
+        figure=f"Fig. 3({panel}) {info}-information asymptotics",
+        x_label="K",
+        y_label="Capture Probability",
+        series=tuple(series),
+        horizon=horizon,
+        seed=seed,
+        notes=f"e={e}, events={distribution!r}",
+    )
+
+
+def _policy_for(
+    info: str, distribution: InterArrivalDistribution, e: float
+) -> tuple[ActivationPolicy, float]:
+    """The policy under test and its energy-assumption QoM bound."""
+    if info == "full":
+        solution = solve_greedy(distribution, e, DELTA1, DELTA2)
+        return solution.as_policy(), solution.qom
+    clustering = optimize_clustering(distribution, e, DELTA1, DELTA2)
+    return clustering.policy, clustering.qom

@@ -1,0 +1,164 @@
+"""Fig. 6 — multi-sensor QoM as the fleet or the recharge grows.
+
+Setup (paper Sec. VI-B): all sensors share a Bernoulli recharge process
+with ``q = 0.1``; ``K = 1000``; events ``X ~ W(40, 3)``.  Panel (a)
+sweeps the number of sensors ``N`` at ``c = 1``; panel (b) sweeps the
+per-recharge amount ``c`` at ``N = 5``.  Compared: M-FI, M-PI, the
+multi-sensor aggressive baseline and the multi-sensor energy-balanced
+periodic baseline.  Expected shape: M-FI >= M-PI >> baselines, with M-PI
+approaching M-FI as ``N`` or ``c`` grows, and the baselines improving
+only about linearly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.multi import (
+    MultiAggressiveCoordinator,
+    make_mfi,
+    make_mpi,
+    make_multi_periodic,
+)
+from repro.energy.recharge import BernoulliRecharge
+from repro.events.base import InterArrivalDistribution
+from repro.events.weibull import WeibullInterArrival
+from repro.experiments.common import FigureResult, Series
+from repro.experiments.config import DEFAULT_SEED, DELTA1, DELTA2, bench_horizon
+from repro.sim.network import simulate_network
+
+DEFAULT_N_VALUES: tuple[int, ...] = (1, 2, 3, 4, 6, 8, 10, 12)
+DEFAULT_C_VALUES: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0)
+
+
+def run_fig6a(
+    n_values: Sequence[int] = DEFAULT_N_VALUES,
+    q: float = 0.1,
+    c: float = 1.0,
+    capacity: float = 1000.0,
+    distribution: Optional[InterArrivalDistribution] = None,
+    horizon: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+) -> FigureResult:
+    """Fig. 6(a): QoM vs. number of sensors ``N``."""
+    if distribution is None:
+        distribution = WeibullInterArrival(40, 3)
+    if horizon is None:
+        horizon = bench_horizon()
+    e = q * c
+    recharge = BernoulliRecharge(q=q, c=c)
+    series = _sweep(
+        distribution,
+        recharge,
+        e,
+        [(int(n), int(n)) for n in n_values],
+        capacity,
+        horizon,
+        seed,
+    )
+    return FigureResult(
+        figure="Fig. 6(a) multi-sensor QoM vs N",
+        x_label="N",
+        y_label="Capture Probability",
+        series=series,
+        horizon=horizon,
+        seed=seed,
+        notes=f"q={q}, c={c}, K={capacity}, events={distribution!r}",
+    )
+
+
+def run_fig6b(
+    c_values: Sequence[float] = DEFAULT_C_VALUES,
+    n_sensors: int = 5,
+    q: float = 0.1,
+    capacity: float = 1000.0,
+    distribution: Optional[InterArrivalDistribution] = None,
+    horizon: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+) -> FigureResult:
+    """Fig. 6(b): QoM vs. per-recharge amount ``c`` at ``N = 5``."""
+    if distribution is None:
+        distribution = WeibullInterArrival(40, 3)
+    if horizon is None:
+        horizon = bench_horizon()
+    points = []
+    for c in c_values:
+        points.append((float(c), n_sensors))
+    clustering_x = tuple(p[0] for p in points)
+
+    labels = ("M-FI", "M-PI", "pi_AG", "pi_PE")
+    buckets: dict[str, list[float]] = {label: [] for label in labels}
+    for idx, (c, n) in enumerate(points):
+        e = q * c
+        recharge = BernoulliRecharge(q=q, c=c)
+        for label, qom in _point(
+            distribution, recharge, e, n, capacity, horizon, seed + idx
+        ):
+            buckets[label].append(qom)
+    series = tuple(
+        Series(label, clustering_x, tuple(buckets[label])) for label in labels
+    )
+    return FigureResult(
+        figure="Fig. 6(b) multi-sensor QoM vs c",
+        x_label="c",
+        y_label="Capture Probability",
+        series=series,
+        horizon=horizon,
+        seed=seed,
+        notes=f"N={n_sensors}, q={q}, K={capacity}, events={distribution!r}",
+    )
+
+
+def _sweep(
+    distribution: InterArrivalDistribution,
+    recharge: BernoulliRecharge,
+    e: float,
+    points: Sequence[tuple[float, int]],
+    capacity: float,
+    horizon: int,
+    seed: int,
+) -> tuple[Series, ...]:
+    labels = ("M-FI", "M-PI", "pi_AG", "pi_PE")
+    buckets: dict[str, list[float]] = {label: [] for label in labels}
+    xs = tuple(p[0] for p in points)
+    for idx, (_, n) in enumerate(points):
+        for label, qom in _point(
+            distribution, recharge, e, n, capacity, horizon, seed + idx
+        ):
+            buckets[label].append(qom)
+    return tuple(Series(label, xs, tuple(buckets[label])) for label in labels)
+
+
+def _point(
+    distribution: InterArrivalDistribution,
+    recharge: BernoulliRecharge,
+    e: float,
+    n_sensors: int,
+    capacity: float,
+    horizon: int,
+    seed: int,
+) -> list[tuple[str, float]]:
+    """QoM of the four multi-sensor strategies at one sweep point."""
+    mfi, _ = make_mfi(distribution, e, n_sensors, DELTA1, DELTA2)
+    mpi, _ = make_mpi(distribution, e, n_sensors, DELTA1, DELTA2)
+    aggressive = MultiAggressiveCoordinator(n_sensors)
+    periodic = make_multi_periodic(distribution, e, n_sensors, DELTA1, DELTA2)
+    out = []
+    for label, coordinator in (
+        ("M-FI", mfi),
+        ("M-PI", mpi),
+        ("pi_AG", aggressive),
+        ("pi_PE", periodic),
+    ):
+        result = simulate_network(
+            distribution,
+            coordinator,
+            recharge,
+            capacity=capacity,
+            delta1=DELTA1,
+            delta2=DELTA2,
+            horizon=horizon,
+            seed=seed,
+        )
+        out.append((label, result.qom))
+    return out

@@ -1,0 +1,351 @@
+"""Run every experiment and render a paper-vs-measured markdown report.
+
+``python -m repro experiment all --output EXPERIMENTS.md`` (or
+:func:`generate_report` programmatically) regenerates each figure of the
+paper's Sec. VI, checks its qualitative shape against the paper's
+claims, and writes a single markdown document with the measured series,
+the expectations, and a pass/fail verdict per claim.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.experiments.common import FigureResult
+from repro.experiments.config import DEFAULT_SEED, bench_horizon
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6a, run_fig6b
+from repro.experiments.theorem1_example import (
+    format_example,
+    run_theorem1_example,
+)
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One qualitative claim the paper makes about a figure."""
+
+    description: str
+    holds: bool
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ExperimentReport:
+    """One reproduced experiment with its checked claims."""
+
+    name: str
+    paper_claim: str
+    table: str
+    claims: tuple[Claim, ...]
+    elapsed_seconds: float
+
+    @property
+    def passed(self) -> bool:
+        return all(c.holds for c in self.claims)
+
+
+def _claims_fig3(result: FigureResult) -> tuple[Claim, ...]:
+    bound = result.get("Upper Bound").y[0]
+    claims = []
+    for label in ("Bernoulli", "Periodic", "Uniform"):
+        series = result.get(label)
+        converges = abs(series.y[-1] - bound) < 0.06
+        improves = abs(series.y[-1] - bound) <= abs(series.y[0] - bound) + 0.03
+        claims.append(
+            Claim(
+                f"{label}: U_K approaches the bound as K grows",
+                converges and improves,
+                f"K={series.x[0]:g}: {series.y[0]:.4f}, "
+                f"K={series.x[-1]:g}: {series.y[-1]:.4f}, bound {bound:.4f}",
+            )
+        )
+    spread = max(
+        result.get(label).y[-1] for label in ("Bernoulli", "Periodic", "Uniform")
+    ) - min(
+        result.get(label).y[-1] for label in ("Bernoulli", "Periodic", "Uniform")
+    )
+    claims.append(
+        Claim(
+            "convergence is independent of the recharge process",
+            spread < 0.04,
+            f"spread across processes at max K: {spread:.4f}",
+        )
+    )
+    return tuple(claims)
+
+
+def _claims_fig4(result: FigureResult) -> tuple[Claim, ...]:
+    clustering = result.get("pi'_PI(e)")
+    claims = []
+    for label in ("pi_AG", "pi_PE"):
+        other = result.get(label)
+        wins = sum(
+            c >= o - 0.03 for c, o in zip(clustering.y, other.y)
+        )
+        claims.append(
+            Claim(
+                f"clustering >= {label} across the c sweep",
+                wins == len(clustering.y),
+                f"{wins}/{len(clustering.y)} points",
+            )
+        )
+    claims.append(
+        Claim(
+            "QoM increases with the recharge amount c",
+            clustering.y[-1] >= clustering.y[0] - 0.02,
+            f"{clustering.y[0]:.4f} -> {clustering.y[-1]:.4f}",
+        )
+    )
+    return tuple(claims)
+
+
+def _claims_fig5(result: FigureResult, b: float) -> tuple[Claim, ...]:
+    clustering = result.get("pi'_PI(e)")
+    ebcw = result.get("pi_EBCW")
+    never_loses = all(
+        c >= o - 0.03 for c, o in zip(clustering.y, ebcw.y)
+    )
+    claims = [
+        Claim(
+            "clustering never loses to EBCW",
+            never_loses,
+            "max deficit "
+            f"{max(o - c for c, o in zip(clustering.y, ebcw.y)):+.4f}",
+        )
+    ]
+    if b > 0.5:
+        ties = all(
+            abs(c - o) < 0.05
+            for x, c, o in zip(clustering.x, clustering.y, ebcw.y)
+            if x > 0.5
+        )
+        claims.append(
+            Claim("coincides with EBCW for a, b > 0.5 (their regime)", ties)
+        )
+    else:
+        beats = any(
+            c > o + 0.02
+            for x, c, o in zip(clustering.x, clustering.y, ebcw.y)
+            if x < 0.5
+        )
+        claims.append(
+            Claim("strictly beats EBCW somewhere outside a, b > 0.5", beats)
+        )
+    return tuple(claims)
+
+
+def _claims_fig6(result: FigureResult) -> tuple[Claim, ...]:
+    mfi = result.get("M-FI")
+    mpi = result.get("M-PI")
+    ag = result.get("pi_AG")
+    pe = result.get("pi_PE")
+    n = len(mfi.x)
+    ordering = sum(
+        mfi.y[i] >= mpi.y[i] - 0.04
+        and mpi.y[i] >= ag.y[i] - 0.04
+        and mpi.y[i] >= pe.y[i] - 0.04
+        for i in range(n)
+    )
+    gap_closes = (mfi.y[-1] - mpi.y[-1]) <= (mfi.y[1] - mpi.y[1]) + 0.03
+    lead = max(m - a for m, a in zip(mfi.y, ag.y))
+    return (
+        Claim(
+            "ordering M-FI >= M-PI >= baselines holds",
+            ordering == n,
+            f"{ordering}/{n} sweep points",
+        ),
+        Claim("M-PI approaches M-FI as resources grow", gap_closes),
+        Claim(
+            "dynamic policies saturate much faster than the baselines",
+            lead > 0.1,
+            f"max M-FI lead over aggressive: {lead:.3f}",
+        ),
+    )
+
+
+def _theorem1_report() -> ExperimentReport:
+    start = time.perf_counter()
+    example = run_theorem1_example()
+    elapsed = time.perf_counter() - start
+    claims = (
+        Claim(
+            "slot 1 strategy: 800 activations, 480 captures",
+            example.slot1_captures == 480,
+        ),
+        Claim(
+            "slot 2 strategy: 320 activations, 320 captures",
+            example.slot2_activations == 320
+            and example.slot2_captures == 320,
+        ),
+        Claim(
+            "greedy allocates scarce energy to slot 2 first",
+            example.scarce_energy_slot == 2,
+        ),
+    )
+    return ExperimentReport(
+        name="Sec. IV-A worked example",
+        paper_claim=(
+            "With beta = (0.6, 1.0), watching slot 2 is 100% efficient vs "
+            "60% for slot 1, so scarce energy goes to slot 2."
+        ),
+        table=format_example(example),
+        claims=claims,
+        elapsed_seconds=elapsed,
+    )
+
+
+def _figure_report(
+    name: str,
+    paper_claim: str,
+    runner: Callable[[], FigureResult],
+    claims_fn: Callable[[FigureResult], tuple[Claim, ...]],
+) -> ExperimentReport:
+    start = time.perf_counter()
+    result = runner()
+    elapsed = time.perf_counter() - start
+    return ExperimentReport(
+        name=name,
+        paper_claim=paper_claim,
+        table=result.format_table(),
+        claims=claims_fn(result),
+        elapsed_seconds=elapsed,
+    )
+
+
+def run_all_experiments(
+    horizon: Optional[int] = None, seed: int = DEFAULT_SEED
+) -> list[ExperimentReport]:
+    """Regenerate every paper artifact; returns one report each."""
+    if horizon is None:
+        horizon = bench_horizon()
+    kwargs = dict(horizon=horizon, seed=seed)
+    reports = [_theorem1_report()]
+    reports.append(
+        _figure_report(
+            "Fig. 3(a) — FI asymptotics in K",
+            "U_K(pi*_FI) rises with K to the energy-assumption optimum, "
+            "independently of the recharge process.",
+            lambda: run_fig3("full", **kwargs),
+            _claims_fig3,
+        )
+    )
+    reports.append(
+        _figure_report(
+            "Fig. 3(b) — PI asymptotics in K",
+            "U_K(pi'_PI) likewise converges to its analysis value.",
+            lambda: run_fig3("partial", **kwargs),
+            _claims_fig3,
+        )
+    )
+    reports.append(
+        _figure_report(
+            "Fig. 4(a) — Weibull policy comparison",
+            "The clustering policy outperforms both the aggressive and "
+            "the energy-balanced periodic policies.",
+            lambda: run_fig4("weibull", **kwargs),
+            _claims_fig4,
+        )
+    )
+    reports.append(
+        _figure_report(
+            "Fig. 4(b) — Pareto policy comparison",
+            "Same dominance on heavy-tailed events.",
+            lambda: run_fig4("pareto", **kwargs),
+            _claims_fig4,
+        )
+    )
+    for b in (0.2, 0.7):
+        reports.append(
+            _figure_report(
+                f"Fig. 5 (b={b}) — vs EBCW on Markov events",
+                "Equal to EBCW when a, b > 0.5; better otherwise.",
+                lambda b=b: run_fig5(b=b, **kwargs),
+                lambda r, b=b: _claims_fig5(r, b),
+            )
+        )
+    reports.append(
+        _figure_report(
+            "Fig. 6(a) — multi-sensor QoM vs N",
+            "M-FI/M-PI dominate and saturate much faster than the "
+            "baselines; M-PI approaches M-FI as N grows.",
+            lambda: run_fig6a(**kwargs),
+            _claims_fig6,
+        )
+    )
+    reports.append(
+        _figure_report(
+            "Fig. 6(b) — multi-sensor QoM vs c",
+            "Same behaviour sweeping the recharge amount at N = 5.",
+            lambda: run_fig6b(**kwargs),
+            _claims_fig6,
+        )
+    )
+    return reports
+
+
+def render_markdown(
+    reports: list[ExperimentReport],
+    horizon: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+) -> str:
+    """Render the reports as the EXPERIMENTS.md document."""
+    if horizon is None:
+        horizon = bench_horizon()
+    lines = [
+        "# EXPERIMENTS — paper vs. measured",
+        "",
+        "Regenerated by `python -m repro experiment all` "
+        f"(horizon {horizon} slots, seed {seed}; the paper uses 1e6 "
+        "slots — set `REPRO_BENCH_SLOTS=1000000` to match).",
+        "",
+        "Absolute numbers come from our re-implemented simulator, so the",
+        "comparison is about *shape*: who wins, by roughly what factor,",
+        "where the curves converge.  Each claim below is checked",
+        "programmatically; the same checks run in `benchmarks/`.",
+        "",
+        "## Summary",
+        "",
+        "| experiment | claims checked | verdict | time |",
+        "|---|---|---|---|",
+    ]
+    for r in reports:
+        verdict = "PASS" if r.passed else "**FAIL**"
+        lines.append(
+            f"| {r.name} | {len(r.claims)} | {verdict} "
+            f"| {r.elapsed_seconds:.1f}s |"
+        )
+    lines.append("")
+    for r in reports:
+        lines.append(f"## {r.name}")
+        lines.append("")
+        lines.append(f"*Paper:* {r.paper_claim}")
+        lines.append("")
+        lines.append("```")
+        lines.append(r.table)
+        lines.append("```")
+        lines.append("")
+        for c in r.claims:
+            mark = "x" if c.holds else " "
+            detail = f" — {c.detail}" if c.detail else ""
+            lines.append(f"- [{mark}] {c.description}{detail}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def generate_report(
+    output_path: Optional[str] = None,
+    horizon: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+) -> str:
+    """Run everything and (optionally) write the markdown document."""
+    reports = run_all_experiments(horizon=horizon, seed=seed)
+    text = render_markdown(reports, horizon=horizon, seed=seed)
+    if output_path is not None:
+        with open(output_path, "w") as handle:
+            handle.write(text + "\n")
+    return text

@@ -1,0 +1,33 @@
+"""Generic MDP/POMDP substrate used to validate the paper's closed forms."""
+
+from repro.mdp.belief import BeliefState
+from repro.mdp.mdp import FiniteMDP, build_full_info_mdp, truncate_distribution
+from repro.mdp.pomdp import (
+    RefinedPolicySolution,
+    enumerate_information_sets,
+    information_state_count,
+    refine_recency_policy,
+)
+from repro.mdp.solvers import (
+    AverageRewardSolution,
+    ConstrainedSolution,
+    relative_value_iteration,
+    solve_constrained_average_mdp,
+    stationary_distribution,
+)
+
+__all__ = [
+    "AverageRewardSolution",
+    "BeliefState",
+    "ConstrainedSolution",
+    "FiniteMDP",
+    "RefinedPolicySolution",
+    "build_full_info_mdp",
+    "enumerate_information_sets",
+    "information_state_count",
+    "refine_recency_policy",
+    "relative_value_iteration",
+    "solve_constrained_average_mdp",
+    "stationary_distribution",
+    "truncate_distribution",
+]

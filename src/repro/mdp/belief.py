@@ -1,0 +1,103 @@
+"""Exact belief-state filtering for the partial-information POMDP.
+
+The sensor's belief is a distribution over the *age* of the most recent
+true event (how many slots ago it occurred).  Knowing the age makes the
+renewal process Markov, so the belief is a sufficient statistic — the
+information state of the POMDP of Sec. IV-B1.
+
+Updates follow the observation model: an active sensor sees the slot's
+truth (event -> capture, observation 1; no event -> observation 0),
+an inactive sensor sees nothing (``phi``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.events.base import InterArrivalDistribution
+from repro.exceptions import SolverError
+
+
+class BeliefState:
+    """Belief over the age of the last true event, with exact updates.
+
+    ``distribution[g - 1]`` is the probability that the last event
+    occurred ``g`` slots ago (``g >= 1``, measured at the beginning of
+    the current slot).  A fresh belief (right after a capture) is a
+    point mass on age 1.
+    """
+
+    def __init__(
+        self,
+        event_distribution: InterArrivalDistribution,
+        belief: np.ndarray | None = None,
+    ) -> None:
+        self._events = event_distribution
+        self._beta = event_distribution.beta
+        if belief is None:
+            self._w = np.array([1.0])
+        else:
+            w = np.asarray(belief, dtype=float)
+            if w.ndim != 1 or w.size == 0 or np.any(w < -1e-12):
+                raise SolverError("belief must be a non-negative 1-D array")
+            total = w.sum()
+            if total <= 0:
+                raise SolverError("belief must have positive mass")
+            self._w = np.clip(w, 0.0, None) / total
+        if self._w.size > self._beta.size:
+            raise SolverError(
+                "belief support exceeds the event distribution's support"
+            )
+
+    @property
+    def distribution(self) -> np.ndarray:
+        """Current belief over ages (copies to keep the state immutable)."""
+        return self._w.copy()
+
+    def event_probability(self) -> float:
+        """Probability that an event occurs in the current slot."""
+        return float(min(self._w @ self._beta[: self._w.size], 1.0))
+
+    def updated(self, active: bool, observation: int | None) -> "BeliefState":
+        """Belief at the next slot's start after (action, observation).
+
+        ``observation`` is 1 (event captured), 0 (active, no event) or
+        ``None`` (the paper's ``phi``: sensor was inactive).  Raises
+        :class:`SolverError` on inconsistent combinations.
+        """
+        beta = self._beta[: self._w.size]
+        support = self._events.support_max
+        if active:
+            if observation == 1:
+                return BeliefState(self._events)  # renewal: age 1
+            if observation == 0:
+                # Condition on "no event this slot" and age the belief.
+                new = np.zeros(min(self._w.size + 1, support))
+                survived = self._w * (1.0 - beta)
+                total = survived.sum()
+                if total <= 0:
+                    raise SolverError(
+                        "observation 0 is inconsistent with a belief that "
+                        "makes the event certain"
+                    )
+                new[1 : survived.size + 1] = survived[: new.size - 1]
+                return BeliefState(self._events, new)
+            raise SolverError(
+                f"active sensor must observe 0 or 1, got {observation!r}"
+            )
+        if observation is not None:
+            raise SolverError(
+                f"inactive sensor observes nothing, got {observation!r}"
+            )
+        # No information: mix "event happened (age resets)" with "no event".
+        new = np.zeros(min(self._w.size + 1, support))
+        survived = self._w * (1.0 - beta)
+        new[1 : survived.size + 1] = survived[: new.size - 1]
+        new[0] += float(self._w @ beta)
+        return BeliefState(self._events, new)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BeliefState(n_ages={self._w.size}, "
+            f"event_probability={self.event_probability():.4f})"
+        )

@@ -1,0 +1,144 @@
+"""Generic finite Markov decision processes.
+
+The paper frames sensor activation as an average-reward (constrained)
+MDP over the event states ``h_i`` (Sec. IV-A1).  This module provides a
+small, general finite-MDP container used to cross-validate the paper's
+closed-form results against standard solvers, plus the builder that
+materialises the (truncated) full-information activation MDP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.events.base import InterArrivalDistribution
+from repro.exceptions import SolverError
+
+
+@dataclass(frozen=True)
+class FiniteMDP:
+    """A finite MDP with optional per-(state, action) costs.
+
+    Attributes
+    ----------
+    transitions:
+        Array of shape ``(A, S, S)``; ``transitions[a, s, s']`` is the
+        probability of moving to ``s'`` from ``s`` under action ``a``.
+    rewards:
+        Array of shape ``(A, S)``; expected one-step reward of taking
+        action ``a`` in state ``s``.
+    costs:
+        Optional array of shape ``(A, S)`` of one-step resource costs
+        (energy, for the activation MDP), used by the constrained LP.
+    state_labels / action_labels:
+        Optional human-readable names for debugging and reports.
+    """
+
+    transitions: np.ndarray
+    rewards: np.ndarray
+    costs: Optional[np.ndarray] = None
+    state_labels: Optional[Sequence[str]] = None
+    action_labels: Optional[Sequence[str]] = None
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.transitions, dtype=float)
+        r = np.asarray(self.rewards, dtype=float)
+        if t.ndim != 3 or t.shape[1] != t.shape[2]:
+            raise SolverError(
+                f"transitions must have shape (A, S, S), got {t.shape}"
+            )
+        if r.shape != t.shape[:2]:
+            raise SolverError(
+                f"rewards shape {r.shape} does not match (A, S) = {t.shape[:2]}"
+            )
+        if np.any(t < -1e-12):
+            raise SolverError("transition probabilities must be >= 0")
+        row_sums = t.sum(axis=2)
+        if not np.allclose(row_sums, 1.0, atol=1e-8):
+            raise SolverError("every transition row must sum to 1")
+        if self.costs is not None:
+            c = np.asarray(self.costs, dtype=float)
+            if c.shape != r.shape:
+                raise SolverError(
+                    f"costs shape {c.shape} does not match rewards {r.shape}"
+                )
+        object.__setattr__(self, "transitions", t)
+        object.__setattr__(self, "rewards", r)
+        if self.costs is not None:
+            object.__setattr__(
+                self, "costs", np.asarray(self.costs, dtype=float)
+            )
+
+    @property
+    def n_states(self) -> int:
+        return self.transitions.shape[1]
+
+    @property
+    def n_actions(self) -> int:
+        return self.transitions.shape[0]
+
+
+def truncate_distribution(
+    distribution: InterArrivalDistribution, n_states: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Truncated ``(alpha, beta)`` over ``n_states`` slots, renormalised.
+
+    The tail mass past slot ``n_states`` is folded into the final slot so
+    its hazard becomes 1 — the event is forced to renew at the horizon,
+    keeping the truncated chain a faithful (slightly pessimistic about
+    long gaps) stand-in for the infinite-state MDP.
+    """
+    if n_states < 1:
+        raise SolverError(f"n_states must be >= 1, got {n_states}")
+    n = min(n_states, distribution.support_max)
+    alpha = distribution.alpha[:n].copy()
+    alpha[-1] += distribution.survival(n)
+    alpha = alpha / alpha.sum()
+    cdf = np.cumsum(alpha)
+    survival_before = 1.0 - np.concatenate(([0.0], cdf[:-1]))
+    beta = np.zeros(n)
+    positive = survival_before > 0
+    beta[positive] = alpha[positive] / survival_before[positive]
+    return alpha, np.clip(beta, 0.0, 1.0)
+
+
+def build_full_info_mdp(
+    distribution: InterArrivalDistribution,
+    delta1: float,
+    delta2: float,
+    n_states: Optional[int] = None,
+) -> FiniteMDP:
+    """The paper's full-information activation MDP over states ``h_i``.
+
+    Action 0 = inactive (``a2``), action 1 = active (``a1``).  From
+    ``h_i`` the chain renews to ``h_1`` with probability ``beta_i``
+    regardless of the action (full information), and the active action
+    earns expected reward ``beta_i`` (the capture) at expected energy
+    cost ``delta1 + beta_i * delta2``.
+    """
+    if n_states is None:
+        n_states = distribution.support_max
+    _, beta = truncate_distribution(distribution, n_states)
+    n = beta.size
+    transitions = np.zeros((2, n, n))
+    for i in range(n):
+        renew = beta[i]
+        nxt = min(i + 1, n - 1)
+        for a in range(2):
+            transitions[a, i, 0] += renew
+            transitions[a, i, nxt] += 1.0 - renew
+    rewards = np.zeros((2, n))
+    rewards[1] = beta
+    costs = np.zeros((2, n))
+    costs[1] = delta1 + beta * delta2
+    labels = [f"h{i + 1}" for i in range(n)]
+    return FiniteMDP(
+        transitions=transitions,
+        rewards=rewards,
+        costs=costs,
+        state_labels=labels,
+        action_labels=["inactive", "active"],
+    )

@@ -1,0 +1,150 @@
+"""MDP solvers: average-reward value iteration and the constrained LP.
+
+Two solvers are provided:
+
+* :func:`relative_value_iteration` — classic average-reward (gain/bias)
+  iteration for unconstrained unichain MDPs.
+* :func:`solve_constrained_average_mdp` — the occupation-measure linear
+  program for average-reward MDPs with one long-run cost constraint
+  (the energy budget): maximise ``sum x(s,a) r(s,a)`` over stationary
+  occupation measures ``x`` subject to flow balance, normalisation and
+  ``sum x(s,a) d(s,a) <= budget``.  This is the textbook form of the
+  paper's optimisation (Sec. IV-A) and is used by the test suite to show
+  the Theorem 1 greedy policy is optimal on truncated instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.exceptions import SolverError
+from repro.mdp.mdp import FiniteMDP
+
+
+@dataclass(frozen=True)
+class AverageRewardSolution:
+    """Result of unconstrained average-reward optimisation."""
+
+    gain: float
+    bias: np.ndarray
+    policy: np.ndarray  # deterministic action per state
+    iterations: int
+
+
+def relative_value_iteration(
+    mdp: FiniteMDP,
+    tol: float = 1e-10,
+    max_iterations: int = 100_000,
+) -> AverageRewardSolution:
+    """Relative value iteration for a unichain average-reward MDP."""
+    n = mdp.n_states
+    h = np.zeros(n)
+    gain = 0.0
+    for iteration in range(1, max_iterations + 1):
+        q = mdp.rewards + np.einsum("ast,t->as", mdp.transitions, h)
+        new_h = q.max(axis=0)
+        gain = new_h[0]
+        new_h = new_h - gain  # anchor state 0
+        if np.max(np.abs(new_h - h)) < tol:
+            h = new_h
+            break
+        h = new_h
+    else:
+        raise SolverError(
+            f"relative value iteration did not converge in {max_iterations} iterations"
+        )
+    q = mdp.rewards + np.einsum("ast,t->as", mdp.transitions, h)
+    policy = np.argmax(q, axis=0)
+    return AverageRewardSolution(
+        gain=float(gain), bias=h, policy=policy, iterations=iteration
+    )
+
+
+@dataclass(frozen=True)
+class ConstrainedSolution:
+    """Occupation-measure LP solution for a constrained average MDP.
+
+    ``occupation[a, s]`` is the long-run fraction of slots spent in
+    state ``s`` taking action ``a``; ``policy[a, s]`` the induced
+    stationary randomised policy ``P(a | s)`` (uniform over actions in
+    unvisited states).
+    """
+
+    gain: float
+    cost: float
+    occupation: np.ndarray
+    policy: np.ndarray
+
+
+def solve_constrained_average_mdp(
+    mdp: FiniteMDP,
+    budget: float,
+) -> ConstrainedSolution:
+    """Maximise average reward subject to average cost <= ``budget``."""
+    if mdp.costs is None:
+        raise SolverError("constrained solver requires an MDP with costs")
+    n_a, n_s = mdp.n_actions, mdp.n_states
+    n_var = n_a * n_s  # x indexed as a * n_s + s
+
+    # Flow balance: sum_a x(s', a) = sum_{s, a} x(s, a) P(s' | s, a).
+    a_eq = np.zeros((n_s + 1, n_var))
+    b_eq = np.zeros(n_s + 1)
+    for s_prime in range(n_s):
+        for a in range(n_a):
+            a_eq[s_prime, a * n_s + s_prime] += 1.0
+            a_eq[s_prime, a * n_s : (a + 1) * n_s] -= mdp.transitions[
+                a, :, s_prime
+            ]
+    a_eq[n_s, :] = 1.0  # normalisation
+    b_eq[n_s] = 1.0
+
+    a_ub = mdp.costs.reshape(1, n_var)
+    b_ub = np.array([budget])
+
+    result = linprog(
+        c=-mdp.rewards.reshape(n_var),
+        A_eq=a_eq,
+        b_eq=b_eq,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        bounds=[(0.0, None)] * n_var,
+        method="highs",
+    )
+    if not result.success:
+        raise SolverError(f"constrained MDP LP failed: {result.message}")
+    x = np.clip(result.x.reshape(n_a, n_s), 0.0, None)
+    state_mass = x.sum(axis=0)
+    policy = np.full((n_a, n_s), 1.0 / n_a)
+    visited = state_mass > 1e-12
+    policy[:, visited] = x[:, visited] / state_mass[visited]
+    return ConstrainedSolution(
+        gain=float(np.sum(x * mdp.rewards)),
+        cost=float(np.sum(x * mdp.costs)),
+        occupation=x,
+        policy=policy,
+    )
+
+
+def stationary_distribution(
+    transition_matrix: np.ndarray, tol: float = 1e-12
+) -> np.ndarray:
+    """Stationary distribution of a finite ergodic Markov chain.
+
+    Solves ``y P = y, sum y = 1`` via the direct linear system; raises
+    :class:`SolverError` for reducible chains without a unique solution.
+    """
+    p = np.asarray(transition_matrix, dtype=float)
+    if p.ndim != 2 or p.shape[0] != p.shape[1]:
+        raise SolverError(f"transition matrix must be square, got {p.shape}")
+    n = p.shape[0]
+    a = np.vstack([p.T - np.eye(n), np.ones((1, n))])
+    b = np.concatenate([np.zeros(n), [1.0]])
+    solution, residual, *_ = np.linalg.lstsq(a, b, rcond=None)
+    y = np.clip(solution, 0.0, None)
+    total = y.sum()
+    if total <= 0 or np.max(np.abs(y @ p - y)) > 1e-6:
+        raise SolverError("chain has no unique stationary distribution")
+    return y / total

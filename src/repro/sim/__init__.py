@@ -1,0 +1,28 @@
+"""Slotted discrete-event simulator for rechargeable event-capture sensors."""
+
+from repro.sim.engine import simulate_single
+from repro.sim.metrics import SensorStats, SimulationResult
+from repro.sim.network import simulate_network
+from repro.sim.rng import make_rng, spawn
+from repro.sim.batch import ReplicationSummary, compare, replicate, summarize
+from repro.sim.lifetime import OutageStats, outage_capacity_curve, outage_stats
+from repro.sim.trace import SlotRecord, summarize_trace, trace_single
+
+__all__ = [
+    "OutageStats",
+    "ReplicationSummary",
+    "SensorStats",
+    "SlotRecord",
+    "SimulationResult",
+    "compare",
+    "make_rng",
+    "replicate",
+    "outage_capacity_curve",
+    "outage_stats",
+    "simulate_network",
+    "simulate_single",
+    "spawn",
+    "summarize",
+    "summarize_trace",
+    "trace_single",
+]

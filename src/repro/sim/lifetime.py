@@ -1,0 +1,90 @@
+"""Energy-outage statistics: how often does the bucket actually run dry?
+
+The paper's energy-balance condition guarantees no *long-run* deficit,
+but a finite bucket still sees outage episodes — stretches where the
+policy wants to activate and cannot (the ``blocked`` slots of the
+engine).  This module extracts episode-level statistics from a per-slot
+trace: number of outage episodes, their lengths, time to first outage,
+and the fraction of *hot-region* opportunities lost to them — the
+quantity that actually explains the Fig. 3 gap at small K.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.sim.trace import SlotRecord
+
+
+@dataclass(frozen=True)
+class OutageStats:
+    """Episode-level statistics of energy outages in one trace."""
+
+    n_episodes: int
+    total_blocked_slots: int
+    mean_episode_length: float
+    max_episode_length: int
+    first_outage_slot: int | None
+    events_lost_to_outage: int
+
+    @property
+    def had_outage(self) -> bool:
+        return self.n_episodes > 0
+
+
+def outage_stats(records: list[SlotRecord]) -> OutageStats:
+    """Aggregate blocked-slot episodes from a :func:`trace_single` trace.
+
+    An episode is a maximal run of consecutive blocked slots (slots the
+    policy prescribed activation for but the battery could not fund);
+    ``events_lost_to_outage`` counts events that occurred in blocked
+    slots — captures the policy paid for in design but lost to energy
+    burstiness.
+    """
+    if records is None:
+        raise SimulationError("records must be a trace list")
+    blocked = np.array([r.blocked for r in records], dtype=bool)
+    events = np.array([r.event for r in records], dtype=bool)
+    if blocked.size == 0:
+        return OutageStats(
+            n_episodes=0,
+            total_blocked_slots=0,
+            mean_episode_length=0.0,
+            max_episode_length=0,
+            first_outage_slot=None,
+            events_lost_to_outage=0,
+        )
+    # Episode boundaries: starts where blocked rises, ends where it falls.
+    padded = np.concatenate(([False], blocked, [False]))
+    starts = np.nonzero(~padded[:-1] & padded[1:])[0]
+    ends = np.nonzero(padded[:-1] & ~padded[1:])[0]
+    lengths = ends - starts
+    first = int(records[int(starts[0])].slot) if starts.size else None
+    return OutageStats(
+        n_episodes=int(starts.size),
+        total_blocked_slots=int(blocked.sum()),
+        mean_episode_length=float(lengths.mean()) if lengths.size else 0.0,
+        max_episode_length=int(lengths.max()) if lengths.size else 0,
+        first_outage_slot=first,
+        events_lost_to_outage=int(np.sum(blocked & events)),
+    )
+
+
+def outage_capacity_curve(
+    capacities,
+    trace_factory,
+) -> list[tuple[float, OutageStats]]:
+    """Outage statistics across a battery-capacity sweep.
+
+    ``trace_factory(capacity)`` must return a trace (list of
+    :class:`SlotRecord`); the helper pairs each capacity with its
+    :func:`outage_stats` — the episode-level view of a Fig. 3 curve.
+    """
+    out = []
+    for capacity in capacities:
+        records = trace_factory(float(capacity))
+        out.append((float(capacity), outage_stats(records)))
+    return out

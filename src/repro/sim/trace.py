@@ -1,0 +1,134 @@
+"""Structured per-slot simulation traces (debugging / inspection).
+
+The main engine keeps only aggregates for speed.  For debugging a policy
+or producing a figure of one run, :func:`trace_single` executes the same
+Fig. 1 slot semantics while recording every transition, and
+:func:`summarize_trace` reduces a trace back to the aggregate counters
+(tests assert it matches the fast engine exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.policy import ActivationPolicy, InfoModel
+from repro.energy.recharge import RechargeProcess
+from repro.events.base import InterArrivalDistribution
+from repro.events.renewal import generate_event_flags
+from repro.exceptions import SimulationError
+from repro.sim.metrics import SensorStats, SimulationResult
+from repro.sim.rng import SeedLike, make_rng, spawn
+
+
+@dataclass(frozen=True)
+class SlotRecord:
+    """Everything that happened in one slot."""
+
+    slot: int
+    recency: int           # state fed to the policy this slot
+    recharge: float
+    overflow: float        # harvested energy lost to a full bucket
+    battery_before: float  # after recharge, before the decision
+    probability: float
+    wanted_active: bool
+    blocked: bool
+    active: bool
+    event: bool
+    captured: bool
+    battery_after: float
+
+
+def trace_single(
+    distribution: InterArrivalDistribution,
+    policy: ActivationPolicy,
+    recharge: RechargeProcess,
+    capacity: float,
+    delta1: float,
+    delta2: float,
+    horizon: int,
+    seed: SeedLike = None,
+    initial_energy: Optional[float] = None,
+) -> list[SlotRecord]:
+    """Run the slot loop, returning the full per-slot record list.
+
+    Uses the same sub-stream layout as :func:`repro.sim.simulate_single`,
+    so a trace with the same seed replays exactly the fast engine's run.
+    """
+    if horizon < 0:
+        raise SimulationError(f"horizon must be >= 0, got {horizon}")
+    if capacity < 0:
+        raise SimulationError(f"capacity must be >= 0, got {capacity}")
+    rng = make_rng(seed)
+    event_rng, recharge_rng, coin_rng = spawn(rng, 3)
+    events = generate_event_flags(distribution, horizon, event_rng)
+    amounts = recharge.sequence(horizon, recharge_rng)
+    coins = coin_rng.random(horizon)
+
+    battery = capacity / 2.0 if initial_energy is None else float(initial_energy)
+    if not 0 <= battery <= capacity:
+        raise SimulationError(f"initial energy {battery} outside [0, {capacity}]")
+    full_info = policy.info_model == InfoModel.FULL
+    activation_cost = delta1 + delta2
+
+    records: list[SlotRecord] = []
+    recency = 1
+    for t in range(1, horizon + 1):
+        amount = float(amounts[t - 1])
+        raised = battery + amount
+        overflow = max(raised - capacity, 0.0)
+        battery = min(raised, capacity)
+        battery_before = battery
+        probability = policy.activation_probability(t, recency)
+        wanted = bool(coins[t - 1] < probability)
+        blocked = wanted and battery < activation_cost
+        active = wanted and not blocked
+        event = bool(events[t - 1])
+        captured = active and event
+        if active:
+            battery -= delta1 + (delta2 if captured else 0.0)
+        records.append(
+            SlotRecord(
+                slot=t,
+                recency=recency,
+                recharge=amount,
+                overflow=overflow,
+                battery_before=battery_before,
+                probability=float(probability),
+                wanted_active=wanted,
+                blocked=blocked,
+                active=active,
+                event=event,
+                captured=captured,
+                battery_after=battery,
+            )
+        )
+        if full_info:
+            recency = 1 if event else recency + 1
+        else:
+            recency = 1 if captured else recency + 1
+    return records
+
+
+def summarize_trace(
+    records: list[SlotRecord], capacity: float
+) -> SimulationResult:
+    """Aggregate a trace into the engine's result type."""
+    n_captures = sum(r.captured for r in records)
+    stats = SensorStats(
+        activations=sum(r.active for r in records),
+        captures=n_captures,
+        energy_harvested=sum(r.recharge for r in records),
+        energy_consumed=sum(
+            r.battery_before - r.battery_after for r in records
+        ),
+        energy_overflow=sum(r.overflow for r in records),
+        blocked_slots=sum(r.blocked for r in records),
+        final_battery=records[-1].battery_after if records else capacity / 2,
+    )
+    return SimulationResult(
+        horizon=len(records),
+        n_events=sum(r.event for r in records),
+        n_captures=n_captures,
+        sensors=(stats,),
+    )

@@ -1,0 +1,105 @@
+"""Dependency-free ASCII rendering of figures and hazard profiles.
+
+The benchmarks archive numeric tables; for a quick look in a terminal
+(or a README) these helpers draw them:
+
+* :func:`ascii_chart` — multi-series scatter/line chart of a
+  :class:`~repro.experiments.common.FigureResult`;
+* :func:`hazard_sketch` — the hazard profile of an event model with the
+  hot region a policy selects, side by side.
+
+Pure text, no matplotlib; every benchmark result stays reproducible in
+any environment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.policy import VectorPolicy
+from repro.events.base import InterArrivalDistribution
+from repro.experiments.common import FigureResult
+
+#: Characters assigned to consecutive series.
+SERIES_MARKS = "ox+*#@%&"
+
+
+def ascii_chart(
+    result: FigureResult,
+    width: int = 64,
+    height: int = 18,
+    y_min: float = 0.0,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render the figure's series on a character grid.
+
+    Each series gets a mark from :data:`SERIES_MARKS`; overlapping
+    points show the later series' mark.  The y-axis defaults to
+    ``[0, max]`` which suits capture probabilities.
+    """
+    if not result.series:
+        return "(empty figure)"
+    if width < 8 or height < 4:
+        raise ValueError("chart needs width >= 8 and height >= 4")
+    xs = np.array(result.series[0].x, dtype=float)
+    if y_max is None:
+        y_max = max(max(s.y) for s in result.series)
+        y_max = max(y_max * 1.05, y_min + 1e-9)
+    x_min, x_max = float(xs.min()), float(xs.max())
+    span_x = max(x_max - x_min, 1e-12)
+    span_y = max(y_max - y_min, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+    for mark, series in zip(SERIES_MARKS, result.series):
+        for x, y in zip(series.x, series.y):
+            col = int(round((x - x_min) / span_x * (width - 1)))
+            row = int(round((y - y_min) / span_y * (height - 1)))
+            grid[height - 1 - row][col] = mark
+
+    lines = [f"{result.figure}  ({result.y_label} vs {result.x_label})"]
+    for i, row in enumerate(grid):
+        level = y_max - i * span_y / (height - 1)
+        lines.append(f"{level:7.3f} |{''.join(row)}")
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(
+        " " * 9 + f"{x_min:<12g}{'':^{max(width - 24, 0)}}{x_max:>12g}"
+    )
+    legend = "  ".join(
+        f"{mark}={series.label}"
+        for mark, series in zip(SERIES_MARKS, result.series)
+    )
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)
+
+
+def hazard_sketch(
+    distribution: InterArrivalDistribution,
+    policy: Optional[VectorPolicy] = None,
+    max_slots: Optional[int] = None,
+    width: int = 64,
+) -> str:
+    """Bar sketch of the hazard ``beta_i`` with the policy's activation.
+
+    Each row is one slot: a bar proportional to the hazard, plus the
+    policy's activation probability (if given) as a ``c=`` annotation —
+    a direct visual of "the hot region sits where the hazard peaks".
+    """
+    if max_slots is None:
+        max_slots = min(distribution.quantile(0.995) + 2,
+                        distribution.support_max)
+    max_slots = max(int(max_slots), 1)
+    beta = distribution.beta[:max_slots]
+    peak = float(beta.max()) if beta.size else 1.0
+    peak = max(peak, 1e-9)
+    lines = [f"hazard profile of {distribution!r} (first {max_slots} slots)"]
+    for i, b in enumerate(beta, start=1):
+        bar = "#" * int(round(b / peak * (width - 20)))
+        annotation = ""
+        if policy is not None:
+            c = policy.activation_probability(1, i)
+            if c > 0:
+                annotation = f"  c={c:.2f}"
+        lines.append(f"slot {i:4d} beta={b:5.3f} |{bar}{annotation}")
+    return "\n".join(lines)

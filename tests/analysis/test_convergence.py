@@ -1,0 +1,76 @@
+"""Tests for the battery-sizing (Remark 2 convergence) utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.convergence import (
+    capacity_profile,
+    find_sufficient_capacity,
+)
+from repro.core import solve_greedy
+from repro.energy import BernoulliRecharge, ConstantRecharge
+from repro.events import WeibullInterArrival
+from repro.exceptions import SimulationError
+
+DELTA1, DELTA2 = 1.0, 6.0
+EVENTS = WeibullInterArrival(12, 3)
+
+
+class TestCapacityProfile:
+    def test_gap_shrinks_with_capacity(self):
+        solution = solve_greedy(EVENTS, 0.5, DELTA1, DELTA2)
+        points = capacity_profile(
+            EVENTS, solution.as_policy(), BernoulliRecharge(0.5, 1.0),
+            bound=solution.qom, capacities=(10, 400),
+            delta1=DELTA1, delta2=DELTA2, horizon=60_000, seed=2,
+        )
+        assert points[1].gap < points[0].gap
+        assert points[1].gap < 0.05
+        assert points[1].blocked_fraction < points[0].blocked_fraction
+
+    def test_points_carry_capacity(self):
+        solution = solve_greedy(EVENTS, 0.5, DELTA1, DELTA2)
+        points = capacity_profile(
+            EVENTS, solution.as_policy(), ConstantRecharge(0.5),
+            bound=solution.qom, capacities=(25,),
+            delta1=DELTA1, delta2=DELTA2, horizon=20_000,
+        )
+        assert points[0].capacity == 25.0
+
+
+class TestFindSufficientCapacity:
+    def test_finds_reasonable_capacity(self):
+        solution = solve_greedy(EVENTS, 0.5, DELTA1, DELTA2)
+        capacity = find_sufficient_capacity(
+            EVENTS, solution.as_policy(), BernoulliRecharge(0.5, 1.0),
+            bound=solution.qom, delta1=DELTA1, delta2=DELTA2,
+            target_gap=0.05, horizon=60_000, seed=4,
+        )
+        # Verify the answer actually achieves the gap.
+        points = capacity_profile(
+            EVENTS, solution.as_policy(), BernoulliRecharge(0.5, 1.0),
+            bound=solution.qom, capacities=(capacity,),
+            delta1=DELTA1, delta2=DELTA2, horizon=60_000, seed=123,
+        )
+        assert points[0].gap < 0.08  # slack for seed-to-seed noise
+        assert capacity < 2000
+
+    def test_unreachable_bound_raises(self):
+        solution = solve_greedy(EVENTS, 0.1, DELTA1, DELTA2)
+        with pytest.raises(SimulationError):
+            find_sufficient_capacity(
+                EVENTS, solution.as_policy(), ConstantRecharge(0.1),
+                bound=1.0,  # not achievable at e = 0.1
+                delta1=DELTA1, delta2=DELTA2,
+                target_gap=0.01, horizon=20_000, max_capacity=5_000,
+            )
+
+    def test_invalid_target_gap(self):
+        solution = solve_greedy(EVENTS, 0.5, DELTA1, DELTA2)
+        with pytest.raises(SimulationError):
+            find_sufficient_capacity(
+                EVENTS, solution.as_policy(), ConstantRecharge(0.5),
+                bound=solution.qom, delta1=DELTA1, delta2=DELTA2,
+                target_gap=0.0,
+            )

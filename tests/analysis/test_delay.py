@@ -1,0 +1,109 @@
+"""Tests for the detection-delay analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.delay import detection_delay
+from repro.analysis.partial_info import analyse_partial_info_policy
+from repro.events import (
+    DeterministicInterArrival,
+    EmpiricalInterArrival,
+    GeometricInterArrival,
+)
+from repro.exceptions import PolicyError
+
+
+class TestDegenerateCases:
+    def test_always_on_has_zero_delay(self, two_slot):
+        analysis = detection_delay(two_slot, np.ones(2), tail=1.0)
+        assert analysis.capture_probability == pytest.approx(1.0, abs=1e-9)
+        assert analysis.mean == pytest.approx(0.0, abs=1e-9)
+        assert analysis.quantile(0.99) == 0
+
+    def test_deterministic_watcher_has_zero_delay(self):
+        d = DeterministicInterArrival(4)
+        c = np.array([0.0, 0.0, 0.0, 1.0])
+        analysis = detection_delay(d, c, tail=1.0)
+        assert analysis.capture_probability == pytest.approx(1.0, abs=1e-9)
+        assert analysis.mean == pytest.approx(0.0, abs=1e-9)
+
+    def test_deterministic_sleeper_waits_one_period(self):
+        """Sleep through one event, catch the next: missed events wait
+        exactly one inter-arrival period."""
+        d = DeterministicInterArrival(4)
+        # Miss the first event (c_4 = 0), capture at slot 8.
+        c = np.array([0, 0, 0, 0, 0, 0, 0, 1.0])
+        analysis = detection_delay(d, c, tail=1.0)
+        assert analysis.capture_probability == pytest.approx(0.5, abs=1e-9)
+        # The missed event (at cycle slot 4) is detected at slot 8.
+        assert analysis.pmf[4] == pytest.approx(0.5, abs=1e-9)
+        assert analysis.mean == pytest.approx(2.0, abs=1e-9)
+
+
+class TestConsistencyWithQoM:
+    @pytest.mark.parametrize(
+        "vector,tail",
+        [
+            (np.array([0.0, 0.0, 1.0, 1.0]), 1.0),
+            (np.array([0.5, 0.5]), 0.5),
+            (np.array([0.0, 1.0, 0.0]), 1.0),
+        ],
+    )
+    def test_delay_zero_mass_equals_qom(self, small_weibull, vector, tail):
+        delay = detection_delay(small_weibull, vector, tail=tail)
+        chain = analyse_partial_info_policy(
+            small_weibull, vector, 1.0, 6.0, tail=tail
+        )
+        assert delay.capture_probability == pytest.approx(chain.qom, abs=5e-3)
+
+    def test_pmf_is_distribution(self, small_weibull):
+        delay = detection_delay(small_weibull, np.array([0.0, 0.5]), tail=0.8)
+        assert delay.pmf.min() >= -1e-12
+        assert delay.pmf.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_quantiles_monotone(self, geometric):
+        delay = detection_delay(geometric, np.array([0.3]), tail=0.3)
+        qs = [delay.quantile(q) for q in (0.1, 0.5, 0.9, 0.99)]
+        assert qs == sorted(qs)
+
+    def test_quantile_validation(self, two_slot):
+        delay = detection_delay(two_slot, np.ones(2))
+        with pytest.raises(PolicyError):
+            delay.quantile(1.2)
+
+
+class TestAgainstSimulation:
+    def test_matches_empirical_delays(self):
+        """The analytic delay distribution matches measured delays."""
+        from repro.core.policy import InfoModel, VectorPolicy
+        from repro.energy import ConstantRecharge
+        from repro.sim import trace_single
+
+        events = EmpiricalInterArrival([0.2, 0.3, 0.5])
+        vector = np.array([0.0, 0.6, 0.9])
+        analysis = detection_delay(events, vector, tail=1.0)
+
+        policy = VectorPolicy(vector, tail=1.0, info_model=InfoModel.PARTIAL)
+        records = trace_single(
+            events, policy, ConstantRecharge(10.0),
+            capacity=10_000, delta1=1, delta2=6,
+            horizon=120_000, seed=31,
+        )
+        # Empirical delays: for each event slot, distance to the next
+        # capture slot (0 when captured in place).
+        capture_slots = [r.slot for r in records if r.captured]
+        capture_arr = np.array(capture_slots)
+        delays = []
+        for r in records:
+            if not r.event:
+                continue
+            idx = np.searchsorted(capture_arr, r.slot, side="left")
+            if idx < capture_arr.size:
+                delays.append(int(capture_arr[idx] - r.slot))
+        delays = np.array(delays)
+        assert np.mean(delays == 0) == pytest.approx(
+            analysis.capture_probability, abs=0.02
+        )
+        assert delays.mean() == pytest.approx(analysis.mean, abs=0.25)

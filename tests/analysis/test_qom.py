@@ -1,0 +1,50 @@
+"""Tests for theoretical QoM bounds (analysis.qom)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import always_on_threshold, energy_only_bound, upper_bound_qom
+from repro.core import optimize_clustering, solve_greedy
+
+DELTA1, DELTA2 = 1.0, 6.0
+
+
+class TestAlwaysOnThreshold:
+    def test_formula(self, weibull):
+        assert always_on_threshold(weibull, DELTA1, DELTA2) == pytest.approx(
+            DELTA1 + DELTA2 / weibull.mu
+        )
+
+    def test_threshold_saturates_greedy(self, any_distribution):
+        e = always_on_threshold(any_distribution, DELTA1, DELTA2)
+        assert solve_greedy(any_distribution, e, DELTA1, DELTA2).qom == (
+            pytest.approx(1.0)
+        )
+
+
+class TestUpperBound:
+    def test_equals_greedy(self, any_distribution):
+        assert upper_bound_qom(any_distribution, 0.4, DELTA1, DELTA2) == (
+            pytest.approx(solve_greedy(any_distribution, 0.4, DELTA1, DELTA2).qom)
+        )
+
+    def test_dominates_clustering(self, small_weibull):
+        bound = upper_bound_qom(small_weibull, 0.5, DELTA1, DELTA2)
+        clustering = optimize_clustering(small_weibull, 0.5, DELTA1, DELTA2)
+        assert clustering.qom <= bound + 1e-6
+
+
+class TestEnergyOnlyBound:
+    def test_dominates_greedy(self, any_distribution):
+        for e in (0.05, 0.2, 0.5):
+            greedy = solve_greedy(any_distribution, e, DELTA1, DELTA2).qom
+            assert greedy <= energy_only_bound(
+                any_distribution, e, DELTA1, DELTA2
+            ) + 1e-9
+
+    def test_clips_at_one(self, weibull):
+        assert energy_only_bound(weibull, 100.0, DELTA1, DELTA2) == 1.0
+
+    def test_free_sensing(self, weibull):
+        assert energy_only_bound(weibull, 0.1, 0.0, 0.0) == 1.0

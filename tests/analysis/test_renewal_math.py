@@ -1,0 +1,107 @@
+"""Tests for discrete renewal theory (analysis.renewal_math)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    expected_renewals,
+    forward_recurrence_cdf,
+    forward_recurrence_pmf,
+    renewal_mass,
+    stationary_gap_age_pmf,
+)
+from repro.events import (
+    DeterministicInterArrival,
+    EmpiricalInterArrival,
+    GeometricInterArrival,
+)
+from repro.exceptions import DistributionError
+
+
+class TestRenewalMass:
+    def test_deterministic(self):
+        d = DeterministicInterArrival(4)
+        m = renewal_mass(d, 12)
+        expected = np.zeros(12)
+        expected[[3, 7, 11]] = 1.0
+        np.testing.assert_allclose(m, expected, atol=1e-12)
+
+    def test_geometric_is_flat(self):
+        """Memoryless arrivals renew at constant rate p every slot."""
+        d = GeometricInterArrival(0.3)
+        m = renewal_mass(d, 30)
+        np.testing.assert_allclose(m, 0.3, atol=1e-9)
+
+    def test_two_slot_recursion(self, two_slot):
+        m = renewal_mass(two_slot, 3)
+        # m(1) = alpha_1; m(2) = alpha_2 + alpha_1 m(1);
+        # m(3) = alpha_1 m(2) + alpha_2 m(1).
+        assert m[0] == pytest.approx(0.6)
+        assert m[1] == pytest.approx(0.4 + 0.6 * 0.6)
+        assert m[2] == pytest.approx(0.6 * m[1] + 0.4 * m[0])
+
+    def test_converges_to_event_rate(self, two_slot):
+        m = renewal_mass(two_slot, 200)
+        assert m[-1] == pytest.approx(1.0 / two_slot.mu, rel=1e-6)
+
+    def test_rejects_negative_horizon(self, two_slot):
+        with pytest.raises(DistributionError):
+            renewal_mass(two_slot, -1)
+
+
+class TestExpectedRenewals:
+    def test_elementary_renewal_theorem(self, two_slot):
+        horizon = 500
+        m_t = expected_renewals(two_slot, horizon)
+        assert m_t / horizon == pytest.approx(1.0 / two_slot.mu, rel=0.01)
+
+    def test_zero_horizon(self, two_slot):
+        assert expected_renewals(two_slot, 0) == 0.0
+
+
+class TestForwardRecurrence:
+    def test_at_time_zero_equals_gap_pmf(self, two_slot):
+        pmf = forward_recurrence_pmf(two_slot, 0, 4)
+        np.testing.assert_allclose(pmf[:2], two_slot.alpha)
+        np.testing.assert_allclose(pmf[2:], 0.0, atol=1e-12)
+
+    def test_sums_to_one(self, two_slot):
+        for t in (0, 1, 2, 5):
+            pmf = forward_recurrence_pmf(two_slot, t, 50)
+            assert pmf.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_geometric_is_memoryless(self):
+        d = GeometricInterArrival(0.3)
+        base = forward_recurrence_pmf(d, 0, 20)
+        later = forward_recurrence_pmf(d, 7, 20)
+        np.testing.assert_allclose(later, base, atol=1e-9)
+
+    def test_cdf_is_cumulative(self, two_slot):
+        pmf = forward_recurrence_pmf(two_slot, 3, 10)
+        cdf = forward_recurrence_cdf(two_slot, 3, 10)
+        np.testing.assert_allclose(cdf, np.cumsum(pmf))
+
+    def test_deterministic_phase(self):
+        d = DeterministicInterArrival(4)
+        pmf = forward_recurrence_pmf(d, 1, 8)
+        # After 1 slot of a 4-slot cycle, the next event is 3 slots away.
+        assert pmf[2] == pytest.approx(1.0)
+
+    def test_validation(self, two_slot):
+        with pytest.raises(DistributionError):
+            forward_recurrence_pmf(two_slot, -1, 5)
+        with pytest.raises(DistributionError):
+            forward_recurrence_pmf(two_slot, 0, 0)
+
+
+class TestStationaryAge:
+    def test_sums_to_one(self, any_distribution):
+        age = stationary_gap_age_pmf(any_distribution)
+        assert age.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_inspection_paradox_form(self, two_slot):
+        age = stationary_gap_age_pmf(two_slot)
+        assert age[0] == pytest.approx(1.0 / two_slot.mu)
+        assert age[1] == pytest.approx(0.4 / two_slot.mu)

@@ -1,0 +1,95 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.events import (
+    DeterministicInterArrival,
+    EmpiricalInterArrival,
+    GeometricInterArrival,
+    MarkovInterArrival,
+    ParetoInterArrival,
+    UniformInterArrival,
+    WeibullInterArrival,
+)
+
+# Paper energy parameters, used throughout the tests.
+DELTA1 = 1.0
+DELTA2 = 6.0
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def weibull() -> WeibullInterArrival:
+    """The paper's primary event model W(40, 3)."""
+    return WeibullInterArrival(40, 3)
+
+
+@pytest.fixture
+def small_weibull() -> WeibullInterArrival:
+    """A compact Weibull for fast optimizer tests."""
+    return WeibullInterArrival(8, 3)
+
+
+@pytest.fixture
+def pareto() -> ParetoInterArrival:
+    """The paper's heavy-tailed event model P(2, 10)."""
+    return ParetoInterArrival(2, 10)
+
+
+@pytest.fixture
+def geometric() -> GeometricInterArrival:
+    return GeometricInterArrival(0.2)
+
+
+@pytest.fixture
+def deterministic() -> DeterministicInterArrival:
+    return DeterministicInterArrival(5)
+
+
+@pytest.fixture
+def uniform_gap() -> UniformInterArrival:
+    return UniformInterArrival(3, 7)
+
+
+@pytest.fixture
+def two_slot() -> EmpiricalInterArrival:
+    """The paper's Theorem 1 example: alpha = (0.6, 0.4)."""
+    return EmpiricalInterArrival([0.6, 0.4])
+
+
+@pytest.fixture
+def markov_clustered() -> MarkovInterArrival:
+    """Positively correlated Markov events (a, b > 0.5)."""
+    return MarkovInterArrival(0.7, 0.7)
+
+
+@pytest.fixture
+def markov_alternating() -> MarkovInterArrival:
+    """Negatively correlated Markov events (a < 0.5)."""
+    return MarkovInterArrival(0.2, 0.6)
+
+
+ALL_DISTRIBUTION_FACTORIES = {
+    "weibull": lambda: WeibullInterArrival(40, 3),
+    "small-weibull": lambda: WeibullInterArrival(8, 3),
+    "pareto": lambda: ParetoInterArrival(2, 10),
+    "geometric": lambda: GeometricInterArrival(0.2),
+    "deterministic": lambda: DeterministicInterArrival(5),
+    "uniform": lambda: UniformInterArrival(3, 7),
+    "two-slot": lambda: EmpiricalInterArrival([0.6, 0.4]),
+    "markov-clustered": lambda: MarkovInterArrival(0.7, 0.7),
+    "markov-alternating": lambda: MarkovInterArrival(0.2, 0.6),
+}
+
+
+@pytest.fixture(params=sorted(ALL_DISTRIBUTION_FACTORIES))
+def any_distribution(request):
+    """Parametrised fixture running a test over every event family."""
+    return ALL_DISTRIBUTION_FACTORIES[request.param]()

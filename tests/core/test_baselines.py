@@ -1,0 +1,136 @@
+"""Tests for the aggressive, periodic and EBCW baseline policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AggressivePolicy,
+    InfoModel,
+    PeriodicPolicy,
+    energy_balanced_period,
+    solve_ebcw,
+)
+from repro.events import MarkovInterArrival
+from repro.exceptions import PolicyError
+
+DELTA1, DELTA2 = 1.0, 6.0
+
+
+class TestAggressive:
+    def test_always_one(self):
+        p = AggressivePolicy()
+        assert p.activation_probability(1, 1) == 1.0
+        assert p.activation_probability(999, 999) == 1.0
+        table, tail = p.recency_probabilities(5)
+        assert np.all(table == 1.0)
+        assert tail == 1.0
+
+    def test_default_partial_info(self):
+        assert AggressivePolicy().info_model == InfoModel.PARTIAL
+
+
+class TestPeriodic:
+    def test_schedule(self):
+        p = PeriodicPolicy(theta1=2, theta2=5)
+        pattern = [p.activation_probability(t, 1) for t in range(1, 11)]
+        assert pattern == [1, 1, 0, 0, 0, 1, 1, 0, 0, 0]
+
+    def test_slot_probabilities_fast_path(self):
+        p = PeriodicPolicy(2, 5)
+        probs = p.slot_probabilities(10)
+        expected = [
+            p.activation_probability(t, 1) for t in range(1, 11)
+        ]
+        np.testing.assert_allclose(probs, expected)
+
+    def test_duty_cycle(self):
+        assert PeriodicPolicy(3, 12).duty_cycle == pytest.approx(0.25)
+
+    def test_always_on_schedule(self):
+        p = PeriodicPolicy(4, 4)
+        assert all(p.activation_probability(t, 1) == 1.0 for t in range(1, 9))
+
+    @pytest.mark.parametrize("t1,t2", [(-1, 5), (3, 2), (1, 0)])
+    def test_invalid(self, t1, t2):
+        with pytest.raises(PolicyError):
+            PeriodicPolicy(t1, t2)
+
+    def test_rejects_bad_slot(self):
+        with pytest.raises(PolicyError):
+            PeriodicPolicy(1, 2).activation_probability(0, 1)
+
+
+class TestEnergyBalancedPeriod:
+    def test_paper_formula(self, weibull):
+        """theta2 = ceil(theta1*d1/e + theta1*d2/(e*mu))."""
+        e = 0.5
+        p = energy_balanced_period(weibull, e, DELTA1, DELTA2, theta1=3)
+        raw = 3 * DELTA1 / e + 3 * DELTA2 / (e * weibull.mu)
+        assert p.theta2 == int(np.ceil(raw))
+        assert p.theta1 == 3
+
+    def test_duty_cycle_respects_budget(self, weibull):
+        """Worst-case drain (a capture in every active slot's renewal)
+        stays at or below the recharge rate."""
+        e = 0.5
+        p = energy_balanced_period(weibull, e, DELTA1, DELTA2)
+        drain = p.duty_cycle * DELTA1 + p.theta1 * DELTA2 / (
+            p.theta2 * weibull.mu
+        )
+        assert drain <= e * (1 + 1e-9)
+
+    def test_high_rate_gives_dense_schedule(self, weibull):
+        p = energy_balanced_period(weibull, 5.0, DELTA1, DELTA2)
+        assert p.theta2 == p.theta1  # always on
+
+    def test_rejects_zero_rate(self, weibull):
+        with pytest.raises(PolicyError):
+            energy_balanced_period(weibull, 0.0, DELTA1, DELTA2)
+
+
+class TestEBCW:
+    def test_structure_is_two_level(self):
+        d = MarkovInterArrival(0.7, 0.7)
+        sol = solve_ebcw(d, 0.5, DELTA1, DELTA2)
+        assert sol.policy.vector.size == 1
+        assert sol.p1 == pytest.approx(
+            float(sol.policy.vector[0])
+        )
+        assert sol.p0 == pytest.approx(sol.policy.tail)
+
+    def test_p1_prioritised(self):
+        d = MarkovInterArrival(0.7, 0.7)
+        sol = solve_ebcw(d, 0.4, DELTA1, DELTA2)
+        assert sol.p1 == 1.0
+        assert 0 <= sol.p0 < 1.0
+
+    def test_energy_feasible(self):
+        d = MarkovInterArrival(0.6, 0.6)
+        for e in (0.2, 0.5, 1.0):
+            sol = solve_ebcw(d, e, DELTA1, DELTA2)
+            assert sol.analysis.energy_rate <= e * (1 + 1e-6)
+
+    def test_saturates_at_high_rate(self):
+        d = MarkovInterArrival(0.6, 0.6)
+        threshold = DELTA1 + DELTA2 / d.mu
+        sol = solve_ebcw(d, threshold * 1.1, DELTA1, DELTA2)
+        assert sol.p0 == 1.0
+        assert sol.qom == pytest.approx(1.0, abs=1e-6)
+
+    def test_zero_rate(self):
+        d = MarkovInterArrival(0.6, 0.6)
+        sol = solve_ebcw(d, 0.0, DELTA1, DELTA2)
+        assert sol.p1 == 0.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(PolicyError):
+            solve_ebcw(MarkovInterArrival(0.6, 0.6), -0.5, DELTA1, DELTA2)
+
+    def test_qom_increases_with_rate(self):
+        d = MarkovInterArrival(0.7, 0.7)
+        qoms = [
+            solve_ebcw(d, e, DELTA1, DELTA2).qom for e in (0.2, 0.5, 1.0)
+        ]
+        assert qoms == sorted(qoms)

@@ -1,0 +1,81 @@
+"""Tests for the overflow-guard battery-aware policy extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import solve_greedy
+from repro.core.battery_aware import OverflowGuardPolicy
+from repro.core.policy import InfoModel, VectorPolicy
+from repro.energy import BernoulliRecharge
+from repro.exceptions import PolicyError
+from repro.sim import simulate_single
+
+DELTA1, DELTA2 = 1.0, 6.0
+
+
+class TestWrapperSemantics:
+    def test_forces_activation_when_nearly_full(self):
+        base = VectorPolicy(np.array([0.0]), tail=0.0)
+        guard = OverflowGuardPolicy(base, high_watermark=0.9)
+        assert guard.activation_probability_with_battery(1, 1, 95.0, 100.0) == 1.0
+        assert guard.activation_probability_with_battery(1, 1, 50.0, 100.0) == 0.0
+
+    def test_inherits_info_model(self):
+        base = VectorPolicy(np.array([0.5]), info_model=InfoModel.PARTIAL)
+        assert OverflowGuardPolicy(base).info_model == InfoModel.PARTIAL
+
+    def test_battery_blind_fallback_matches_base(self):
+        base = VectorPolicy(np.array([0.3, 0.7]), tail=0.1)
+        guard = OverflowGuardPolicy(base)
+        for recency in (1, 2, 5):
+            assert guard.activation_probability(1, recency) == (
+                base.activation_probability(1, recency)
+            )
+
+    def test_no_fast_path(self):
+        guard = OverflowGuardPolicy(VectorPolicy(np.array([0.5])))
+        assert guard.recency_probabilities(10) is None
+        assert guard.battery_aware is True
+
+    @pytest.mark.parametrize("watermark", [0.0, -0.1, 1.5])
+    def test_invalid_watermark(self, watermark):
+        with pytest.raises(PolicyError):
+            OverflowGuardPolicy(
+                VectorPolicy(np.array([0.5])), high_watermark=watermark
+            )
+
+
+class TestSmallBatteryImprovement:
+    def test_guard_reduces_overflow_and_helps_qom(self, weibull):
+        """At small K the guard converts overflow into captures."""
+        solution = solve_greedy(weibull, 0.5, DELTA1, DELTA2)
+        base = solution.as_policy()
+        guard = OverflowGuardPolicy(base, high_watermark=0.9)
+        kwargs = dict(
+            capacity=20.0, delta1=DELTA1, delta2=DELTA2,
+            horizon=200_000, seed=21,
+        )
+        recharge = BernoulliRecharge(0.5, 1.0)
+        plain = simulate_single(weibull, base, recharge, **kwargs)
+        guarded = simulate_single(weibull, guard, recharge, **kwargs)
+        assert guarded.sensors[0].energy_overflow < (
+            plain.sensors[0].energy_overflow
+        )
+        assert guarded.qom > plain.qom
+
+    def test_guard_harmless_at_large_battery(self, weibull):
+        """At large K the bucket rarely fills, so the guard is a no-op
+        and the QoM matches the plain policy."""
+        solution = solve_greedy(weibull, 0.5, DELTA1, DELTA2)
+        base = solution.as_policy()
+        guard = OverflowGuardPolicy(base, high_watermark=0.95)
+        kwargs = dict(
+            capacity=2000.0, delta1=DELTA1, delta2=DELTA2,
+            horizon=150_000, seed=22,
+        )
+        recharge = BernoulliRecharge(0.5, 1.0)
+        plain = simulate_single(weibull, base, recharge, **kwargs)
+        guarded = simulate_single(weibull, guard, recharge, **kwargs)
+        assert guarded.qom == pytest.approx(plain.qom, abs=0.02)

@@ -1,0 +1,145 @@
+"""Tests for the Theorem 1 greedy full-information policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import solve_greedy, theorem1_qom
+from repro.core.policy import InfoModel
+from repro.energy import energy_budget, xi_coefficients
+from repro.events import (
+    DeterministicInterArrival,
+    EmpiricalInterArrival,
+    GeometricInterArrival,
+)
+from repro.exceptions import PolicyError
+
+DELTA1, DELTA2 = 1.0, 6.0
+
+
+class TestStructure:
+    def test_two_slot_scarce_energy_fills_slot_two(self, two_slot):
+        """The paper's worked example: scarce energy goes to slot 2."""
+        xi = xi_coefficients(two_slot, DELTA1, DELTA2)
+        # Budget exactly the cost of slot 2.
+        e = float(xi[1]) / two_slot.mu
+        sol = solve_greedy(two_slot, e, DELTA1, DELTA2)
+        assert sol.activation[1] == pytest.approx(1.0)
+        assert sol.activation[0] == pytest.approx(0.0, abs=1e-9)
+        assert sol.qom == pytest.approx(0.4)
+
+    def test_surplus_goes_to_slot_one(self, two_slot):
+        xi = xi_coefficients(two_slot, DELTA1, DELTA2)
+        e = float(xi[1] + 0.5 * xi[0]) / two_slot.mu
+        sol = solve_greedy(two_slot, e, DELTA1, DELTA2)
+        assert sol.activation[1] == pytest.approx(1.0)
+        assert sol.activation[0] == pytest.approx(0.5, rel=1e-9)
+        assert sol.qom == pytest.approx(0.4 + 0.5 * 0.6)
+
+    def test_monotone_hazard_gives_suffix_of_ones(self, weibull):
+        sol = solve_greedy(weibull, 0.5, DELTA1, DELTA2)
+        c = sol.activation
+        # Find first nonzero; everything after the (single) fractional
+        # entry must be 1.
+        nz = np.nonzero(c > 1e-12)[0]
+        assert nz.size > 0
+        k = nz[0]
+        assert np.all(c[: k] == 0)
+        assert np.all(c[k + 1 :] >= 1.0 - 1e-9)
+
+    def test_at_most_one_fractional_entry(self, any_distribution):
+        sol = solve_greedy(any_distribution, 0.37, DELTA1, DELTA2)
+        c = sol.activation
+        fractional = (c > 1e-9) & (c < 1.0 - 1e-9)
+        assert fractional.sum() <= 1
+
+    def test_saturation_at_high_rate(self, any_distribution):
+        threshold = DELTA1 + DELTA2 / any_distribution.mu
+        sol = solve_greedy(any_distribution, threshold * 1.01, DELTA1, DELTA2)
+        assert sol.saturated
+        assert sol.qom == pytest.approx(1.0)
+
+    def test_zero_rate_captures_nothing(self, weibull):
+        sol = solve_greedy(weibull, 0.0, DELTA1, DELTA2)
+        assert sol.qom == 0.0
+        assert np.all(sol.activation == 0)
+
+    def test_negative_rate_rejected(self, weibull):
+        with pytest.raises(PolicyError):
+            solve_greedy(weibull, -0.1, DELTA1, DELTA2)
+
+
+class TestEnergyBalance:
+    def test_spends_exactly_the_budget_when_scarce(self, any_distribution):
+        e = 0.2
+        sol = solve_greedy(any_distribution, e, DELTA1, DELTA2)
+        budget = energy_budget(any_distribution, e)
+        full_cost = xi_coefficients(any_distribution, DELTA1, DELTA2).sum()
+        assert sol.energy_spent == pytest.approx(
+            min(budget, float(full_cost)), rel=1e-9
+        )
+
+    def test_qom_is_alpha_dot_c(self, any_distribution):
+        sol = solve_greedy(any_distribution, 0.3, DELTA1, DELTA2)
+        assert sol.qom == pytest.approx(
+            float(any_distribution.alpha @ sol.activation)
+        )
+
+
+class TestMonotonicity:
+    def test_qom_nondecreasing_in_e(self, any_distribution):
+        rates = [0.05, 0.1, 0.2, 0.4, 0.8, 1.6]
+        qoms = [
+            solve_greedy(any_distribution, e, DELTA1, DELTA2).qom
+            for e in rates
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(qoms, qoms[1:]))
+
+    def test_deterministic_needs_minimal_energy(self):
+        d = DeterministicInterArrival(10)
+        # Activating only in slot 10 costs delta1 + delta2 per 10 slots.
+        e = (DELTA1 + DELTA2) / 10
+        sol = solve_greedy(d, e, DELTA1, DELTA2)
+        assert sol.qom == pytest.approx(1.0)
+        assert sol.activation[9] == pytest.approx(1.0)
+        assert np.all(sol.activation[:9] == 0)
+
+
+class TestTheorem1ClosedForm:
+    def test_matches_greedy_for_monotone_hazard(self, weibull):
+        for e in (0.1, 0.3, 0.5, 0.8):
+            assert theorem1_qom(weibull, e, DELTA1, DELTA2) == pytest.approx(
+                solve_greedy(weibull, e, DELTA1, DELTA2).qom, rel=1e-9
+            )
+
+    def test_rejects_non_monotone_hazard(self):
+        d = EmpiricalInterArrival([0.5, 0.1, 0.4])  # hazard dips
+        with pytest.raises(PolicyError):
+            theorem1_qom(d, 0.3, DELTA1, DELTA2)
+
+    def test_geometric_constant_hazard_allowed(self):
+        d = GeometricInterArrival(0.25)
+        value = theorem1_qom(d, 0.3, DELTA1, DELTA2)
+        assert value == pytest.approx(
+            solve_greedy(d, 0.3, DELTA1, DELTA2).qom, rel=1e-6
+        )
+
+
+class TestAsPolicy:
+    def test_policy_is_full_information(self, weibull):
+        policy = solve_greedy(weibull, 0.5, DELTA1, DELTA2).as_policy()
+        assert policy.info_model == InfoModel.FULL
+
+    def test_policy_probabilities_match_solution(self, weibull):
+        sol = solve_greedy(weibull, 0.5, DELTA1, DELTA2)
+        policy = sol.as_policy()
+        for i in (1, 10, 40, sol.activation.size):
+            assert policy.activation_probability(1, i) == pytest.approx(
+                float(sol.activation[i - 1])
+            )
+
+    def test_saturated_policy_tail_is_one(self, two_slot):
+        sol = solve_greedy(two_slot, 10.0, DELTA1, DELTA2)
+        policy = sol.as_policy()
+        assert policy.activation_probability(1, 99) == 1.0

@@ -1,0 +1,46 @@
+"""Cross-validation of the greedy policy against the truncated LP."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import solve_greedy, solve_linear_program
+
+DELTA1, DELTA2 = 1.0, 6.0
+
+
+class TestGreedyMatchesLP:
+    @pytest.mark.parametrize("e", [0.05, 0.2, 0.5, 1.0])
+    def test_qom_agrees(self, any_distribution, e):
+        greedy = solve_greedy(any_distribution, e, DELTA1, DELTA2)
+        lp = solve_linear_program(any_distribution, e, DELTA1, DELTA2)
+        assert greedy.qom == pytest.approx(lp.qom, abs=1e-7)
+
+    def test_lp_respects_budget(self, weibull):
+        lp = solve_linear_program(weibull, 0.5, DELTA1, DELTA2)
+        assert lp.energy_spent <= lp.budget * (1 + 1e-9)
+
+    def test_lp_activation_bounds(self, weibull):
+        lp = solve_linear_program(weibull, 0.5, DELTA1, DELTA2)
+        assert np.all(lp.activation >= 0)
+        assert np.all(lp.activation <= 1)
+
+    def test_lp_policy_wrapper(self, weibull):
+        policy = solve_linear_program(weibull, 0.5, DELTA1, DELTA2).as_policy()
+        assert 0 <= policy.activation_probability(1, 1) <= 1
+
+
+class TestDegenerateCases:
+    def test_zero_budget(self, weibull):
+        lp = solve_linear_program(weibull, 0.0, DELTA1, DELTA2)
+        assert lp.qom == pytest.approx(0.0, abs=1e-9)
+
+    def test_saturating_budget(self, two_slot):
+        lp = solve_linear_program(two_slot, 10.0, DELTA1, DELTA2)
+        assert lp.qom == pytest.approx(1.0, abs=1e-9)
+
+    def test_zero_cost_sensing(self, two_slot):
+        """With delta1 = delta2 = 0 every slot is free: QoM = 1."""
+        lp = solve_linear_program(two_slot, 0.1, 0.0, 0.0)
+        assert lp.qom == pytest.approx(1.0, abs=1e-9)

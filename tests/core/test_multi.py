@@ -1,0 +1,148 @@
+"""Tests for multi-sensor coordination (paper Sec. V)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    InfoModel,
+    MultiAggressiveCoordinator,
+    MultiPeriodicCoordinator,
+    NO_SENSOR,
+    RoundRobinCoordinator,
+    VectorPolicy,
+    make_mfi,
+    make_mpi,
+    make_multi_periodic,
+)
+from repro.exceptions import PolicyError
+
+DELTA1, DELTA2 = 1.0, 6.0
+
+
+class TestRoundRobin:
+    def test_slot_assignment_cycles(self):
+        policy = VectorPolicy(np.array([0.5]), tail=0.5)
+        coord = RoundRobinCoordinator(policy, 3)
+        owners = [coord.decide(t, 1)[0] for t in range(1, 7)]
+        assert owners == [0, 1, 2, 0, 1, 2]
+
+    def test_probability_comes_from_policy(self):
+        policy = VectorPolicy(np.array([0.0, 0.0, 1.0]), tail=0.0)
+        coord = RoundRobinCoordinator(policy, 2)
+        assert coord.decide(1, 3)[1] == 1.0
+        assert coord.decide(2, 1)[1] == 0.0
+
+    def test_active_slot_assignment_skips_zero_probability(self):
+        policy = VectorPolicy(np.array([0.0, 1.0]), tail=1.0)
+        coord = RoundRobinCoordinator(policy, 2, assignment="active-slot")
+        # recency 1 -> probability 0 -> nobody owns the slot.
+        sensor, prob = coord.decide(1, 1)
+        assert sensor == NO_SENSOR and prob == 0.0
+        # Positive-probability slots rotate over sensors regardless of t.
+        assert coord.decide(2, 2)[0] == 0
+        assert coord.decide(3, 2)[0] == 1
+        assert coord.decide(4, 2)[0] == 0
+
+    def test_reset_restarts_rotation(self):
+        policy = VectorPolicy(np.array([1.0]), tail=1.0)
+        coord = RoundRobinCoordinator(policy, 3, assignment="active-slot")
+        coord.decide(1, 1)
+        coord.reset()
+        assert coord.decide(1, 1)[0] == 0
+
+    def test_info_model_follows_policy(self):
+        fi = VectorPolicy(np.array([1.0]), info_model=InfoModel.FULL)
+        pi = VectorPolicy(np.array([1.0]), info_model=InfoModel.PARTIAL)
+        assert RoundRobinCoordinator(fi, 2).info_model == InfoModel.FULL
+        assert RoundRobinCoordinator(pi, 2).info_model == InfoModel.PARTIAL
+
+    def test_invalid_configuration(self):
+        policy = VectorPolicy(np.array([1.0]))
+        with pytest.raises(PolicyError):
+            RoundRobinCoordinator(policy, 0)
+        with pytest.raises(PolicyError):
+            RoundRobinCoordinator(policy, 2, assignment="bogus")
+
+
+class TestPaperTrace:
+    def test_section_v_example(self):
+        """The paper's 2-sensor trace with pi*_FI(2e) = (0,0,1,1,1,...)."""
+        policy = VectorPolicy(
+            np.array([0.0, 0.0]), tail=1.0, info_model=InfoModel.FULL
+        )
+        coord = RoundRobinCoordinator(policy, 2)
+        # Event states from the paper's table: H_t for t = 1..7, with
+        # events occurring in slots 4 and 6.
+        states = {1: 1, 2: 2, 3: 3, 4: 4, 5: 1, 6: 2, 7: 1}
+        expected = {
+            1: (0, 0.0),  # sensor 1 responsible, inactive (c1 = 0)
+            2: (1, 0.0),  # sensor 2 responsible, inactive (c2 = 0)
+            3: (0, 1.0),  # sensor 1 activates (c3 = 1), no event
+            4: (1, 1.0),  # sensor 2 activates (c4 = 1), captures
+            5: (0, 0.0),  # renewed: c1 = 0
+            6: (1, 0.0),  # c2 = 0 (event in slot 6 is missed)
+            7: (0, 0.0),  # full info: state renews anyway
+        }
+        for t, h in states.items():
+            assert coord.decide(t, h) == expected[t]
+
+
+class TestBaselineCoordinators:
+    def test_multi_aggressive(self):
+        coord = MultiAggressiveCoordinator(2)
+        assert coord.decide(1, 5) == (0, 1.0)
+        assert coord.decide(2, 5) == (1, 1.0)
+        assert coord.info_model == InfoModel.PARTIAL
+
+    def test_multi_periodic_block_rotation(self):
+        """The paper's example: N=2, theta1=3, theta2=5."""
+        coord = MultiPeriodicCoordinator(3, 5, 2)
+        # Slots 1..5 belong to sensor 0 (active in 1..3).
+        assert coord.decide(1, 1) == (0, 1.0)
+        assert coord.decide(3, 1) == (0, 1.0)
+        assert coord.decide(4, 1) == (0, 0.0)
+        # Slots 6..10 belong to sensor 1.
+        assert coord.decide(6, 1) == (1, 1.0)
+        assert coord.decide(9, 1) == (1, 0.0)
+        # Slot 11 wraps back to sensor 0.
+        assert coord.decide(11, 1) == (0, 1.0)
+
+    def test_multi_periodic_invalid(self):
+        with pytest.raises(PolicyError):
+            MultiPeriodicCoordinator(-1, 5, 2)
+        with pytest.raises(PolicyError):
+            MultiPeriodicCoordinator(6, 5, 2)
+
+
+class TestFactories:
+    def test_mfi_uses_aggregate_rate(self, small_weibull):
+        from repro.core import solve_greedy
+
+        coord, solution = make_mfi(small_weibull, 0.2, 3, DELTA1, DELTA2)
+        direct = solve_greedy(small_weibull, 0.6, DELTA1, DELTA2)
+        np.testing.assert_allclose(solution.activation, direct.activation)
+        assert coord.n_sensors == 3
+        assert coord.info_model == InfoModel.FULL
+
+    def test_mfi_single_sensor_degenerates(self, small_weibull):
+        from repro.core import solve_greedy
+
+        _, solution = make_mfi(small_weibull, 0.5, 1, DELTA1, DELTA2)
+        direct = solve_greedy(small_weibull, 0.5, DELTA1, DELTA2)
+        np.testing.assert_allclose(solution.activation, direct.activation)
+
+    def test_mpi_partial_info(self, small_weibull):
+        coord, solution = make_mpi(small_weibull, 0.2, 2, DELTA1, DELTA2)
+        assert coord.info_model == InfoModel.PARTIAL
+        assert solution.energy_rate <= 0.4 * (1 + 1e-6)
+
+    def test_multi_periodic_factory_balances_aggregate(self, small_weibull):
+        coord = make_multi_periodic(small_weibull, 0.1, 4, DELTA1, DELTA2)
+        # Aggregate rate 0.4: network duty theta1/theta2 covers it.
+        drain = (
+            coord.theta1 * DELTA1 / coord.theta2
+            + coord.theta1 * DELTA2 / (coord.theta2 * small_weibull.mu)
+        )
+        assert drain <= 0.4 * (1 + 1e-9)

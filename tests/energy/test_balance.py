@@ -1,0 +1,101 @@
+"""Tests for energy-balance accounting (paper Eq. 4-8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.energy import (
+    energy_budget,
+    is_energy_balanced,
+    policy_discharge_rate,
+    policy_energy_per_renewal,
+    xi_coefficients,
+)
+from repro.exceptions import EnergyError, PolicyError
+
+DELTA1, DELTA2 = 1.0, 6.0
+
+
+class TestXiCoefficients:
+    def test_two_slot_example(self, two_slot):
+        """xi_i = delta1 (1 - F(i-1)) + delta2 alpha_i for alpha=(0.6, 0.4)."""
+        xi = xi_coefficients(two_slot, DELTA1, DELTA2)
+        assert xi[0] == pytest.approx(1.0 * 1.0 + 6.0 * 0.6)
+        assert xi[1] == pytest.approx(1.0 * 0.4 + 6.0 * 0.4)
+
+    def test_all_positive_within_support(self, any_distribution):
+        xi = xi_coefficients(any_distribution, DELTA1, DELTA2)
+        alpha = any_distribution.alpha
+        assert np.all(xi[alpha > 0] > 0)
+
+    def test_zero_deltas(self, two_slot):
+        xi = xi_coefficients(two_slot, 0.0, 0.0)
+        assert np.all(xi == 0)
+
+    def test_negative_deltas_rejected(self, two_slot):
+        with pytest.raises(EnergyError):
+            xi_coefficients(two_slot, -1, 6)
+
+
+class TestBudgetAndRates:
+    def test_budget_is_e_mu(self, weibull):
+        assert energy_budget(weibull, 0.5) == pytest.approx(0.5 * weibull.mu)
+
+    def test_negative_rate_rejected(self, weibull):
+        with pytest.raises(EnergyError):
+            energy_budget(weibull, -0.5)
+
+    def test_all_ones_policy_cost(self, two_slot):
+        """Always-on spends delta1 per slot plus delta2 per event."""
+        c = np.ones(2)
+        per_renewal = policy_energy_per_renewal(two_slot, c, DELTA1, DELTA2)
+        expected = DELTA1 * two_slot.mu + DELTA2
+        assert per_renewal == pytest.approx(expected)
+
+    def test_discharge_rate_of_always_on(self, any_distribution):
+        c = np.ones(any_distribution.support_max)
+        rate = policy_discharge_rate(any_distribution, c, DELTA1, DELTA2)
+        expected = DELTA1 + DELTA2 / any_distribution.mu
+        assert rate == pytest.approx(expected, rel=1e-9)
+
+    def test_zero_policy_costs_nothing(self, weibull):
+        c = np.zeros(weibull.support_max)
+        assert policy_energy_per_renewal(weibull, c, DELTA1, DELTA2) == 0.0
+
+    def test_short_vector_padded_with_zeros(self, weibull):
+        c = np.array([1.0])
+        cost = policy_energy_per_renewal(weibull, c, DELTA1, DELTA2)
+        xi = xi_coefficients(weibull, DELTA1, DELTA2)
+        assert cost == pytest.approx(float(xi[0]))
+
+
+class TestIsEnergyBalanced:
+    def test_greedy_policy_balanced(self, weibull):
+        from repro.core import solve_greedy
+
+        sol = solve_greedy(weibull, 0.5, DELTA1, DELTA2)
+        assert is_energy_balanced(weibull, sol.activation, 0.5, DELTA1, DELTA2)
+
+    def test_overspending_policy_not_balanced(self, two_slot):
+        c = np.ones(2)
+        # e tiny: an always-on policy overspends.
+        assert not is_energy_balanced(two_slot, c, 0.01, DELTA1, DELTA2)
+
+    def test_surplus_budget_counts_as_balanced(self, two_slot):
+        c = np.ones(2)
+        assert is_energy_balanced(two_slot, c, 100.0, DELTA1, DELTA2)
+
+
+class TestValidation:
+    def test_rejects_2d_activation(self, two_slot):
+        with pytest.raises(PolicyError):
+            policy_energy_per_renewal(
+                two_slot, np.ones((2, 2)), DELTA1, DELTA2
+            )
+
+    def test_rejects_out_of_range_probabilities(self, two_slot):
+        with pytest.raises(PolicyError):
+            policy_energy_per_renewal(
+                two_slot, np.array([1.5, 0.0]), DELTA1, DELTA2
+            )

@@ -1,0 +1,76 @@
+"""Tests for the battery energy bucket."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy import Battery
+from repro.exceptions import EnergyError
+
+
+class TestConstruction:
+    def test_default_initial_is_half(self):
+        assert Battery(100).level == 50.0
+
+    def test_explicit_initial(self):
+        assert Battery(100, initial=10).level == 10.0
+
+    def test_zero_capacity(self):
+        b = Battery(0)
+        assert b.level == 0.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(EnergyError):
+            Battery(-1)
+
+    @pytest.mark.parametrize("initial", [-1, 101])
+    def test_initial_out_of_range_rejected(self, initial):
+        with pytest.raises(EnergyError):
+            Battery(100, initial=initial)
+
+
+class TestRecharge:
+    def test_stores_up_to_capacity(self):
+        b = Battery(10, initial=0)
+        overflow = b.recharge(4)
+        assert b.level == 4.0
+        assert overflow == 0.0
+
+    def test_overflow_reported_and_tracked(self):
+        b = Battery(10, initial=8)
+        overflow = b.recharge(5)
+        assert b.level == 10.0
+        assert overflow == pytest.approx(3.0)
+        assert b.total_overflow == pytest.approx(3.0)
+        assert b.total_harvested == pytest.approx(5.0)
+
+    def test_negative_recharge_rejected(self):
+        with pytest.raises(EnergyError):
+            Battery(10).recharge(-1)
+
+
+class TestDischarge:
+    def test_basic_discharge(self):
+        b = Battery(10, initial=7)
+        b.discharge(3)
+        assert b.level == pytest.approx(4.0)
+        assert b.total_consumed == pytest.approx(3.0)
+
+    def test_cannot_overdraw(self):
+        b = Battery(10, initial=2)
+        with pytest.raises(EnergyError):
+            b.discharge(3)
+
+    def test_exact_drain_to_zero(self):
+        b = Battery(10, initial=2)
+        b.discharge(2)
+        assert b.level == pytest.approx(0.0)
+
+    def test_negative_discharge_rejected(self):
+        with pytest.raises(EnergyError):
+            Battery(10).discharge(-0.5)
+
+    def test_can_afford(self):
+        b = Battery(10, initial=7)
+        assert b.can_afford(7)
+        assert not b.can_afford(7.01)

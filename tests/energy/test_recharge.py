@@ -1,0 +1,118 @@
+"""Tests for the recharge process family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.energy import (
+    BernoulliRecharge,
+    CompoundRecharge,
+    ConstantRecharge,
+    PeriodicRecharge,
+    UniformRandomRecharge,
+)
+from repro.exceptions import EnergyError
+
+
+class TestBernoulli:
+    def test_mean_rate(self):
+        assert BernoulliRecharge(0.5, 1.0).mean_rate == 0.5
+
+    def test_sequence_values(self, rng):
+        seq = BernoulliRecharge(0.5, 2.0).sequence(10_000, rng)
+        assert set(np.unique(seq)) <= {0.0, 2.0}
+        assert seq.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_extremes(self, rng):
+        assert np.all(BernoulliRecharge(1.0, 3.0).sequence(100, rng) == 3.0)
+        assert np.all(BernoulliRecharge(0.0, 3.0).sequence(100, rng) == 0.0)
+
+    @pytest.mark.parametrize("q,c", [(-0.1, 1), (1.1, 1), (0.5, -1)])
+    def test_invalid(self, q, c):
+        with pytest.raises(EnergyError):
+            BernoulliRecharge(q, c)
+
+
+class TestPeriodic:
+    def test_paper_configuration(self, rng):
+        """5 units every 10 slots -> mean rate 0.5 (paper Fig. 3)."""
+        p = PeriodicRecharge(5.0, 10)
+        assert p.mean_rate == 0.5
+        seq = p.sequence(30, rng)
+        np.testing.assert_array_equal(np.nonzero(seq)[0], [0, 10, 20])
+        assert seq.sum() == pytest.approx(15.0)
+
+    def test_phase_shift(self, rng):
+        seq = PeriodicRecharge(2.0, 5, phase=3).sequence(12, rng)
+        np.testing.assert_array_equal(np.nonzero(seq)[0], [3, 8])
+
+    @pytest.mark.parametrize(
+        "amount,period,phase", [(-1, 10, 0), (5, 0, 0), (5, 10, 10), (5, 10, -1)]
+    )
+    def test_invalid(self, amount, period, phase):
+        with pytest.raises(EnergyError):
+            PeriodicRecharge(amount, period, phase)
+
+
+class TestConstant:
+    def test_sequence(self, rng):
+        seq = ConstantRecharge(0.5).sequence(100, rng)
+        assert np.all(seq == 0.5)
+        assert ConstantRecharge(0.5).mean_rate == 0.5
+
+    def test_invalid(self):
+        with pytest.raises(EnergyError):
+            ConstantRecharge(-0.5)
+
+
+class TestUniformRandom:
+    def test_bounds_and_mean(self, rng):
+        p = UniformRandomRecharge(0.2, 0.8)
+        seq = p.sequence(20_000, rng)
+        assert seq.min() >= 0.2
+        assert seq.max() <= 0.8
+        assert seq.mean() == pytest.approx(0.5, abs=0.02)
+        assert p.mean_rate == pytest.approx(0.5)
+
+    def test_invalid(self):
+        with pytest.raises(EnergyError):
+            UniformRandomRecharge(0.8, 0.2)
+        with pytest.raises(EnergyError):
+            UniformRandomRecharge(-0.1, 0.5)
+
+
+class TestCompound:
+    def test_sum_of_components(self, rng):
+        p = CompoundRecharge(
+            [ConstantRecharge(0.3), PeriodicRecharge(2.0, 4)]
+        )
+        assert p.mean_rate == pytest.approx(0.8)
+        seq = p.sequence(8, rng)
+        assert seq[0] == pytest.approx(2.3)
+        assert seq[1] == pytest.approx(0.3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EnergyError):
+            CompoundRecharge([])
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize(
+        "process",
+        [
+            BernoulliRecharge(0.5, 1.0),
+            PeriodicRecharge(5.0, 10),
+            ConstantRecharge(0.5),
+            UniformRandomRecharge(0.3, 0.7),
+        ],
+        ids=["bernoulli", "periodic", "constant", "uniform-random"],
+    )
+    def test_long_run_rate_matches_mean(self, process, rng):
+        seq = process.sequence(50_000, rng)
+        assert seq.mean() == pytest.approx(process.mean_rate, rel=0.05)
+        assert np.all(seq >= 0)
+
+    def test_negative_horizon_rejected(self, rng):
+        with pytest.raises(EnergyError):
+            ConstantRecharge(0.5).sequence(-1, rng)

@@ -1,0 +1,87 @@
+"""Tests for the correlated (Markov) and diurnal recharge extensions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.energy import DiurnalRecharge, MarkovRecharge
+from repro.exceptions import EnergyError
+
+
+class TestMarkovRecharge:
+    def test_stationary_fraction(self):
+        p = MarkovRecharge(1.0, 0.0, p_ss=0.9, p_cc=0.8)
+        # leave_sunny = 0.1, leave_cloudy = 0.2 -> sunny 2/3.
+        assert p.sunny_fraction == pytest.approx(2 / 3)
+        assert p.mean_rate == pytest.approx(2 / 3)
+
+    def test_long_run_rate(self, rng):
+        p = MarkovRecharge(1.0, 0.1, p_ss=0.95, p_cc=0.9)
+        seq = p.sequence(200_000, rng)
+        assert seq.mean() == pytest.approx(p.mean_rate, rel=0.05)
+
+    def test_values_are_two_level(self, rng):
+        p = MarkovRecharge(2.0, 0.5, p_ss=0.9, p_cc=0.9)
+        seq = p.sequence(5_000, rng)
+        assert set(np.unique(seq)) <= {0.5, 2.0}
+
+    def test_persistence_creates_runs(self, rng):
+        """High persistence means long same-state runs — the burstiness
+        that stresses small batteries."""
+        p = MarkovRecharge(1.0, 0.0, p_ss=0.99, p_cc=0.99)
+        seq = p.sequence(50_000, rng)
+        switches = np.sum(np.diff(seq) != 0)
+        assert switches < 50_000 * 0.05
+
+    def test_validation(self):
+        with pytest.raises(EnergyError):
+            MarkovRecharge(-1.0, 0.0)
+        with pytest.raises(EnergyError):
+            MarkovRecharge(1.0, 0.0, p_ss=1.0)
+
+
+class TestDiurnalRecharge:
+    def test_mean_rate(self, rng):
+        p = DiurnalRecharge(peak=1.0, period=100)
+        seq = p.sequence(100_000, rng)
+        assert seq.mean() == pytest.approx(1 / np.pi, rel=0.02)
+        assert p.mean_rate == pytest.approx(1 / np.pi)
+
+    def test_night_is_dark(self, rng):
+        p = DiurnalRecharge(peak=1.0, period=100)
+        seq = p.sequence(100, rng)
+        # Opposite phase of the peak: zero harvest.
+        assert seq[50] == 0.0
+        assert seq[0] == pytest.approx(1.0)
+
+    def test_deterministic(self, rng):
+        p = DiurnalRecharge(peak=2.0, period=24)
+        a = p.sequence(48, np.random.default_rng(1))
+        b = p.sequence(48, np.random.default_rng(2))
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(EnergyError):
+            DiurnalRecharge(-1.0, 10)
+        with pytest.raises(EnergyError):
+            DiurnalRecharge(1.0, 1)
+
+
+class TestPolicyRobustness:
+    def test_greedy_converges_under_correlated_recharge(self):
+        """The Remark 2 asymptotics hold for correlated recharging too,
+        just with a bigger battery (the robustness claim of Fig. 3)."""
+        from repro.core import solve_greedy
+        from repro.events import WeibullInterArrival
+        from repro.sim import simulate_single
+
+        events = WeibullInterArrival(20, 3)
+        solution = solve_greedy(events, 0.5, 1, 6)
+        recharge = MarkovRecharge(1.0, 0.0, p_ss=0.9, p_cc=0.9)
+        assert recharge.mean_rate == pytest.approx(0.5)
+        result = simulate_single(
+            events, solution.as_policy(), recharge,
+            capacity=5000, delta1=1, delta2=6, horizon=300_000, seed=3,
+        )
+        assert result.qom == pytest.approx(solution.qom, abs=0.03)

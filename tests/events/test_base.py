@@ -1,0 +1,135 @@
+"""Tests for the inter-arrival distribution framework (events.base)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.events import EmpiricalInterArrival
+from repro.exceptions import DistributionError
+
+
+class TestAlphaBetaConsistency:
+    def test_alpha_sums_to_one(self, any_distribution):
+        assert np.isclose(any_distribution.alpha.sum(), 1.0)
+
+    def test_alpha_nonnegative(self, any_distribution):
+        assert np.all(any_distribution.alpha >= 0)
+
+    def test_cdf_monotone_and_bounded(self, any_distribution):
+        cdf = any_distribution.cdf_values
+        assert np.all(np.diff(cdf) >= -1e-15)
+        assert cdf[-1] == pytest.approx(1.0)
+        assert np.all(cdf <= 1.0 + 1e-12)
+
+    def test_beta_in_unit_interval(self, any_distribution):
+        beta = any_distribution.beta
+        assert np.all(beta >= 0)
+        assert np.all(beta <= 1)
+
+    def test_beta_matches_definition(self, any_distribution):
+        """beta_i = alpha_i / (1 - F(i-1)) — paper Eq. 3."""
+        d = any_distribution
+        for i in range(1, min(d.support_max, 40) + 1):
+            survival_before = 1.0 - d.cdf(i - 1)
+            if survival_before <= 1e-6:
+                # 1 - F suffers catastrophic cancellation deep in the
+                # tail; the library computes the survival by a backward
+                # sum instead, so skip the comparison there.
+                continue
+            assert d.hazard(i) == pytest.approx(
+                d.pmf(i) / survival_before, abs=1e-8
+            )
+
+    def test_final_hazard_is_one(self, any_distribution):
+        """The last supported slot must renew with certainty."""
+        assert any_distribution.hazard(any_distribution.support_max) == (
+            pytest.approx(1.0, abs=1e-6)
+        )
+
+    def test_mu_matches_expectation(self, any_distribution):
+        d = any_distribution
+        slots = np.arange(1, d.support_max + 1)
+        assert d.mu == pytest.approx(float(slots @ d.alpha))
+
+    def test_variance_nonnegative(self, any_distribution):
+        assert any_distribution.variance >= -1e-9
+
+
+class TestPointEvaluations:
+    def test_pmf_out_of_range(self, two_slot):
+        assert two_slot.pmf(0) == 0.0
+        assert two_slot.pmf(-3) == 0.0
+        assert two_slot.pmf(3) == 0.0
+
+    def test_cdf_out_of_range(self, two_slot):
+        assert two_slot.cdf(0) == 0.0
+        assert two_slot.cdf(100) == 1.0
+
+    def test_hazard_out_of_range(self, two_slot):
+        assert two_slot.hazard(0) == 0.0
+        assert two_slot.hazard(99) == 1.0  # past support: renew certainly
+
+    def test_survival_complements_cdf(self, two_slot):
+        for i in range(0, 4):
+            assert two_slot.survival(i) == pytest.approx(1.0 - two_slot.cdf(i))
+
+    def test_quantile_basics(self, two_slot):
+        assert two_slot.quantile(0.0) == 1
+        assert two_slot.quantile(0.5) == 1
+        assert two_slot.quantile(0.7) == 2
+        assert two_slot.quantile(1.0) == 2
+
+    def test_quantile_rejects_bad_level(self, two_slot):
+        with pytest.raises(DistributionError):
+            two_slot.quantile(1.5)
+        with pytest.raises(DistributionError):
+            two_slot.quantile(-0.1)
+
+
+class TestSampling:
+    def test_samples_within_support(self, any_distribution, rng):
+        samples = any_distribution.sample(rng, 2000)
+        assert samples.min() >= 1
+        assert samples.max() <= any_distribution.support_max
+
+    def test_sample_mean_matches_mu(self, any_distribution, rng):
+        samples = any_distribution.sample(rng, 40_000)
+        tolerance = 6 * np.sqrt(max(any_distribution.variance, 1e-9) / 40_000)
+        # Heavy tails need slack; 6 sigma plus an absolute floor.
+        assert abs(samples.mean() - any_distribution.mu) < max(tolerance, 0.8)
+
+    def test_sample_empty(self, two_slot, rng):
+        assert two_slot.sample(rng, 0).size == 0
+
+    def test_sample_negative_size_rejected(self, two_slot, rng):
+        with pytest.raises(DistributionError):
+            two_slot.sample(rng, -1)
+
+    def test_sampling_is_deterministic_under_seed(self, weibull):
+        a = weibull.sample(np.random.default_rng(7), 100)
+        b = weibull.sample(np.random.default_rng(7), 100)
+        np.testing.assert_array_equal(a, b)
+
+    def test_two_slot_frequencies(self, two_slot, rng):
+        samples = two_slot.sample(rng, 50_000)
+        freq1 = np.mean(samples == 1)
+        assert freq1 == pytest.approx(0.6, abs=0.02)
+
+
+class TestValidation:
+    def test_rejects_unnormalised_pmf(self):
+        with pytest.raises(DistributionError):
+            EmpiricalInterArrival([0.5, 0.2]).alpha
+
+    def test_rejects_negative_pmf(self):
+        with pytest.raises(DistributionError):
+            EmpiricalInterArrival([1.2, -0.2]).alpha
+
+    def test_rejects_empty_pmf(self):
+        with pytest.raises(DistributionError):
+            EmpiricalInterArrival([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(DistributionError):
+            EmpiricalInterArrival([float("nan"), 1.0]).alpha

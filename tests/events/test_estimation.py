@@ -1,0 +1,118 @@
+"""Tests for model estimation from observed gaps / flags."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.events import (
+    GeometricInterArrival,
+    MarkovInterArrival,
+    WeibullInterArrival,
+    estimate_then_optimize,
+    fit_empirical_smoothed,
+    fit_geometric,
+    fit_markov,
+    fit_weibull,
+    simulate_markov_chain,
+)
+from repro.exceptions import DistributionError
+
+
+class TestFitGeometric:
+    def test_recovers_parameter(self, rng):
+        true = GeometricInterArrival(0.15)
+        gaps = true.sample(rng, 50_000)
+        fitted = fit_geometric(gaps)
+        assert fitted.p == pytest.approx(0.15, rel=0.03)
+
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            fit_geometric([])
+        with pytest.raises(DistributionError):
+            fit_geometric([0.5])
+
+
+class TestFitWeibull:
+    @pytest.mark.parametrize("scale,shape", [(40, 3), (12, 1.5), (25, 5)])
+    def test_recovers_parameters(self, scale, shape, rng):
+        true = WeibullInterArrival(scale, shape)
+        gaps = true.sample(rng, 30_000)
+        fitted = fit_weibull(gaps)
+        assert fitted.scale == pytest.approx(scale, rel=0.05)
+        assert fitted.shape == pytest.approx(shape, rel=0.12)
+
+    def test_small_sample_is_sane(self, rng):
+        true = WeibullInterArrival(20, 3)
+        gaps = true.sample(rng, 30)
+        fitted = fit_weibull(gaps)
+        assert 5 < fitted.mu < 60
+
+    def test_degenerate_sample(self):
+        fitted = fit_weibull([10, 10, 10, 10])
+        # Near-deterministic: mean close to the sample, tight spread.
+        assert fitted.mu == pytest.approx(10, abs=1.0)
+        assert np.sqrt(fitted.variance) < 1.0
+
+
+class TestFitMarkov:
+    def test_recovers_chain(self, rng):
+        flags = simulate_markov_chain(0.7, 0.6, 100_000, rng)
+        fitted = fit_markov(flags)
+        assert fitted.a == pytest.approx(0.7, abs=0.02)
+        assert fitted.b == pytest.approx(0.6, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            fit_markov([True])
+        with pytest.raises(DistributionError):
+            fit_markov([True, True, True])  # never visits the 0 state
+
+
+class TestFitEmpiricalSmoothed:
+    def test_matches_frequencies(self, rng):
+        from repro.events import EmpiricalInterArrival
+
+        true = EmpiricalInterArrival([0.3, 0.5, 0.2])
+        gaps = true.sample(rng, 50_000)
+        fitted = fit_empirical_smoothed(gaps, smoothing=0.0, tail_slots=0)
+        np.testing.assert_allclose(fitted.alpha, true.alpha, atol=0.01)
+
+    def test_smoothing_leaves_tail_mass(self, rng):
+        fitted = fit_empirical_smoothed([2, 2, 3], smoothing=0.5, tail_slots=2)
+        # Unseen slots 1, 4, 5 keep positive probability.
+        assert fitted.pmf(1) > 0
+        assert fitted.pmf(5) > 0
+        assert fitted.hazard(3) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            fit_empirical_smoothed([])
+        with pytest.raises(DistributionError):
+            fit_empirical_smoothed([1], smoothing=-1)
+
+
+class TestEstimateThenOptimize:
+    def test_large_sample_has_small_regret(self):
+        true = WeibullInterArrival(20, 3)
+        result = estimate_then_optimize(
+            true, n_samples=20_000, e=0.5, delta1=1, delta2=6, seed=1
+        )
+        assert abs(result.regret) < 0.03
+
+    def test_small_sample_pays_more(self):
+        true = WeibullInterArrival(20, 3)
+        small = estimate_then_optimize(
+            true, n_samples=12, e=0.5, delta1=1, delta2=6, seed=5
+        )
+        large = estimate_then_optimize(
+            true, n_samples=20_000, e=0.5, delta1=1, delta2=6, seed=5
+        )
+        assert abs(large.regret) <= abs(small.regret) + 0.02
+
+    def test_unknown_family(self):
+        with pytest.raises(DistributionError):
+            estimate_then_optimize(
+                WeibullInterArrival(20, 3), 100, 0.5, 1, 6,
+                family="zipf",
+            )

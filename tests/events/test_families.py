@@ -1,0 +1,208 @@
+"""Tests for the concrete inter-arrival families."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.events import (
+    DeterministicInterArrival,
+    EmpiricalInterArrival,
+    GeometricInterArrival,
+    MixtureInterArrival,
+    ParetoInterArrival,
+    UniformInterArrival,
+    WeibullInterArrival,
+)
+from repro.exceptions import DistributionError
+
+
+class TestWeibull:
+    def test_mean_close_to_continuous(self):
+        d = WeibullInterArrival(40, 3)
+        continuous_mean = 40 * math.gamma(1 + 1 / 3)
+        # Discretisation to slot ceilings shifts the mean up by ~0.5.
+        assert continuous_mean < d.mu < continuous_mean + 1.0
+
+    def test_increasing_hazard_for_shape_above_one(self):
+        d = WeibullInterArrival(40, 3)
+        beta = d.beta
+        # Monotone increasing hazard (the Theorem 1 setting).
+        assert np.all(np.diff(beta) >= -1e-12)
+
+    def test_decreasing_hazard_for_shape_below_one(self):
+        d = WeibullInterArrival(10, 0.5)
+        beta = d.beta
+        # Ignore the folded final slot (hazard 1 by construction).
+        interior = beta[:-1]
+        assert interior[0] > interior[20] > interior[100]
+
+    def test_shape_one_is_geometric_like(self):
+        d = WeibullInterArrival(10, 1.0)
+        # Compare only over the numerically meaningful support; pmf mass
+        # underflows to exact zeros deep in the discretised tail.
+        meaningful = d.quantile(1 - 1e-6)
+        beta = d.beta[:meaningful]
+        assert np.allclose(beta, beta[0], atol=1e-6)
+
+    def test_cdf_matches_closed_form(self):
+        d = WeibullInterArrival(40, 3)
+        for x in (10, 40, 80):
+            assert d.cdf(x) == pytest.approx(
+                1 - math.exp(-((x / 40) ** 3)), abs=1e-9
+            )
+
+    @pytest.mark.parametrize("scale,shape", [(0, 3), (-1, 3), (40, 0), (40, -2)])
+    def test_invalid_parameters(self, scale, shape):
+        with pytest.raises(DistributionError):
+            WeibullInterArrival(scale, shape)
+
+
+class TestPareto:
+    def test_no_mass_below_scale(self):
+        d = ParetoInterArrival(2, 10)
+        assert d.cdf(9) == 0.0
+        assert d.pmf(5) == 0.0
+        assert d.pmf(11) > 0.0
+
+    def test_mean_close_to_continuous(self):
+        d = ParetoInterArrival(2, 10)
+        continuous_mean = 2 * 10 / (2 - 1)
+        assert abs(d.mu - (continuous_mean + 0.5)) < 0.2
+
+    def test_heavy_tail_support(self):
+        d = ParetoInterArrival(2, 10)
+        assert d.support_max > 1000
+
+    def test_decreasing_hazard(self):
+        d = ParetoInterArrival(2, 10)
+        beta = d.beta
+        peak = int(np.argmax(beta[:100]))
+        assert peak <= 12  # hazard peaks right after the minimum gap
+        assert beta[20] > beta[100] > beta[1000]
+
+    def test_cdf_matches_closed_form(self):
+        d = ParetoInterArrival(2, 10)
+        for x in (15, 50, 200):
+            assert d.cdf(x) == pytest.approx(1 - (10 / x) ** 2, abs=1e-4)
+
+    @pytest.mark.parametrize("shape,scale", [(0, 10), (-1, 10), (2, 0)])
+    def test_invalid_parameters(self, shape, scale):
+        with pytest.raises(DistributionError):
+            ParetoInterArrival(shape, scale)
+
+
+class TestGeometric:
+    def test_constant_hazard(self):
+        d = GeometricInterArrival(0.2)
+        beta = d.beta[:-1]
+        assert np.allclose(beta, 0.2, atol=1e-12)
+
+    def test_mean_is_reciprocal(self):
+        d = GeometricInterArrival(0.2)
+        assert d.mu == pytest.approx(5.0, abs=1e-6)
+
+    def test_p_one_is_every_slot(self):
+        d = GeometricInterArrival(1.0)
+        assert d.support_max == 1
+        assert d.mu == 1.0
+
+    @pytest.mark.parametrize("p", [0.0, -0.1, 1.5])
+    def test_invalid_p(self, p):
+        with pytest.raises(DistributionError):
+            GeometricInterArrival(p)
+
+
+class TestDeterministic:
+    def test_point_mass(self):
+        d = DeterministicInterArrival(5)
+        assert d.pmf(5) == 1.0
+        assert d.mu == 5.0
+        assert d.variance == pytest.approx(0.0, abs=1e-9)
+
+    def test_hazard_structure(self):
+        d = DeterministicInterArrival(5)
+        assert d.hazard(4) == 0.0
+        assert d.hazard(5) == 1.0
+
+    def test_period_one(self):
+        d = DeterministicInterArrival(1)
+        assert d.mu == 1.0
+
+    def test_invalid_period(self):
+        with pytest.raises(DistributionError):
+            DeterministicInterArrival(0)
+
+
+class TestUniform:
+    def test_pmf_flat_on_range(self):
+        d = UniformInterArrival(3, 7)
+        for i in range(3, 8):
+            assert d.pmf(i) == pytest.approx(0.2)
+        assert d.pmf(2) == 0.0
+        assert d.pmf(8) == 0.0
+
+    def test_mean(self):
+        assert UniformInterArrival(3, 7).mu == pytest.approx(5.0)
+
+    def test_increasing_hazard(self):
+        d = UniformInterArrival(3, 7)
+        betas = [d.hazard(i) for i in range(3, 8)]
+        assert betas == sorted(betas)
+        assert betas[-1] == pytest.approx(1.0)
+
+    def test_degenerate_range(self):
+        d = UniformInterArrival(4, 4)
+        assert d.pmf(4) == 1.0
+
+    def test_invalid_ranges(self):
+        with pytest.raises(DistributionError):
+            UniformInterArrival(0, 5)
+        with pytest.raises(DistributionError):
+            UniformInterArrival(5, 3)
+
+
+class TestEmpirical:
+    def test_round_trip_from_samples(self, rng):
+        source = EmpiricalInterArrival([0.3, 0.5, 0.2])
+        gaps = source.sample(rng, 100_000)
+        estimate = EmpiricalInterArrival.from_samples(gaps)
+        np.testing.assert_allclose(
+            estimate.alpha, source.alpha, atol=0.01
+        )
+
+    def test_from_samples_rejects_empty(self):
+        with pytest.raises(DistributionError):
+            EmpiricalInterArrival.from_samples([])
+
+    def test_from_samples_rejects_nonpositive(self):
+        with pytest.raises(DistributionError):
+            EmpiricalInterArrival.from_samples([2, 0, 3])
+
+
+class TestMixture:
+    def test_bimodal_pmf(self):
+        d = MixtureInterArrival(
+            [DeterministicInterArrival(2), DeterministicInterArrival(9)],
+            [0.25, 0.75],
+        )
+        assert d.pmf(2) == pytest.approx(0.25)
+        assert d.pmf(9) == pytest.approx(0.75)
+        assert d.mu == pytest.approx(0.25 * 2 + 0.75 * 9)
+
+    def test_weights_normalised(self):
+        d = MixtureInterArrival(
+            [DeterministicInterArrival(2), DeterministicInterArrival(3)],
+            [1, 3],
+        )
+        assert d.pmf(2) == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            MixtureInterArrival([], [])
+        with pytest.raises(DistributionError):
+            MixtureInterArrival([DeterministicInterArrival(2)], [1, 2])
+        with pytest.raises(DistributionError):
+            MixtureInterArrival([DeterministicInterArrival(2)], [-1])

@@ -1,0 +1,86 @@
+"""Tests for the log-normal and Gamma inter-arrival extensions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.events import GammaInterArrival, LogNormalInterArrival
+from repro.exceptions import DistributionError
+
+
+class TestLogNormal:
+    def test_mean_close_to_continuous(self):
+        d = LogNormalInterArrival(mu_log=3.0, sigma_log=0.4)
+        continuous = math.exp(3.0 + 0.4**2 / 2)
+        assert abs(d.mu - (continuous + 0.5)) < 0.6
+
+    def test_median_matches(self):
+        d = LogNormalInterArrival(mu_log=3.0, sigma_log=0.4)
+        assert d.quantile(0.5) == pytest.approx(math.exp(3.0), abs=1.5)
+
+    def test_hazard_rises_then_falls(self):
+        """The log-normal hazard is unimodal — an interior hot region."""
+        d = LogNormalInterArrival(mu_log=3.0, sigma_log=0.5)
+        meaningful = d.quantile(1 - 1e-4)
+        beta = d.beta[:meaningful]
+        peak = int(np.argmax(beta))
+        assert 0 < peak < meaningful - 1
+        assert beta[0] < beta[peak]
+        assert beta[meaningful - 1] < beta[peak]
+
+    def test_invalid_sigma(self):
+        with pytest.raises(DistributionError):
+            LogNormalInterArrival(3.0, 0.0)
+
+
+class TestGamma:
+    def test_mean_close_to_continuous(self):
+        d = GammaInterArrival(shape=4, scale=9)
+        assert abs(d.mu - (36 + 0.5)) < 0.3
+
+    def test_shape_one_is_memoryless(self):
+        d = GammaInterArrival(shape=1, scale=10)
+        meaningful = d.quantile(1 - 1e-6)
+        beta = d.beta[:meaningful]
+        assert np.allclose(beta, beta[0], atol=1e-6)
+
+    def test_large_shape_concentrates(self):
+        d = GammaInterArrival(shape=50, scale=1)
+        # Coefficient of variation ~ 1/sqrt(50).
+        assert np.sqrt(d.variance) / d.mu < 0.2
+
+    def test_increasing_hazard_for_shape_above_one(self):
+        d = GammaInterArrival(shape=4, scale=9)
+        meaningful = d.quantile(1 - 1e-6)
+        beta = d.beta[:meaningful]
+        assert np.all(np.diff(beta) >= -1e-9)
+
+    @pytest.mark.parametrize("shape,scale", [(0, 1), (1, 0), (-2, 3)])
+    def test_invalid(self, shape, scale):
+        with pytest.raises(DistributionError):
+            GammaInterArrival(shape, scale)
+
+
+class TestPolicyIntegration:
+    def test_greedy_on_lognormal_matches_lp(self):
+        from repro.core import solve_greedy, solve_linear_program
+
+        d = LogNormalInterArrival(2.5, 0.5)
+        greedy = solve_greedy(d, 0.4, 1, 6)
+        lp = solve_linear_program(d, 0.4, 1, 6)
+        assert greedy.qom == pytest.approx(lp.qom, abs=1e-7)
+
+    def test_greedy_hot_region_at_hazard_peak(self):
+        from repro.core import solve_greedy
+
+        d = LogNormalInterArrival(3.0, 0.5)
+        solution = solve_greedy(d, 0.05, 1, 6)
+        active = np.nonzero(solution.activation > 1e-9)[0] + 1
+        meaningful = d.quantile(1 - 1e-4)
+        peak = int(np.argmax(d.beta[:meaningful])) + 1
+        # With a tiny budget, activation concentrates around the peak.
+        assert active.size > 0
+        assert abs(int(np.median(active)) - peak) <= max(3, peak // 3)

@@ -1,0 +1,75 @@
+"""Tests for the two-state Markov event model and its renewal form."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.events import MarkovInterArrival, simulate_markov_chain
+from repro.events.renewal import empirical_gaps
+from repro.exceptions import DistributionError
+
+
+class TestGapDistribution:
+    def test_pmf_closed_form(self):
+        d = MarkovInterArrival(0.3, 0.6)
+        assert d.pmf(1) == pytest.approx(0.3)
+        # P(X = k) = (1-a) b^{k-2} (1-b) for k >= 2.
+        for k in (2, 3, 5):
+            assert d.pmf(k) == pytest.approx(
+                0.7 * 0.6 ** (k - 2) * 0.4, rel=1e-6
+            )
+
+    def test_hazard_structure(self):
+        """beta_1 = a; beta_k = 1 - b for k >= 2 (before truncation)."""
+        d = MarkovInterArrival(0.3, 0.6)
+        assert d.hazard(1) == pytest.approx(0.3)
+        for k in (2, 5, 10):
+            assert d.hazard(k) == pytest.approx(0.4, rel=1e-6)
+
+    def test_mu_matches_stationary_event_rate(self):
+        for a, b in [(0.7, 0.7), (0.2, 0.6), (0.9, 0.1)]:
+            d = MarkovInterArrival(a, b)
+            assert 1.0 / d.mu == pytest.approx(
+                d.stationary_event_rate, rel=1e-9
+            )
+
+    def test_a_equal_one_is_every_slot(self):
+        d = MarkovInterArrival(1.0, 0.5)
+        assert d.support_max == 1
+        assert d.mu == 1.0
+
+    def test_b_zero_limits_gap_to_two(self):
+        d = MarkovInterArrival(0.4, 0.0)
+        assert d.support_max == 2
+        assert d.pmf(2) == pytest.approx(0.6)
+
+    @pytest.mark.parametrize("a,b", [(0.0, 0.5), (1.5, 0.5), (0.5, 1.0), (0.5, -0.1)])
+    def test_invalid_parameters(self, a, b):
+        with pytest.raises(DistributionError):
+            MarkovInterArrival(a, b)
+
+
+class TestChainSimulation:
+    def test_chain_gap_distribution_matches_renewal_form(self, rng):
+        a, b = 0.6, 0.7
+        flags = simulate_markov_chain(a, b, 200_000, rng)
+        gaps = empirical_gaps(flags)
+        d = MarkovInterArrival(a, b)
+        # Compare first few gap probabilities with generous tolerance.
+        for k in (1, 2, 3):
+            observed = np.mean(gaps == k)
+            assert observed == pytest.approx(d.pmf(k), abs=0.01)
+
+    def test_chain_event_rate(self, rng):
+        a, b = 0.3, 0.6
+        flags = simulate_markov_chain(a, b, 200_000, rng)
+        expected = MarkovInterArrival(a, b).stationary_event_rate
+        assert flags.mean() == pytest.approx(expected, abs=0.01)
+
+    def test_negative_horizon_rejected(self, rng):
+        with pytest.raises(DistributionError):
+            simulate_markov_chain(0.5, 0.5, -1, rng)
+
+    def test_zero_horizon(self, rng):
+        assert simulate_markov_chain(0.5, 0.5, 0, rng).size == 0

@@ -1,0 +1,69 @@
+"""Tests for renewal event-sequence generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.events import DeterministicInterArrival, GeometricInterArrival
+from repro.events.renewal import (
+    empirical_gaps,
+    generate_event_flags,
+    generate_event_slots,
+)
+from repro.exceptions import SimulationError
+
+
+class TestGenerateEventSlots:
+    def test_deterministic_schedule(self, rng):
+        d = DeterministicInterArrival(5)
+        slots = generate_event_slots(d, 23, rng)
+        np.testing.assert_array_equal(slots, [5, 10, 15, 20])
+
+    def test_slots_sorted_and_in_range(self, weibull, rng):
+        slots = generate_event_slots(weibull, 10_000, rng)
+        assert np.all(np.diff(slots) >= 1)
+        assert slots.min() >= 1
+        assert slots.max() <= 10_000
+
+    def test_zero_horizon(self, weibull, rng):
+        assert generate_event_slots(weibull, 0, rng).size == 0
+
+    def test_negative_horizon_rejected(self, weibull, rng):
+        with pytest.raises(SimulationError):
+            generate_event_slots(weibull, -1, rng)
+
+    def test_event_rate_matches_renewal_theorem(self, rng):
+        d = GeometricInterArrival(0.1)
+        slots = generate_event_slots(d, 100_000, rng)
+        assert slots.size / 100_000 == pytest.approx(1 / d.mu, rel=0.05)
+
+
+class TestGenerateEventFlags:
+    def test_flags_match_slots(self, weibull):
+        rng1 = np.random.default_rng(3)
+        rng2 = np.random.default_rng(3)
+        flags = generate_event_flags(weibull, 5000, rng1)
+        slots = generate_event_slots(weibull, 5000, rng2)
+        np.testing.assert_array_equal(np.nonzero(flags)[0] + 1, slots)
+
+    def test_at_most_one_event_per_slot(self, geometric, rng):
+        flags = generate_event_flags(geometric, 10_000, rng)
+        assert flags.dtype == bool  # booleans cannot double up
+
+
+class TestEmpiricalGaps:
+    def test_round_trip(self, weibull, rng):
+        flags = generate_event_flags(weibull, 50_000, rng)
+        gaps = empirical_gaps(flags)
+        slots = np.nonzero(flags)[0] + 1
+        assert gaps.sum() == slots[-1]
+        assert gaps.size == slots.size
+
+    def test_empty_flags(self):
+        assert empirical_gaps(np.zeros(10, dtype=bool)).size == 0
+
+    def test_gap_mean_matches_mu(self, weibull, rng):
+        flags = generate_event_flags(weibull, 200_000, rng)
+        gaps = empirical_gaps(flags)
+        assert gaps.mean() == pytest.approx(weibull.mu, rel=0.05)

@@ -1,0 +1,66 @@
+"""Tests for the experiment result containers and config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import FigureResult, Series
+from repro.experiments.config import bench_horizon
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("s", (1.0, 2.0), (0.5,))
+
+    def test_holds_data(self):
+        s = Series("s", (1.0, 2.0), (0.5, 0.6))
+        assert s.x == (1.0, 2.0)
+        assert s.y == (0.5, 0.6)
+
+
+class TestFigureResult:
+    def _result(self) -> FigureResult:
+        return FigureResult(
+            figure="Fig. X",
+            x_label="c",
+            y_label="QoM",
+            series=(
+                Series("a", (1.0, 2.0), (0.1, 0.2)),
+                Series("b", (1.0, 2.0), (0.3, 0.4)),
+            ),
+            horizon=1000,
+            seed=7,
+            notes="test",
+        )
+
+    def test_get(self):
+        r = self._result()
+        assert r.get("b").y == (0.3, 0.4)
+        with pytest.raises(KeyError):
+            r.get("c")
+
+    def test_format_table_alignment(self):
+        table = self._result().format_table()
+        lines = table.splitlines()
+        assert lines[0].startswith("# Fig. X")
+        assert "horizon=1000" in lines[0]
+        assert "# test" == lines[1]
+        header = lines[2].split()
+        assert header == ["c", "a", "b"]
+        assert lines[3].split() == ["1", "0.1000", "0.3000"]
+
+
+class TestBenchHorizon:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SLOTS", raising=False)
+        assert bench_horizon() == 200_000
+
+    def test_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SLOTS", "5000")
+        assert bench_horizon() == 5000
+
+    def test_invalid_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SLOTS", "0")
+        with pytest.raises(ValueError):
+            bench_horizon()

@@ -1,0 +1,119 @@
+"""Tests for the figure-level experiment drivers (reduced scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import WeibullInterArrival
+from repro.experiments import (
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6a,
+    run_fig6b,
+)
+
+SMALL = dict(horizon=30_000)
+FAST_EVENTS = WeibullInterArrival(12, 3)
+
+
+class TestFig3:
+    def test_full_info_converges_to_bound(self):
+        result = run_fig3(
+            "full", capacities=(10, 400), distribution=FAST_EVENTS, **SMALL
+        )
+        bound = result.get("Upper Bound").y[0]
+        for label in ("Bernoulli", "Periodic", "Uniform"):
+            series = result.get(label)
+            # Larger battery is closer to the bound.
+            assert abs(series.y[1] - bound) < abs(series.y[0] - bound) + 0.03
+            assert series.y[1] <= bound + 0.05
+
+    def test_partial_info_runs_and_is_bounded(self):
+        result = run_fig3(
+            "partial", capacities=(50, 400), distribution=FAST_EVENTS, **SMALL
+        )
+        bound = result.get("Upper Bound").y[0]
+        for label in ("Bernoulli", "Periodic", "Uniform"):
+            assert result.get(label).y[-1] <= bound + 0.05
+
+    def test_table_formatting(self):
+        result = run_fig3(
+            "full", capacities=(10, 50), distribution=FAST_EVENTS, **SMALL
+        )
+        table = result.format_table()
+        assert "Upper Bound" in table
+        assert "Fig. 3(a)" in table
+
+    def test_invalid_info(self):
+        with pytest.raises(ValueError):
+            run_fig3("nope")
+
+
+class TestFig4:
+    def test_clustering_beats_baselines(self):
+        result = run_fig4(
+            "weibull",
+            c_values=(1.0, 1.6),
+            distribution=FAST_EVENTS,
+            **SMALL,
+        )
+        clustering = result.get("pi'_PI(e)")
+        aggressive = result.get("pi_AG")
+        periodic = result.get("pi_PE")
+        for i in range(len(clustering.x)):
+            assert clustering.y[i] >= aggressive.y[i] - 0.03
+            assert clustering.y[i] >= periodic.y[i] - 0.03
+
+    def test_qom_increases_with_c(self):
+        result = run_fig4(
+            "weibull", c_values=(0.6, 2.0), distribution=FAST_EVENTS, **SMALL
+        )
+        clustering = result.get("pi'_PI(e)")
+        assert clustering.y[1] >= clustering.y[0] - 0.02
+
+    def test_invalid_events(self):
+        with pytest.raises(ValueError):
+            run_fig4("lognormal")
+
+
+class TestFig5:
+    def test_clustered_regime_matches_ebcw(self):
+        result = run_fig5(b=0.7, a_values=(0.7, 0.9), **SMALL)
+        clustering = result.get("pi'_PI(e)")
+        ebcw = result.get("pi_EBCW")
+        for i in range(2):
+            assert clustering.y[i] == pytest.approx(ebcw.y[i], abs=0.05)
+
+    def test_anticorrelated_regime_beats_ebcw(self):
+        result = run_fig5(b=0.2, a_values=(0.1,), **SMALL)
+        assert result.get("pi'_PI(e)").y[0] >= result.get("pi_EBCW").y[0] - 0.02
+
+
+class TestFig6:
+    def test_more_sensors_help_and_ordering_holds(self):
+        result = run_fig6a(
+            n_values=(1, 4), distribution=FAST_EVENTS, **SMALL
+        )
+        mfi = result.get("M-FI")
+        mpi = result.get("M-PI")
+        ag = result.get("pi_AG")
+        assert mfi.y[1] > mfi.y[0]
+        assert mfi.y[1] >= mpi.y[1] - 0.03
+        assert mpi.y[1] >= ag.y[1] - 0.02
+
+    def test_recharge_sweep(self):
+        result = run_fig6b(
+            c_values=(0.5, 2.0), n_sensors=3, distribution=FAST_EVENTS, **SMALL
+        )
+        mfi = result.get("M-FI")
+        assert mfi.y[1] > mfi.y[0]
+
+
+class TestSeriesContainer:
+    def test_get_unknown_label(self):
+        result = run_fig3(
+            "full", capacities=(10,), distribution=FAST_EVENTS, **SMALL
+        )
+        with pytest.raises(KeyError):
+            result.get("nope")

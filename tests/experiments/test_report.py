@@ -1,0 +1,57 @@
+"""Tests for the all-experiments report generator (reduced scale)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import generate_report, render_markdown, run_all_experiments
+
+# A tiny horizon keeps this integration test fast; claims are checked at
+# the bench scale elsewhere, so here we only require the machinery to
+# run end to end and produce a structurally complete report.
+TINY = 20_000
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return run_all_experiments(horizon=TINY, seed=99)
+
+
+class TestRunAll:
+    def test_covers_every_paper_artifact(self, reports):
+        names = " ".join(r.name for r in reports)
+        for token in ("Fig. 3(a)", "Fig. 3(b)", "Fig. 4(a)", "Fig. 4(b)",
+                      "Fig. 5 (b=0.2)", "Fig. 5 (b=0.7)", "Fig. 6(a)",
+                      "Fig. 6(b)", "worked example"):
+            assert token in names
+
+    def test_every_report_has_claims_and_table(self, reports):
+        for r in reports:
+            assert r.claims
+            assert r.table
+            assert r.elapsed_seconds >= 0
+
+    def test_worked_example_always_passes(self, reports):
+        theorem = next(r for r in reports if "worked example" in r.name)
+        assert theorem.passed
+
+
+class TestRendering:
+    def test_markdown_structure(self, reports):
+        text = render_markdown(reports, horizon=TINY, seed=99)
+        assert text.startswith("# EXPERIMENTS")
+        assert "| experiment | claims checked | verdict | time |" in text
+        assert "- [" in text
+        for r in reports:
+            assert r.name in text
+
+    def test_generate_report_writes_file(self, tmp_path):
+        path = tmp_path / "report.md"
+        # Reuse one small figure end-to-end through the public function.
+        text = generate_report(
+            output_path=str(path), horizon=5_000, seed=1
+        )
+        assert path.exists()
+        assert path.read_text().strip() == text.strip()

@@ -1,0 +1,29 @@
+"""The Sec. IV-A worked example must reproduce the paper's numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_example, run_theorem1_example
+
+
+class TestWorkedExample:
+    def test_paper_numbers(self):
+        ex = run_theorem1_example(800)
+        assert ex.slot1_activations == 800
+        assert ex.slot1_captures == pytest.approx(480)
+        assert ex.slot2_activations == pytest.approx(320)
+        assert ex.slot2_captures == pytest.approx(320)
+        assert ex.scarce_energy_slot == 2
+
+    def test_scales_linearly(self):
+        ex = run_theorem1_example(100)
+        assert ex.slot1_captures == pytest.approx(60)
+        assert ex.slot2_captures == pytest.approx(40)
+
+    def test_formatting(self):
+        text = format_example(run_theorem1_example())
+        assert "always slot 1" in text
+        assert "480" in text
+        assert "100%" in text
+        assert "slot 2 first" in text

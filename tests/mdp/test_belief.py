@@ -1,0 +1,74 @@
+"""Tests for the exact POMDP belief filter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.events import DeterministicInterArrival, GeometricInterArrival
+from repro.exceptions import SolverError
+from repro.mdp import BeliefState
+
+
+class TestConstruction:
+    def test_fresh_belief_is_age_one(self, two_slot):
+        b = BeliefState(two_slot)
+        np.testing.assert_allclose(b.distribution, [1.0])
+        assert b.event_probability() == pytest.approx(two_slot.hazard(1))
+
+    def test_explicit_belief_normalised(self, two_slot):
+        b = BeliefState(two_slot, belief=np.array([2.0, 2.0]))
+        np.testing.assert_allclose(b.distribution, [0.5, 0.5])
+
+    def test_rejects_bad_belief(self, two_slot):
+        with pytest.raises(SolverError):
+            BeliefState(two_slot, belief=np.array([-1.0, 2.0]))
+        with pytest.raises(SolverError):
+            BeliefState(two_slot, belief=np.zeros(2))
+        with pytest.raises(SolverError):
+            BeliefState(two_slot, belief=np.ones(5))  # beyond support
+
+
+class TestUpdates:
+    def test_capture_renews(self, two_slot):
+        b = BeliefState(two_slot).updated(active=False, observation=None)
+        renewed = b.updated(active=True, observation=1)
+        np.testing.assert_allclose(renewed.distribution, [1.0])
+
+    def test_active_no_event_conditions(self, two_slot):
+        b = BeliefState(two_slot).updated(active=True, observation=0)
+        # Gap 1 ruled out: age is 2 with certainty.
+        np.testing.assert_allclose(b.distribution, [0.0, 1.0])
+        assert b.event_probability() == pytest.approx(1.0)
+
+    def test_inactive_mixes(self, two_slot):
+        b = BeliefState(two_slot).updated(active=False, observation=None)
+        # Age 1 w.p. beta_1 = 0.6 (event happened unseen), else age 2.
+        np.testing.assert_allclose(b.distribution, [0.6, 0.4])
+
+    def test_inconsistent_observation_rejected(self):
+        d = DeterministicInterArrival(1)  # event every slot
+        b = BeliefState(d)
+        with pytest.raises(SolverError):
+            b.updated(active=True, observation=0)
+
+    def test_invalid_observation_combinations(self, two_slot):
+        b = BeliefState(two_slot)
+        with pytest.raises(SolverError):
+            b.updated(active=True, observation=None)
+        with pytest.raises(SolverError):
+            b.updated(active=False, observation=1)
+
+    def test_geometric_belief_is_stationary(self):
+        """Memoryless events: the event probability never changes."""
+        d = GeometricInterArrival(0.3)
+        b = BeliefState(d)
+        for _ in range(5):
+            assert b.event_probability() == pytest.approx(0.3, abs=1e-9)
+            b = b.updated(active=False, observation=None)
+
+    def test_age_cannot_exceed_support(self, two_slot):
+        b = BeliefState(two_slot)
+        for _ in range(10):
+            b = b.updated(active=False, observation=None)
+        assert b.distribution.size <= two_slot.support_max

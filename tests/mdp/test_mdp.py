@@ -1,0 +1,102 @@
+"""Tests for the finite-MDP container and the FI activation MDP builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.events import EmpiricalInterArrival
+from repro.exceptions import SolverError
+from repro.mdp import FiniteMDP, build_full_info_mdp, truncate_distribution
+
+DELTA1, DELTA2 = 1.0, 6.0
+
+
+class TestFiniteMDP:
+    def test_valid_construction(self):
+        t = np.zeros((2, 2, 2))
+        t[:, :, 0] = 1.0
+        mdp = FiniteMDP(transitions=t, rewards=np.zeros((2, 2)))
+        assert mdp.n_states == 2
+        assert mdp.n_actions == 2
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(SolverError):
+            FiniteMDP(transitions=np.zeros((2, 2)), rewards=np.zeros((2, 2)))
+        t = np.zeros((2, 2, 2))
+        t[:, :, 0] = 1.0
+        with pytest.raises(SolverError):
+            FiniteMDP(transitions=t, rewards=np.zeros((3, 2)))
+
+    def test_rejects_unnormalised_rows(self):
+        t = np.full((1, 2, 2), 0.4)
+        with pytest.raises(SolverError):
+            FiniteMDP(transitions=t, rewards=np.zeros((1, 2)))
+
+    def test_rejects_negative_probability(self):
+        t = np.array([[[1.5, -0.5], [0.0, 1.0]]])
+        with pytest.raises(SolverError):
+            FiniteMDP(transitions=t, rewards=np.zeros((1, 2)))
+
+    def test_rejects_mismatched_costs(self):
+        t = np.zeros((1, 2, 2))
+        t[:, :, 0] = 1.0
+        with pytest.raises(SolverError):
+            FiniteMDP(
+                transitions=t,
+                rewards=np.zeros((1, 2)),
+                costs=np.zeros((1, 3)),
+            )
+
+
+class TestTruncation:
+    def test_no_op_when_support_fits(self, two_slot):
+        alpha, beta = truncate_distribution(two_slot, 10)
+        np.testing.assert_allclose(alpha, two_slot.alpha)
+        np.testing.assert_allclose(beta, two_slot.beta)
+
+    def test_tail_folded_into_last_slot(self, weibull):
+        n = 30
+        alpha, beta = truncate_distribution(weibull, n)
+        assert alpha.size == n
+        assert alpha.sum() == pytest.approx(1.0)
+        assert beta[-1] == pytest.approx(1.0)
+        # Leading slots unchanged.
+        np.testing.assert_allclose(alpha[: n - 1], weibull.alpha[: n - 1])
+
+    def test_invalid_n(self, two_slot):
+        with pytest.raises(SolverError):
+            truncate_distribution(two_slot, 0)
+
+
+class TestFullInfoMDP:
+    def test_structure(self, two_slot):
+        mdp = build_full_info_mdp(two_slot, DELTA1, DELTA2)
+        assert mdp.n_states == 2
+        assert mdp.n_actions == 2
+        # Inactive action earns nothing and costs nothing.
+        np.testing.assert_allclose(mdp.rewards[0], 0.0)
+        np.testing.assert_allclose(mdp.costs[0], 0.0)
+        # Active action earns beta_i at cost delta1 + beta_i delta2.
+        np.testing.assert_allclose(mdp.rewards[1], two_slot.beta)
+        np.testing.assert_allclose(
+            mdp.costs[1], DELTA1 + two_slot.beta * DELTA2
+        )
+
+    def test_transitions_independent_of_action(self, two_slot):
+        """Full information: the event renews the state either way."""
+        mdp = build_full_info_mdp(two_slot, DELTA1, DELTA2)
+        np.testing.assert_allclose(mdp.transitions[0], mdp.transitions[1])
+
+    def test_renewal_probabilities(self, two_slot):
+        mdp = build_full_info_mdp(two_slot, DELTA1, DELTA2)
+        # From h1: renew w.p. beta_1, else move to h2.
+        assert mdp.transitions[0, 0, 0] == pytest.approx(0.6)
+        assert mdp.transitions[0, 0, 1] == pytest.approx(0.4)
+        # From h2 (last state): renew w.p. 1.
+        assert mdp.transitions[0, 1, 0] == pytest.approx(1.0)
+
+    def test_truncated_build(self, weibull):
+        mdp = build_full_info_mdp(weibull, DELTA1, DELTA2, n_states=25)
+        assert mdp.n_states == 25
+        assert mdp.transitions[0, -1, 0] == pytest.approx(1.0)

@@ -1,0 +1,95 @@
+"""Tests for POMDP information sets and the fine-grained refiner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import optimize_clustering
+from repro.events import EmpiricalInterArrival
+from repro.exceptions import SolverError
+from repro.mdp import (
+    enumerate_information_sets,
+    information_state_count,
+    refine_recency_policy,
+)
+
+DELTA1, DELTA2 = 1.0, 6.0
+
+
+class TestInformationSets:
+    def test_paper_example_i3_k2(self):
+        """The paper's f_{3,j} example: two unobserved slots -> 4 sets."""
+        sets = enumerate_information_sets([None, None])
+        assert sorted(sets) == [
+            (1, 0, 0),
+            (1, 0, 1),
+            (1, 1, 0),
+            (1, 1, 1),
+        ]
+
+    def test_observed_slots_do_not_branch(self):
+        sets = enumerate_information_sets([0, None, 0])
+        assert sorted(sets) == [(1, 0, 0, 0), (1, 0, 1, 0)]
+
+    def test_exponential_growth(self):
+        for k in range(8):
+            sets = enumerate_information_sets([None] * k)
+            assert len(sets) == information_state_count(k) == 2**k
+
+    def test_invalid_observation(self):
+        with pytest.raises(SolverError):
+            enumerate_information_sets([2])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(SolverError):
+            information_state_count(-1)
+
+
+class TestRefineRecencyPolicy:
+    def test_improves_on_or_matches_clustering(self, small_weibull):
+        """The fine-grained optimum bounds the 3-region heuristic below."""
+        e = 0.5
+        clustering = optimize_clustering(small_weibull, e, DELTA1, DELTA2)
+        refined = refine_recency_policy(
+            small_weibull,
+            e,
+            DELTA1,
+            DELTA2,
+            n_slots=small_weibull.quantile(0.95) + 2,
+            initial=clustering.policy.vector,
+            max_rounds=2,
+        )
+        assert refined.qom >= clustering.qom - 1e-6
+        assert refined.analysis.energy_rate <= e * (1 + 1e-6)
+
+    def test_two_slot_saturating_budget(self):
+        """Above the always-on threshold the refiner reaches QoM 1."""
+        d = EmpiricalInterArrival([0.2, 0.8])
+        threshold = DELTA1 + DELTA2 / d.mu
+        refined = refine_recency_policy(
+            d, threshold * 1.02, DELTA1, DELTA2, n_slots=2
+        )
+        assert refined.qom == pytest.approx(1.0, abs=1e-6)
+
+    def test_two_slot_feasible_and_nontrivial(self):
+        """At a tight budget the refiner returns a feasible policy that
+        beats the do-nothing baseline."""
+        d = EmpiricalInterArrival([0.2, 0.8])
+        refined = refine_recency_policy(d, 2.5, DELTA1, DELTA2, n_slots=2)
+        assert refined.analysis.energy_rate <= 2.5 * (1 + 1e-6)
+        assert refined.qom > 0.3
+
+    def test_respects_budget(self, small_weibull):
+        refined = refine_recency_policy(
+            small_weibull, 0.2, DELTA1, DELTA2, n_slots=8, max_rounds=1
+        )
+        assert refined.analysis.energy_rate <= 0.2 * (1 + 1e-6)
+
+    def test_invalid_inputs(self, small_weibull):
+        with pytest.raises(SolverError):
+            refine_recency_policy(small_weibull, -1, DELTA1, DELTA2)
+        with pytest.raises(SolverError):
+            refine_recency_policy(
+                small_weibull, 0.5, DELTA1, DELTA2, n_slots=0
+            )

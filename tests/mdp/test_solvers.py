@@ -1,0 +1,118 @@
+"""Tests for the MDP solvers, including Theorem 1 cross-validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import solve_greedy
+from repro.events import EmpiricalInterArrival
+from repro.exceptions import SolverError
+from repro.mdp import (
+    FiniteMDP,
+    build_full_info_mdp,
+    relative_value_iteration,
+    solve_constrained_average_mdp,
+    stationary_distribution,
+)
+
+DELTA1, DELTA2 = 1.0, 6.0
+
+
+def _two_state_mdp() -> FiniteMDP:
+    """Stay (action 0) or switch (action 1); reward 1 only in state 1."""
+    transitions = np.zeros((2, 2, 2))
+    transitions[0, 0, 0] = 1.0
+    transitions[0, 1, 1] = 1.0
+    transitions[1, 0, 1] = 1.0
+    transitions[1, 1, 0] = 1.0
+    rewards = np.array([[0.0, 1.0], [0.0, 1.0]])
+    return FiniteMDP(transitions=transitions, rewards=rewards)
+
+
+class TestRelativeValueIteration:
+    def test_simple_chain_gain(self):
+        solution = relative_value_iteration(_two_state_mdp())
+        # Optimal: from state 0 switch to 1, then stay: average reward 1.
+        assert solution.gain == pytest.approx(1.0, abs=1e-6)
+        assert solution.policy[0] == 1
+        assert solution.policy[1] == 0
+
+    def test_unconstrained_fi_mdp_always_activates(self, two_slot):
+        """With no cost constraint the optimal policy activates always
+        and earns the event rate 1/mu."""
+        mdp = build_full_info_mdp(two_slot, DELTA1, DELTA2)
+        solution = relative_value_iteration(mdp)
+        assert np.all(solution.policy == 1)
+        assert solution.gain == pytest.approx(1.0 / two_slot.mu, abs=1e-6)
+
+    def test_nonconvergence_raises(self):
+        with pytest.raises(SolverError):
+            relative_value_iteration(_two_state_mdp(), max_iterations=1)
+
+
+class TestConstrainedLP:
+    @pytest.mark.parametrize("e", [0.1, 0.3, 0.6, 1.0])
+    def test_matches_theorem1_greedy(self, e, any_distribution):
+        """Occupation-measure LP optimum == Theorem 1 greedy QoM.
+
+        The LP maximises the per-slot capture rate subject to a per-slot
+        energy budget; multiplying by mu converts to the paper's capture
+        probability.
+        """
+        n = min(any_distribution.support_max, 120)
+        mdp = build_full_info_mdp(any_distribution, DELTA1, DELTA2, n_states=n)
+        lp = solve_constrained_average_mdp(mdp, budget=e)
+
+        from repro.mdp import truncate_distribution
+
+        alpha, _ = truncate_distribution(any_distribution, n)
+        truncated = EmpiricalInterArrival(alpha)
+        greedy = solve_greedy(truncated, e, DELTA1, DELTA2)
+        assert lp.gain * truncated.mu == pytest.approx(greedy.qom, abs=1e-6)
+
+    def test_budget_respected(self, two_slot):
+        mdp = build_full_info_mdp(two_slot, DELTA1, DELTA2)
+        lp = solve_constrained_average_mdp(mdp, budget=0.5)
+        assert lp.cost <= 0.5 + 1e-9
+
+    def test_occupation_is_distribution(self, two_slot):
+        mdp = build_full_info_mdp(two_slot, DELTA1, DELTA2)
+        lp = solve_constrained_average_mdp(mdp, budget=0.5)
+        assert lp.occupation.sum() == pytest.approx(1.0, abs=1e-9)
+        assert np.all(lp.occupation >= -1e-12)
+
+    def test_policy_rows_normalised(self, two_slot):
+        mdp = build_full_info_mdp(two_slot, DELTA1, DELTA2)
+        lp = solve_constrained_average_mdp(mdp, budget=0.5)
+        np.testing.assert_allclose(lp.policy.sum(axis=0), 1.0, atol=1e-9)
+
+    def test_requires_costs(self):
+        mdp = _two_state_mdp()
+        with pytest.raises(SolverError):
+            solve_constrained_average_mdp(mdp, budget=1.0)
+
+
+class TestStationaryDistribution:
+    def test_two_state_chain(self):
+        p = np.array([[0.9, 0.1], [0.5, 0.5]])
+        y = stationary_distribution(p)
+        np.testing.assert_allclose(y @ p, y, atol=1e-9)
+        assert y.sum() == pytest.approx(1.0)
+        assert y[0] == pytest.approx(5 / 6, rel=1e-9)
+
+    def test_identity_rejected(self):
+        # Reducible: every distribution is stationary; lstsq picks one
+        # but the residual check must still accept a valid answer or the
+        # chain must be flagged.  The identity has no *unique* solution,
+        # but any returned vector satisfies yP = y; accept either a
+        # valid distribution or an error.
+        try:
+            y = stationary_distribution(np.eye(2))
+            assert y.sum() == pytest.approx(1.0)
+        except SolverError:
+            pass
+
+    def test_rejects_non_square(self):
+        with pytest.raises(SolverError):
+            stationary_distribution(np.ones((2, 3)))

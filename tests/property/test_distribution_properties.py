@@ -1,0 +1,114 @@
+"""Property-based tests for the distribution framework (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import (
+    EmpiricalInterArrival,
+    GeometricInterArrival,
+    MarkovInterArrival,
+    ParetoInterArrival,
+    UniformInterArrival,
+    WeibullInterArrival,
+)
+
+# Raw weights that we normalise into a pmf; at least one must be positive.
+pmf_weights = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=1,
+    max_size=25,
+).filter(lambda w: sum(w) > 1e-6)
+
+
+def _empirical(weights) -> EmpiricalInterArrival:
+    total = sum(weights)
+    return EmpiricalInterArrival([w / total for w in weights])
+
+
+class TestEmpiricalInvariants:
+    @given(pmf_weights)
+    @settings(max_examples=80, deadline=None)
+    def test_alpha_normalised_and_beta_bounded(self, weights):
+        d = _empirical(weights)
+        assert np.isclose(d.alpha.sum(), 1.0)
+        assert np.all(d.beta >= 0) and np.all(d.beta <= 1)
+
+    @given(pmf_weights)
+    @settings(max_examples=80, deadline=None)
+    def test_mu_within_support(self, weights):
+        d = _empirical(weights)
+        assert 1.0 - 1e-9 <= d.mu <= d.support_max + 1e-9
+
+    @given(pmf_weights)
+    @settings(max_examples=80, deadline=None)
+    def test_survival_product_reconstructs_alpha(self, weights):
+        """alpha_i = beta_i * prod_{j<i} (1 - beta_j) — the hazard-chain
+        decomposition the activation analysis relies on."""
+        d = _empirical(weights)
+        survival = 1.0
+        for i in range(1, d.support_max + 1):
+            reconstructed = d.hazard(i) * survival
+            assert abs(reconstructed - d.pmf(i)) < 1e-9
+            survival *= 1.0 - d.hazard(i)
+
+    @given(pmf_weights, st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_sampling_stays_in_support(self, weights, seed):
+        d = _empirical(weights)
+        samples = d.sample(np.random.default_rng(seed), 64)
+        assert samples.min() >= 1
+        assert samples.max() <= d.support_max
+
+
+class TestParametricFamilies:
+    @given(
+        st.floats(min_value=1.0, max_value=100.0),
+        st.floats(min_value=0.5, max_value=6.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_weibull_valid_for_any_parameters(self, scale, shape):
+        d = WeibullInterArrival(scale, shape)
+        assert np.isclose(d.alpha.sum(), 1.0)
+        assert d.mu >= 1.0 - 1e-9
+
+    @given(
+        st.floats(min_value=1.3, max_value=6.0),
+        st.floats(min_value=1.0, max_value=50.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pareto_valid_for_any_parameters(self, shape, scale):
+        d = ParetoInterArrival(shape, scale)
+        assert np.isclose(d.alpha.sum(), 1.0)
+        # No mass strictly below the scale (minimum gap).
+        below = int(np.floor(scale)) - 1
+        if below >= 1:
+            assert d.cdf(below) <= 1e-12
+
+    @given(st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_geometric_mean(self, p):
+        d = GeometricInterArrival(p)
+        np.testing.assert_allclose(d.mu, 1.0 / p, rtol=1e-6)
+
+    @given(
+        st.floats(min_value=0.01, max_value=1.0),
+        st.floats(min_value=0.0, max_value=0.99),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_markov_event_rate_consistency(self, a, b):
+        d = MarkovInterArrival(a, b)
+        np.testing.assert_allclose(
+            1.0 / d.mu, d.stationary_event_rate, rtol=1e-6
+        )
+
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_mean_is_midpoint(self, low, extra):
+        d = UniformInterArrival(low, low + extra)
+        np.testing.assert_allclose(d.mu, low + extra / 2.0, rtol=1e-9)

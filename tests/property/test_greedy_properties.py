@@ -1,0 +1,85 @@
+"""Property-based tests for the greedy FI policy vs the LP and bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import solve_greedy, solve_linear_program
+from repro.energy import energy_budget, xi_coefficients
+from repro.events import EmpiricalInterArrival
+
+pmf_weights = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=1,
+    max_size=15,
+).filter(lambda w: sum(w) > 1e-6)
+
+rates = st.floats(min_value=0.0, max_value=5.0, allow_nan=False)
+deltas = st.tuples(
+    st.floats(min_value=0.01, max_value=5.0),
+    st.floats(min_value=0.01, max_value=10.0),
+)
+
+
+def _empirical(weights) -> EmpiricalInterArrival:
+    total = sum(weights)
+    return EmpiricalInterArrival([w / total for w in weights])
+
+
+class TestGreedyOptimality:
+    @given(pmf_weights, rates, deltas)
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_equals_lp_optimum(self, weights, e, ds):
+        """Theorem 1 + Remark 1: the hazard-sorted greedy allocation is
+        LP-optimal for every finite renewal process and budget."""
+        delta1, delta2 = ds
+        d = _empirical(weights)
+        greedy = solve_greedy(d, e, delta1, delta2)
+        lp = solve_linear_program(d, e, delta1, delta2)
+        assert abs(greedy.qom - lp.qom) < 1e-6
+
+    @given(pmf_weights, rates, deltas)
+    @settings(max_examples=60, deadline=None)
+    def test_energy_balance_never_violated(self, weights, e, ds):
+        delta1, delta2 = ds
+        d = _empirical(weights)
+        greedy = solve_greedy(d, e, delta1, delta2)
+        budget = energy_budget(d, e)
+        assert greedy.energy_spent <= budget * (1 + 1e-9) + 1e-12
+
+    @given(pmf_weights, rates, deltas)
+    @settings(max_examples=60, deadline=None)
+    def test_activation_probabilities_valid(self, weights, e, ds):
+        delta1, delta2 = ds
+        d = _empirical(weights)
+        c = solve_greedy(d, e, delta1, delta2).activation
+        assert np.all(c >= 0) and np.all(c <= 1 + 1e-12)
+
+    @given(pmf_weights, deltas)
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_budget(self, weights, ds):
+        delta1, delta2 = ds
+        d = _empirical(weights)
+        qoms = [
+            solve_greedy(d, e, delta1, delta2).qom
+            for e in (0.1, 0.5, 2.0)
+        ]
+        assert qoms[0] <= qoms[1] + 1e-12
+        assert qoms[1] <= qoms[2] + 1e-12
+
+    @given(pmf_weights, rates, deltas)
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_beats_proportional_allocation(self, weights, e, ds):
+        """Greedy must dominate the naive uniform energy split."""
+        delta1, delta2 = ds
+        d = _empirical(weights)
+        greedy = solve_greedy(d, e, delta1, delta2)
+        xi = xi_coefficients(d, delta1, delta2)
+        total_cost = float(xi.sum())
+        if total_cost <= 0:
+            return
+        uniform_c = min(energy_budget(d, e) / total_cost, 1.0)
+        uniform_qom = float(d.alpha.sum() * uniform_c)
+        assert greedy.qom >= uniform_qom - 1e-9

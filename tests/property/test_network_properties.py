@@ -1,0 +1,107 @@
+"""Property-based tests for the multi-sensor network simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MultiAggressiveCoordinator,
+    MultiPeriodicCoordinator,
+    RoundRobinCoordinator,
+    VectorPolicy,
+)
+from repro.core.policy import InfoModel
+from repro.energy import BernoulliRecharge
+from repro.events import EmpiricalInterArrival
+from repro.sim import simulate_network
+
+pmf_weights = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=1,
+    max_size=6,
+).filter(lambda w: sum(w) > 1e-6)
+
+network_configs = st.fixed_dictionaries(
+    {
+        "weights": pmf_weights,
+        "n_sensors": st.integers(min_value=1, max_value=5),
+        "kind": st.sampled_from(["aggressive", "periodic", "round-robin"]),
+        "capacity": st.floats(min_value=0.0, max_value=150.0),
+        "q": st.floats(min_value=0.0, max_value=1.0),
+        "c": st.floats(min_value=0.0, max_value=4.0),
+        "seed": st.integers(min_value=0, max_value=2**31),
+    }
+)
+
+
+def _coordinator(cfg):
+    n = cfg["n_sensors"]
+    if cfg["kind"] == "aggressive":
+        return MultiAggressiveCoordinator(n)
+    if cfg["kind"] == "periodic":
+        return MultiPeriodicCoordinator(2, 5, n)
+    policy = VectorPolicy(
+        np.array([0.5, 1.0]), tail=0.3, info_model=InfoModel.PARTIAL
+    )
+    return RoundRobinCoordinator(policy, n)
+
+
+def _run(cfg, horizon=400):
+    total = sum(cfg["weights"])
+    events = EmpiricalInterArrival([w / total for w in cfg["weights"]])
+    return simulate_network(
+        events,
+        _coordinator(cfg),
+        BernoulliRecharge(cfg["q"], cfg["c"]),
+        capacity=cfg["capacity"],
+        delta1=1.0,
+        delta2=6.0,
+        horizon=horizon,
+        seed=cfg["seed"],
+    )
+
+
+class TestNetworkInvariants:
+    @given(network_configs)
+    @settings(max_examples=40, deadline=None)
+    def test_counts_consistent(self, cfg):
+        result = _run(cfg)
+        assert 0 <= result.n_captures <= result.n_events
+        assert sum(s.captures for s in result.sensors) == result.n_captures
+        # At most one sensor acts per slot.
+        assert result.total_activations <= result.horizon
+
+    @given(network_configs)
+    @settings(max_examples=40, deadline=None)
+    def test_per_sensor_energy_books(self, cfg):
+        result = _run(cfg)
+        for s in result.sensors:
+            initial = cfg["capacity"] / 2.0
+            np.testing.assert_allclose(
+                s.final_battery,
+                initial
+                + s.energy_harvested
+                - s.energy_overflow
+                - s.energy_consumed,
+                atol=1e-6,
+            )
+            assert -1e-9 <= s.final_battery <= cfg["capacity"] + 1e-9
+
+    @given(network_configs)
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_replay(self, cfg):
+        a = _run(cfg)
+        b = _run(cfg)
+        assert a.n_captures == b.n_captures
+        assert [s.activations for s in a.sensors] == [
+            s.activations for s in b.sensors
+        ]
+
+    @given(network_configs)
+    @settings(max_examples=30, deadline=None)
+    def test_load_balance_index_in_range(self, cfg):
+        result = _run(cfg)
+        index = result.load_balance_index()
+        assert 1.0 / max(cfg["n_sensors"], 1) - 1e-9 <= index <= 1.0 + 1e-9

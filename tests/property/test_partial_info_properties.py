@@ -1,0 +1,100 @@
+"""Property-based tests for the partial-information hazard DP."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyse_partial_info_policy, conditional_hazards
+from repro.events import EmpiricalInterArrival
+
+pmf_weights = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=1,
+    max_size=10,
+).filter(lambda w: sum(w) > 1e-6)
+
+activation_vectors = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _empirical(weights) -> EmpiricalInterArrival:
+    total = sum(weights)
+    return EmpiricalInterArrival([w / total for w in weights])
+
+
+class TestConditionalHazardInvariants:
+    @given(pmf_weights, activation_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_hazards_are_probabilities(self, weights, activation):
+        d = _empirical(weights)
+        beta_hat, survival = conditional_hazards(
+            d, np.array(activation), 30, tail=0.5
+        )
+        assert np.all(beta_hat >= -1e-12)
+        assert np.all(beta_hat <= 1 + 1e-12)
+
+    @given(pmf_weights, activation_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_survival_monotone_nonincreasing(self, weights, activation):
+        d = _empirical(weights)
+        _, survival = conditional_hazards(
+            d, np.array(activation), 30, tail=0.5
+        )
+        assert np.all(np.diff(survival) <= 1e-12)
+        assert survival[0] == 1.0
+
+    @given(pmf_weights)
+    @settings(max_examples=40, deadline=None)
+    def test_zero_activation_preserves_survival(self, weights):
+        d = _empirical(weights)
+        _, survival = conditional_hazards(d, np.zeros(4), 25, tail=0.0)
+        np.testing.assert_allclose(survival, 1.0)
+
+    @given(pmf_weights)
+    @settings(max_examples=40, deadline=None)
+    def test_first_hazard_is_beta_one(self, weights):
+        d = _empirical(weights)
+        beta_hat, _ = conditional_hazards(d, np.ones(1), 1, tail=1.0)
+        assert abs(beta_hat[0] - d.hazard(1)) < 1e-12
+
+
+class TestAnalysisInvariants:
+    @given(pmf_weights, activation_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_qom_and_energy_nonnegative(self, weights, activation):
+        d = _empirical(weights)
+        analysis = analyse_partial_info_policy(
+            d, np.array(activation), 1.0, 6.0, tail=1.0
+        )
+        assert 0 <= analysis.qom <= 1
+        assert analysis.energy_rate >= -1e-12
+        assert analysis.expected_cycle >= 1.0 - 1e-9
+
+    @given(pmf_weights)
+    @settings(max_examples=40, deadline=None)
+    def test_always_on_is_perfect(self, weights):
+        d = _empirical(weights)
+        analysis = analyse_partial_info_policy(
+            d, np.ones(d.support_max), 1.0, 6.0, tail=1.0
+        )
+        assert abs(analysis.qom - 1.0) < 1e-9
+
+    @given(pmf_weights, activation_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_more_activation_never_hurts_qom(self, weights, activation):
+        """Raising every activation probability weakly increases QoM."""
+        d = _empirical(weights)
+        base = np.array(activation)
+        boosted = np.clip(base + 0.3, 0.0, 1.0)
+        qom_base = analyse_partial_info_policy(
+            d, base, 1.0, 6.0, tail=0.5
+        ).qom
+        qom_boosted = analyse_partial_info_policy(
+            d, boosted, 1.0, 6.0, tail=0.5
+        ).qom
+        assert qom_boosted >= qom_base - 1e-6

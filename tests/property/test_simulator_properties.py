@@ -1,0 +1,100 @@
+"""Property-based tests for the slotted simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import InfoModel, VectorPolicy
+from repro.energy import BernoulliRecharge
+from repro.events import EmpiricalInterArrival
+from repro.sim import simulate_single
+
+pmf_weights = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=1,
+    max_size=8,
+).filter(lambda w: sum(w) > 1e-6)
+
+configs = st.fixed_dictionaries(
+    {
+        "weights": pmf_weights,
+        "vector": st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=6
+        ),
+        "tail": st.floats(min_value=0.0, max_value=1.0),
+        "capacity": st.floats(min_value=0.0, max_value=200.0),
+        "q": st.floats(min_value=0.0, max_value=1.0),
+        "c": st.floats(min_value=0.0, max_value=5.0),
+        "info": st.sampled_from([InfoModel.FULL, InfoModel.PARTIAL]),
+        "seed": st.integers(min_value=0, max_value=2**31),
+    }
+)
+
+
+def _run(cfg, horizon=600):
+    total = sum(cfg["weights"])
+    events = EmpiricalInterArrival([w / total for w in cfg["weights"]])
+    policy = VectorPolicy(
+        np.array(cfg["vector"]), tail=cfg["tail"], info_model=cfg["info"]
+    )
+    return simulate_single(
+        events,
+        policy,
+        BernoulliRecharge(cfg["q"], cfg["c"]),
+        capacity=cfg["capacity"],
+        delta1=1.0,
+        delta2=6.0,
+        horizon=horizon,
+        seed=cfg["seed"],
+        collect_battery_trace=True,
+    )
+
+
+class TestSimulatorInvariants:
+    @given(configs)
+    @settings(max_examples=50, deadline=None)
+    def test_counts_consistent(self, cfg):
+        result = _run(cfg)
+        assert 0 <= result.n_captures <= result.n_events <= result.horizon
+        assert result.total_activations <= result.horizon
+        assert result.n_captures <= result.total_activations
+
+    @given(configs)
+    @settings(max_examples=50, deadline=None)
+    def test_battery_always_in_bounds(self, cfg):
+        result = _run(cfg)
+        trace = result.battery_trace
+        assert trace.min() >= -1e-9
+        assert trace.max() <= cfg["capacity"] + 1e-9
+
+    @given(configs)
+    @settings(max_examples=50, deadline=None)
+    def test_energy_books_balance(self, cfg):
+        result = _run(cfg)
+        s = result.sensors[0]
+        initial = cfg["capacity"] / 2.0
+        np.testing.assert_allclose(
+            s.final_battery,
+            initial + s.energy_harvested - s.energy_overflow - s.energy_consumed,
+            atol=1e-6,
+        )
+
+    @given(configs)
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_replay(self, cfg):
+        a = _run(cfg)
+        b = _run(cfg)
+        assert a.n_events == b.n_events
+        assert a.n_captures == b.n_captures
+        assert a.sensors[0].final_battery == b.sensors[0].final_battery
+
+    @given(configs)
+    @settings(max_examples=30, deadline=None)
+    def test_consumption_bounded_by_activations(self, cfg):
+        result = _run(cfg)
+        s = result.sensors[0]
+        upper = s.activations * (1.0 + 6.0)
+        assert s.energy_consumed <= upper + 1e-9
+        assert s.energy_consumed >= s.activations * 1.0 - 1e-9

@@ -1,0 +1,106 @@
+"""Tests for multi-seed replication statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AggressivePolicy
+from repro.energy import BernoulliRecharge
+from repro.exceptions import SimulationError
+from repro.sim import compare, replicate, simulate_single, summarize
+
+
+class TestSummarize:
+    def test_basic_interval(self):
+        s = summarize([0.5, 0.6, 0.55, 0.58, 0.52])
+        assert s.mean == pytest.approx(0.55)
+        assert s.ci_low < s.mean < s.ci_high
+        assert s.n == 5
+
+    def test_interval_covers_more_at_higher_confidence(self):
+        values = [0.5, 0.6, 0.55, 0.58, 0.52]
+        narrow = summarize(values, confidence=0.8)
+        wide = summarize(values, confidence=0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_single_value_has_nan_interval(self):
+        s = summarize([0.4])
+        assert s.mean == 0.4
+        assert np.isnan(s.std_error)
+
+    def test_constant_values(self):
+        s = summarize([0.3, 0.3, 0.3])
+        assert s.half_width == 0.0
+        assert s.ci_low == s.ci_high == 0.3
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            summarize([])
+        with pytest.raises(SimulationError):
+            summarize([0.5, 0.6], confidence=1.5)
+
+
+class TestReplicate:
+    def _runner(self, weibull):
+        def run(seed: int):
+            return simulate_single(
+                weibull, AggressivePolicy(), BernoulliRecharge(0.5, 1.0),
+                capacity=100, delta1=1, delta2=6,
+                horizon=20_000, seed=seed,
+            )
+
+        return run
+
+    def test_replicates_vary_but_agree(self, weibull):
+        summary = replicate(self._runner(weibull), 5, base_seed=1)
+        assert summary.n == 5
+        assert len(set(summary.values)) > 1  # different seeds
+        assert summary.half_width < 0.05     # but statistically consistent
+
+    def test_deterministic_under_base_seed(self, weibull):
+        a = replicate(self._runner(weibull), 3, base_seed=9)
+        b = replicate(self._runner(weibull), 3, base_seed=9)
+        assert a.values == b.values
+
+    def test_custom_metric(self, weibull):
+        summary = replicate(
+            self._runner(weibull), 3, base_seed=2,
+            metric=lambda r: float(r.total_activations),
+        )
+        assert summary.mean > 0
+
+    def test_validation(self, weibull):
+        with pytest.raises(SimulationError):
+            replicate(self._runner(weibull), 0)
+
+
+class TestCompare:
+    def test_distinguishes_clearly_different_policies(self, weibull):
+        def run(policy_prob):
+            from repro.core import InfoModel, VectorPolicy
+
+            def runner(seed):
+                policy = VectorPolicy(
+                    np.array([policy_prob]), tail=policy_prob,
+                    info_model=InfoModel.PARTIAL,
+                )
+                return simulate_single(
+                    weibull, policy, BernoulliRecharge(0.9, 10.0),
+                    capacity=10_000, delta1=1, delta2=6,
+                    horizon=30_000, seed=seed,
+                )
+
+            return runner
+
+        high = replicate(run(0.9), 4, base_seed=3)
+        low = replicate(run(0.2), 4, base_seed=4)
+        t_stat, p_value = compare(high, low)
+        assert t_stat > 0
+        assert p_value < 0.01
+
+    def test_needs_two_replicates(self):
+        a = summarize([0.5])
+        b = summarize([0.6, 0.7])
+        with pytest.raises(SimulationError):
+            compare(a, b)

@@ -1,0 +1,231 @@
+"""Tests for the single-sensor simulation engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AggressivePolicy,
+    InfoModel,
+    PeriodicPolicy,
+    VectorPolicy,
+    solve_greedy,
+)
+from repro.energy import BernoulliRecharge, ConstantRecharge, PeriodicRecharge
+from repro.events import DeterministicInterArrival, GeometricInterArrival
+from repro.exceptions import SimulationError
+from repro.sim import simulate_single
+
+DELTA1, DELTA2 = 1.0, 6.0
+
+
+class TestBasicInvariants:
+    def test_captures_bounded_by_events(self, weibull):
+        result = simulate_single(
+            weibull, AggressivePolicy(), BernoulliRecharge(0.5, 1.0),
+            capacity=100, delta1=DELTA1, delta2=DELTA2,
+            horizon=20_000, seed=1,
+        )
+        assert 0 <= result.n_captures <= result.n_events
+        assert 0 <= result.qom <= 1
+
+    def test_battery_trace_within_bounds(self, weibull):
+        result = simulate_single(
+            weibull, AggressivePolicy(), BernoulliRecharge(0.5, 2.0),
+            capacity=50, delta1=DELTA1, delta2=DELTA2,
+            horizon=5_000, seed=2, collect_battery_trace=True,
+        )
+        assert result.battery_trace is not None
+        assert result.battery_trace.min() >= -1e-9
+        assert result.battery_trace.max() <= 50 + 1e-9
+
+    def test_energy_conservation(self, weibull):
+        result = simulate_single(
+            weibull, AggressivePolicy(), BernoulliRecharge(0.5, 1.0),
+            capacity=100, delta1=DELTA1, delta2=DELTA2,
+            horizon=20_000, seed=3,
+        )
+        s = result.sensors[0]
+        # initial + harvested - overflow - consumed == final
+        initial = 50.0
+        assert s.final_battery == pytest.approx(
+            initial + s.energy_harvested - s.energy_overflow - s.energy_consumed,
+            abs=1e-6,
+        )
+
+    def test_zero_horizon(self, weibull):
+        result = simulate_single(
+            weibull, AggressivePolicy(), ConstantRecharge(0.5),
+            capacity=10, delta1=DELTA1, delta2=DELTA2, horizon=0, seed=4,
+        )
+        assert result.n_events == 0
+        assert result.qom == 1.0  # vacuous
+
+    def test_reproducible_under_seed(self, weibull):
+        kwargs = dict(
+            capacity=100, delta1=DELTA1, delta2=DELTA2, horizon=10_000,
+        )
+        a = simulate_single(
+            weibull, AggressivePolicy(), BernoulliRecharge(0.5, 1.0),
+            seed=42, **kwargs,
+        )
+        b = simulate_single(
+            weibull, AggressivePolicy(), BernoulliRecharge(0.5, 1.0),
+            seed=42, **kwargs,
+        )
+        assert a.n_events == b.n_events
+        assert a.n_captures == b.n_captures
+        assert a.sensors[0].final_battery == b.sensors[0].final_battery
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(horizon=-1),
+            dict(capacity=-5),
+            dict(delta1=-1),
+            dict(initial_energy=1e9),
+        ],
+    )
+    def test_invalid_configuration(self, weibull, kwargs):
+        base = dict(
+            capacity=10.0, delta1=DELTA1, delta2=DELTA2, horizon=10, seed=0
+        )
+        base.update(kwargs)
+        with pytest.raises(SimulationError):
+            simulate_single(
+                weibull, AggressivePolicy(), ConstantRecharge(0.5), **base
+            )
+
+
+class TestEnergyGating:
+    def test_never_activates_below_threshold(self):
+        """With zero recharge and initial energy below delta1 + delta2
+        the sensor can never activate."""
+        d = GeometricInterArrival(0.5)
+        result = simulate_single(
+            d, AggressivePolicy(), ConstantRecharge(0.0),
+            capacity=10, delta1=DELTA1, delta2=DELTA2,
+            horizon=1000, seed=5, initial_energy=DELTA1 + DELTA2 - 0.5,
+        )
+        assert result.total_activations == 0
+        assert result.n_captures == 0
+
+    def test_aggressive_self_throttles(self):
+        """Aggressive spends roughly its recharge rate, not more."""
+        d = GeometricInterArrival(0.05)
+        result = simulate_single(
+            d, AggressivePolicy(), ConstantRecharge(0.5),
+            capacity=1000, delta1=DELTA1, delta2=DELTA2,
+            horizon=100_000, seed=6,
+        )
+        rate = result.total_energy_consumed / result.horizon
+        assert rate <= 0.5 * (1 + 0.01)
+        assert rate >= 0.5 * (1 - 0.05)  # it does use what it gets
+
+    def test_blocked_slots_counted(self):
+        d = GeometricInterArrival(0.5)
+        result = simulate_single(
+            d, AggressivePolicy(), ConstantRecharge(0.1),
+            capacity=10, delta1=DELTA1, delta2=DELTA2,
+            horizon=10_000, seed=7,
+        )
+        assert result.sensors[0].blocked_slots > 0
+        assert result.blocked_fraction > 0
+
+
+class TestInfoModels:
+    def test_full_info_recency_tracks_events(self):
+        """A FI policy activating only in state h_3 on deterministic
+        3-gap events captures everything."""
+        d = DeterministicInterArrival(3)
+        policy = VectorPolicy(
+            np.array([0.0, 0.0, 1.0]), tail=0.0, info_model=InfoModel.FULL
+        )
+        result = simulate_single(
+            d, policy, ConstantRecharge((DELTA1 + DELTA2) / 3),
+            capacity=1000, delta1=DELTA1, delta2=DELTA2,
+            horizon=30_000, seed=8,
+        )
+        assert result.qom == pytest.approx(1.0)
+        # It activates exactly once per event.
+        assert result.total_activations == result.n_events
+
+    def test_partial_info_recency_tracks_captures(self):
+        """Under partial information the same vector also works for
+        deterministic gaps (captures renew the schedule), but a sensor
+        that misses once must rely on its tail to recover."""
+        d = DeterministicInterArrival(3)
+        policy = VectorPolicy(
+            np.array([0.0, 0.0, 1.0]), tail=1.0, info_model=InfoModel.PARTIAL
+        )
+        result = simulate_single(
+            d, policy, ConstantRecharge((DELTA1 + DELTA2) / 3),
+            capacity=1000, delta1=DELTA1, delta2=DELTA2,
+            horizon=30_000, seed=9,
+        )
+        assert result.qom == pytest.approx(1.0)
+
+    def test_partial_info_misses_without_recovery(self):
+        """A PI policy watching only state f_2 on 3-gap events captures
+        nothing after the first phase drift — no recovery tail."""
+        d = DeterministicInterArrival(3)
+        policy = VectorPolicy(
+            np.array([0.0, 1.0, 0.0]), tail=0.0, info_model=InfoModel.PARTIAL
+        )
+        result = simulate_single(
+            d, policy, ConstantRecharge(1.0),
+            capacity=1000, delta1=DELTA1, delta2=DELTA2,
+            horizon=10_000, seed=10,
+        )
+        assert result.qom == 0.0
+
+
+class TestPolicyFastPaths:
+    def test_periodic_slot_table_matches_direct_calls(self, weibull):
+        """The slot-probability fast path and direct evaluation agree."""
+        policy = PeriodicPolicy(3, 7)
+        probs = policy.slot_probabilities(21)
+        direct = [policy.activation_probability(t, 1) for t in range(1, 22)]
+        np.testing.assert_allclose(probs, direct)
+
+    def test_periodic_duty_cycle_in_simulation(self, weibull):
+        policy = PeriodicPolicy(2, 10)
+        result = simulate_single(
+            weibull, policy, ConstantRecharge(10.0),
+            capacity=10_000, delta1=DELTA1, delta2=DELTA2,
+            horizon=50_000, seed=11,
+        )
+        assert result.total_activations == pytest.approx(
+            0.2 * 50_000, rel=0.01
+        )
+
+
+class TestConvergenceToTheory:
+    def test_greedy_simulation_approaches_bound(self, weibull):
+        """Remark 2: U_K -> U as K grows."""
+        sol = solve_greedy(weibull, 0.5, DELTA1, DELTA2)
+        qoms = {}
+        for capacity in (20, 2000):
+            result = simulate_single(
+                weibull, sol.as_policy(), BernoulliRecharge(0.5, 1.0),
+                capacity=capacity, delta1=DELTA1, delta2=DELTA2,
+                horizon=150_000, seed=12,
+            )
+            qoms[capacity] = result.qom
+        assert qoms[2000] > qoms[20]
+        assert qoms[2000] == pytest.approx(sol.qom, abs=0.02)
+
+    def test_geometric_fixed_probability(self):
+        """On memoryless events a constant-probability policy captures
+        exactly that fraction."""
+        d = GeometricInterArrival(0.1)
+        policy = VectorPolicy(
+            np.array([0.3]), tail=0.3, info_model=InfoModel.PARTIAL
+        )
+        result = simulate_single(
+            d, policy, ConstantRecharge(10.0),
+            capacity=10_000, delta1=DELTA1, delta2=DELTA2,
+            horizon=200_000, seed=13,
+        )
+        assert result.qom == pytest.approx(0.3, abs=0.02)

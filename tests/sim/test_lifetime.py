@@ -1,0 +1,74 @@
+"""Tests for energy-outage episode statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AggressivePolicy, solve_greedy
+from repro.energy import BernoulliRecharge, ConstantRecharge
+from repro.events import GeometricInterArrival, WeibullInterArrival
+from repro.sim import trace_single
+from repro.sim.lifetime import outage_capacity_curve, outage_stats
+
+DELTA1, DELTA2 = 1.0, 6.0
+
+
+def _trace(capacity, rate=0.2, horizon=20_000, seed=3):
+    events = GeometricInterArrival(0.3)
+    return trace_single(
+        events, AggressivePolicy(), ConstantRecharge(rate),
+        capacity=capacity, delta1=DELTA1, delta2=DELTA2,
+        horizon=horizon, seed=seed,
+    )
+
+
+class TestOutageStats:
+    def test_empty_trace(self):
+        stats = outage_stats([])
+        assert not stats.had_outage
+        assert stats.first_outage_slot is None
+
+    def test_starved_aggressive_sensor_has_outages(self):
+        stats = outage_stats(_trace(capacity=15))
+        assert stats.had_outage
+        assert stats.total_blocked_slots > 0
+        assert stats.max_episode_length >= 1
+        assert stats.mean_episode_length >= 1.0
+        assert stats.first_outage_slot is not None
+
+    def test_episode_accounting_consistent(self):
+        records = _trace(capacity=15)
+        stats = outage_stats(records)
+        assert stats.total_blocked_slots == sum(r.blocked for r in records)
+        assert stats.n_episodes <= stats.total_blocked_slots
+        assert stats.events_lost_to_outage <= stats.total_blocked_slots
+
+    def test_abundant_energy_has_no_outage(self):
+        records = _trace(capacity=100_000, rate=10.0)
+        stats = outage_stats(records)
+        assert not stats.had_outage
+        assert stats.events_lost_to_outage == 0
+
+    def test_events_lost_matches_records(self):
+        records = _trace(capacity=15)
+        stats = outage_stats(records)
+        lost = sum(1 for r in records if r.blocked and r.event)
+        assert stats.events_lost_to_outage == lost
+
+
+class TestCapacityCurve:
+    def test_outages_shrink_with_capacity(self):
+        events = WeibullInterArrival(12, 3)
+        policy = solve_greedy(events, 0.5, DELTA1, DELTA2).as_policy()
+
+        def factory(capacity):
+            return trace_single(
+                events, policy, BernoulliRecharge(0.5, 1.0),
+                capacity=capacity, delta1=DELTA1, delta2=DELTA2,
+                horizon=40_000, seed=9,
+            )
+
+        curve = outage_capacity_curve((10, 500), factory)
+        small, large = curve[0][1], curve[1][1]
+        assert small.total_blocked_slots > large.total_blocked_slots
+        assert curve[0][0] == 10.0

@@ -1,0 +1,100 @@
+"""Tests for simulation result containers and derived metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import SensorStats, SimulationResult
+
+
+def _stats(activations=10, captures=4, blocked=0) -> SensorStats:
+    return SensorStats(
+        activations=activations,
+        captures=captures,
+        energy_harvested=100.0,
+        energy_consumed=40.0,
+        energy_overflow=5.0,
+        blocked_slots=blocked,
+        final_battery=55.0,
+    )
+
+
+class TestSimulationResult:
+    def test_qom(self):
+        r = SimulationResult(
+            horizon=100, n_events=20, n_captures=15, sensors=(_stats(),)
+        )
+        assert r.qom == pytest.approx(0.75)
+
+    def test_qom_no_events_is_one(self):
+        r = SimulationResult(
+            horizon=100, n_events=0, n_captures=0, sensors=(_stats(),)
+        )
+        assert r.qom == 1.0
+
+    def test_totals_aggregate_sensors(self):
+        r = SimulationResult(
+            horizon=100,
+            n_events=10,
+            n_captures=6,
+            sensors=(_stats(activations=10), _stats(activations=20)),
+        )
+        assert r.total_activations == 30
+        assert r.total_energy_consumed == pytest.approx(80.0)
+        assert r.total_energy_harvested == pytest.approx(200.0)
+        assert r.n_sensors == 2
+
+    def test_blocked_fraction(self):
+        r = SimulationResult(
+            horizon=100,
+            n_events=10,
+            n_captures=6,
+            sensors=(_stats(blocked=10), _stats(blocked=30)),
+        )
+        assert r.blocked_fraction == pytest.approx(40 / 200)
+
+    def test_blocked_fraction_zero_horizon(self):
+        r = SimulationResult(
+            horizon=0, n_events=0, n_captures=0, sensors=(_stats(),)
+        )
+        assert r.blocked_fraction == 0.0
+
+
+class TestLoadBalance:
+    def test_perfect_balance(self):
+        r = SimulationResult(
+            horizon=10,
+            n_events=1,
+            n_captures=1,
+            sensors=(_stats(activations=5), _stats(activations=5)),
+        )
+        assert r.load_balance_index() == pytest.approx(1.0)
+
+    def test_single_worker(self):
+        r = SimulationResult(
+            horizon=10,
+            n_events=1,
+            n_captures=1,
+            sensors=(_stats(activations=10), _stats(activations=0)),
+        )
+        assert r.load_balance_index() == pytest.approx(0.5)
+
+    def test_idle_network_is_balanced(self):
+        r = SimulationResult(
+            horizon=10,
+            n_events=0,
+            n_captures=0,
+            sensors=(_stats(activations=0), _stats(activations=0)),
+        )
+        assert r.load_balance_index() == 1.0
+
+
+class TestSummary:
+    def test_summary_mentions_key_numbers(self):
+        r = SimulationResult(
+            horizon=100, n_events=20, n_captures=15, sensors=(_stats(),)
+        )
+        text = r.summary()
+        assert "events=20" in text
+        assert "captures=15" in text
+        assert "QoM=0.7500" in text

@@ -1,0 +1,192 @@
+"""Tests for the multi-sensor network simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    InfoModel,
+    MultiAggressiveCoordinator,
+    MultiPeriodicCoordinator,
+    RoundRobinCoordinator,
+    VectorPolicy,
+    make_mfi,
+    make_mpi,
+)
+from repro.energy import BernoulliRecharge, ConstantRecharge
+from repro.events import DeterministicInterArrival, WeibullInterArrival
+from repro.exceptions import SimulationError
+from repro.sim import simulate_network, simulate_single
+
+DELTA1, DELTA2 = 1.0, 6.0
+
+
+class TestInvariants:
+    def test_captures_bounded_by_events(self, weibull):
+        coord = MultiAggressiveCoordinator(3)
+        result = simulate_network(
+            weibull, coord, BernoulliRecharge(0.1, 1.0),
+            capacity=100, delta1=DELTA1, delta2=DELTA2,
+            horizon=20_000, seed=1,
+        )
+        assert result.n_captures <= result.n_events
+        assert result.n_sensors == 3
+
+    def test_per_sensor_energy_conservation(self, weibull):
+        coord = MultiAggressiveCoordinator(2)
+        result = simulate_network(
+            weibull, coord, BernoulliRecharge(0.3, 1.0),
+            capacity=60, delta1=DELTA1, delta2=DELTA2,
+            horizon=20_000, seed=2,
+        )
+        for s in result.sensors:
+            assert s.final_battery == pytest.approx(
+                30.0 + s.energy_harvested - s.energy_overflow - s.energy_consumed,
+                abs=1e-6,
+            )
+            assert 0 <= s.final_battery <= 60
+
+    def test_captures_sum_over_sensors(self, weibull):
+        coord = MultiAggressiveCoordinator(4)
+        result = simulate_network(
+            weibull, coord, BernoulliRecharge(0.2, 1.0),
+            capacity=100, delta1=DELTA1, delta2=DELTA2,
+            horizon=20_000, seed=3,
+        )
+        assert sum(s.captures for s in result.sensors) == result.n_captures
+
+    def test_reproducible(self, weibull):
+        coord_a = MultiAggressiveCoordinator(2)
+        coord_b = MultiAggressiveCoordinator(2)
+        kwargs = dict(
+            capacity=100, delta1=DELTA1, delta2=DELTA2,
+            horizon=10_000, seed=42,
+        )
+        a = simulate_network(
+            weibull, coord_a, BernoulliRecharge(0.2, 1.0), **kwargs
+        )
+        b = simulate_network(
+            weibull, coord_b, BernoulliRecharge(0.2, 1.0), **kwargs
+        )
+        assert a.n_captures == b.n_captures
+
+    def test_invalid_configuration(self, weibull):
+        coord = MultiAggressiveCoordinator(2)
+        with pytest.raises(SimulationError):
+            simulate_network(
+                weibull, coord, ConstantRecharge(0.5),
+                capacity=10, delta1=DELTA1, delta2=DELTA2,
+                horizon=-1, seed=0,
+            )
+
+
+class TestCoordinationSemantics:
+    def test_single_sensor_network_matches_single_simulation(self, weibull):
+        """An N=1 round-robin network is exactly the single-sensor run."""
+        from repro.core import solve_greedy
+
+        policy = solve_greedy(weibull, 0.5, DELTA1, DELTA2).as_policy()
+        coordinator = RoundRobinCoordinator(policy, 1)
+        net = simulate_network(
+            weibull, coordinator, BernoulliRecharge(0.5, 1.0),
+            capacity=500, delta1=DELTA1, delta2=DELTA2,
+            horizon=100_000, seed=7,
+        )
+        assert 0 < net.qom <= 1
+        # Statistically the same policy: compare against theory loosely.
+        assert net.qom == pytest.approx(
+            solve_greedy(weibull, 0.5, DELTA1, DELTA2).qom, abs=0.05
+        )
+
+    def test_only_responsible_sensor_acts(self, weibull):
+        """Under slot round-robin with N=2, activations split roughly
+        evenly and no slot has two active sensors (capture counts would
+        otherwise exceed events)."""
+        policy = VectorPolicy(
+            np.array([1.0]), tail=1.0, info_model=InfoModel.PARTIAL
+        )
+        coordinator = RoundRobinCoordinator(policy, 2)
+        result = simulate_network(
+            weibull, coordinator, ConstantRecharge(10.0),
+            capacity=10_000, delta1=DELTA1, delta2=DELTA2,
+            horizon=20_000, seed=8,
+        )
+        a0 = result.sensors[0].activations
+        a1 = result.sensors[1].activations
+        assert a0 + a1 == 20_000
+        assert a0 == 10_000  # odd slots
+        assert a1 == 10_000
+
+    def test_full_info_shared_state(self):
+        """M-FI on deterministic 4-gap events with 2 sensors captures
+        everything when the aggregate rate suffices — but only with the
+        paper's load-balancing mitigation: plain slot round-robin pins
+        every h_4 slot on the same sensor (Sec. V-A's beta pathology),
+        while active-slot rotation splits the work."""
+        d = DeterministicInterArrival(4)
+        e = (DELTA1 + DELTA2) / 8  # each sensor funds half the captures
+        coord, solution = make_mfi(
+            d, e, 2, DELTA1, DELTA2, assignment="active-slot"
+        )
+        assert solution.qom == pytest.approx(1.0)
+        result = simulate_network(
+            d, coord, ConstantRecharge(e),
+            capacity=2000, delta1=DELTA1, delta2=DELTA2,
+            horizon=40_000, seed=9,
+        )
+        assert result.qom == pytest.approx(1.0, abs=0.01)
+        assert result.load_balance_index() == pytest.approx(1.0, abs=0.01)
+
+    def test_full_info_slot_assignment_shows_imbalance(self):
+        """The same setup under plain slot round-robin exhibits the
+        paper's imbalance: one sensor does all the work and runs dry."""
+        d = DeterministicInterArrival(4)
+        e = (DELTA1 + DELTA2) / 8
+        coord, _ = make_mfi(d, e, 2, DELTA1, DELTA2, assignment="slot")
+        result = simulate_network(
+            d, coord, ConstantRecharge(e),
+            capacity=2000, delta1=DELTA1, delta2=DELTA2,
+            horizon=40_000, seed=9,
+        )
+        assert result.qom < 0.7  # the overloaded sensor is blocked often
+        assert result.load_balance_index() < 0.6
+
+    def test_load_balance_on_natural_distribution(self, weibull):
+        coord, _ = make_mfi(weibull, 0.1, 4, DELTA1, DELTA2)
+        result = simulate_network(
+            weibull, coord, BernoulliRecharge(0.1, 1.0),
+            capacity=1000, delta1=DELTA1, delta2=DELTA2,
+            horizon=100_000, seed=10,
+        )
+        assert result.load_balance_index() > 0.9
+
+    def test_more_sensors_help(self, weibull):
+        qoms = []
+        for n in (1, 4):
+            coord, _ = make_mfi(weibull, 0.1, n, DELTA1, DELTA2)
+            result = simulate_network(
+                weibull, coord, BernoulliRecharge(0.1, 1.0),
+                capacity=1000, delta1=DELTA1, delta2=DELTA2,
+                horizon=60_000, seed=11,
+            )
+            qoms.append(result.qom)
+        assert qoms[1] > qoms[0]
+
+    def test_mfi_beats_baselines(self, weibull):
+        """The headline Fig. 6 ordering at one operating point."""
+        n, e = 4, 0.1
+        recharge = BernoulliRecharge(0.1, 1.0)
+        kwargs = dict(
+            capacity=1000, delta1=DELTA1, delta2=DELTA2,
+            horizon=80_000, seed=12,
+        )
+        mfi, _ = make_mfi(weibull, e, n, DELTA1, DELTA2)
+        mpi, _ = make_mpi(weibull, e, n, DELTA1, DELTA2)
+        qom_mfi = simulate_network(weibull, mfi, recharge, **kwargs).qom
+        qom_mpi = simulate_network(weibull, mpi, recharge, **kwargs).qom
+        qom_ag = simulate_network(
+            weibull, MultiAggressiveCoordinator(n), recharge, **kwargs
+        ).qom
+        assert qom_mfi >= qom_mpi - 0.03
+        assert qom_mpi > qom_ag

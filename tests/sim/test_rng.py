@@ -1,0 +1,35 @@
+"""Tests for seeded RNG management."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim import make_rng, spawn
+
+
+class TestMakeRng:
+    def test_int_seed(self):
+        a = make_rng(7).random(5)
+        b = make_rng(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_are_independent_and_reproducible(self):
+        kids_a = spawn(make_rng(3), 3)
+        kids_b = spawn(make_rng(3), 3)
+        for a, b in zip(kids_a, kids_b):
+            np.testing.assert_array_equal(a.random(4), b.random(4))
+        # Different children differ from each other.
+        kids = spawn(make_rng(3), 2)
+        assert not np.array_equal(kids[0].random(8), kids[1].random(8))
+
+    def test_count(self):
+        assert len(spawn(make_rng(0), 5)) == 5

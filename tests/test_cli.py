@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from repro.cli import main, parse_events
+from repro.events import MarkovInterArrival, WeibullInterArrival
+
+
+class TestParseEvents:
+    def test_weibull(self):
+        d = parse_events("weibull:40,3")
+        assert isinstance(d, WeibullInterArrival)
+        assert d.scale == 40.0
+        assert d.shape == 3.0
+
+    def test_markov(self):
+        d = parse_events("markov:0.7,0.6")
+        assert isinstance(d, MarkovInterArrival)
+        assert d.a == 0.7
+
+    def test_integer_families(self):
+        d = parse_events("deterministic:5")
+        assert d.period == 5
+        d = parse_events("uniform:3,7")
+        assert d.low == 3 and d.high == 7
+
+    def test_unknown_family(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_events("zipf:1.2")
+
+    def test_wrong_arity(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_events("weibull:40")
+
+    def test_invalid_parameters_surface_cleanly(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_events("weibull:-1,3")
+
+
+class TestCommands:
+    def test_solve_greedy(self, capsys):
+        rc = main(
+            ["solve", "--events", "weibull:12,3", "--rate", "0.5"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "greedy pi*_FI" in out
+        assert "QoM" in out
+
+    def test_solve_clustering(self, capsys):
+        rc = main(
+            ["solve", "--events", "weibull:8,3", "--rate", "0.5",
+             "--policy", "clustering"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "clustering pi'_PI" in out
+        assert "recovery from" in out
+
+    def test_solve_ebcw(self, capsys):
+        rc = main(
+            ["solve", "--events", "markov:0.7,0.7", "--rate", "1.0",
+             "--policy", "ebcw"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "p1 =" in out
+
+    def test_simulate(self, capsys):
+        rc = main(
+            ["simulate", "--events", "deterministic:5", "--rate", "1.4",
+             "--policy", "greedy", "--horizon", "5000", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "QoM=" in out
+
+    def test_simulate_bernoulli_recharge(self, capsys):
+        rc = main(
+            ["simulate", "--events", "geometric:0.2", "--rate", "0.5",
+             "--policy", "aggressive", "--horizon", "2000",
+             "--bernoulli-q", "0.5"]
+        )
+        assert rc == 0
+        assert "QoM=" in capsys.readouterr().out
+
+    def test_experiment_theorem1(self, capsys):
+        rc = main(["experiment", "theorem1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "always slot 2" in out
+
+    def test_experiment_fig3a_small(self, capsys):
+        rc = main(
+            ["experiment", "fig3a", "--horizon", "5000", "--seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Upper Bound" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,59 @@
+"""Tests for the library's exception hierarchy contract."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    DistributionError,
+    EnergyError,
+    PolicyError,
+    ReproError,
+    SimulationError,
+    SolverError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [DistributionError, EnergyError, PolicyError, SimulationError,
+         SolverError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_catchable_as_single_family(self):
+        """A user can guard any library call with one except clause."""
+        with pytest.raises(ReproError):
+            repro.WeibullInterArrival(-1, 3)
+        with pytest.raises(ReproError):
+            repro.Battery(-5)
+        with pytest.raises(ReproError):
+            repro.VectorPolicy([2.0])
+        with pytest.raises(ReproError):
+            repro.simulate_single(
+                repro.GeometricInterArrival(0.5),
+                repro.AggressivePolicy(),
+                repro.ConstantRecharge(0.5),
+                capacity=10, delta1=1, delta2=6, horizon=-1,
+            )
+
+    def test_subsystems_raise_their_own_type(self):
+        with pytest.raises(DistributionError):
+            repro.ParetoInterArrival(0, 10)
+        with pytest.raises(EnergyError):
+            repro.BernoulliRecharge(2.0, 1.0)
+        with pytest.raises(PolicyError):
+            repro.ClusteringPolicy(3, 2, 5)
+        with pytest.raises(SolverError):
+            from repro.mdp import information_state_count
+
+            information_state_count(-1)
+
+    def test_messages_carry_offending_values(self):
+        with pytest.raises(DistributionError, match="-1"):
+            repro.WeibullInterArrival(-1, 3)
+        with pytest.raises(PolicyError, match="1.5"):
+            repro.ClusteringPolicy(1, 2, 3, c_n1=1.5)

@@ -1,0 +1,78 @@
+"""Tests for the ASCII visualisation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import VectorPolicy, solve_greedy
+from repro.events import UniformInterArrival, WeibullInterArrival
+from repro.experiments.common import FigureResult, Series
+from repro.viz import ascii_chart, hazard_sketch
+
+
+def _figure() -> FigureResult:
+    return FigureResult(
+        figure="Fig. T",
+        x_label="c",
+        y_label="QoM",
+        series=(
+            Series("alpha", (0.0, 1.0, 2.0), (0.1, 0.5, 0.9)),
+            Series("beta", (0.0, 1.0, 2.0), (0.05, 0.3, 0.6)),
+        ),
+        horizon=100,
+        seed=0,
+    )
+
+
+class TestAsciiChart:
+    def test_contains_marks_and_legend(self):
+        chart = ascii_chart(_figure())
+        assert "o=alpha" in chart
+        assert "x=beta" in chart
+        # High values sit in the top rows of the grid.
+        top_rows = "".join(chart.splitlines()[1:4])
+        assert "o" in top_rows
+        assert "Fig. T" in chart
+
+    def test_extreme_points_land_on_edges(self):
+        chart = ascii_chart(_figure(), width=40, height=10, y_max=1.0)
+        rows = chart.splitlines()[1:11]
+        # The highest value (0.9) appears near the top of the grid.
+        top_rows = "".join(rows[:3])
+        assert "o" in top_rows
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            ascii_chart(_figure(), width=4, height=2)
+
+    def test_empty_figure(self):
+        empty = FigureResult(
+            figure="E", x_label="x", y_label="y", series=(),
+            horizon=0, seed=0,
+        )
+        assert ascii_chart(empty) == "(empty figure)"
+
+
+class TestHazardSketch:
+    def test_bars_follow_hazard(self):
+        d = UniformInterArrival(2, 4)
+        sketch = hazard_sketch(d)
+        lines = sketch.splitlines()
+        assert "slot    1" in lines[1]
+        # The final supported slot has hazard 1 -> the longest bar.
+        bar_lengths = [line.count("#") for line in lines[1:]]
+        assert bar_lengths[-1] == max(bar_lengths)
+        assert bar_lengths[0] == 0  # beta_1 = 0
+
+    def test_policy_annotation(self):
+        d = WeibullInterArrival(10, 3)
+        policy = solve_greedy(d, 0.5, 1, 6).as_policy()
+        sketch = hazard_sketch(d, policy=policy)
+        assert "c=1.00" in sketch
+
+    def test_no_annotation_for_zero_probability(self):
+        d = UniformInterArrival(2, 4)
+        policy = VectorPolicy(np.zeros(4))
+        sketch = hazard_sketch(d, policy=policy)
+        assert "c=" not in sketch
