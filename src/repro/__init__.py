@@ -31,6 +31,8 @@ Quickstart::
     print(solution.qom, result.qom)
 """
 
+from __future__ import annotations
+
 from repro.analysis import (
     DelayAnalysis,
     MismatchReport,
@@ -103,6 +105,7 @@ from repro.events import (
     ParetoInterArrival,
     UniformInterArrival,
     WeibullInterArrival,
+    validate_pmf,
 )
 from repro.exceptions import (
     DistributionError,
@@ -191,5 +194,6 @@ __all__ = [
     "solve_linear_program",
     "theorem1_qom",
     "upper_bound_qom",
+    "validate_pmf",
     "xi_coefficients",
 ]

@@ -1,5 +1,7 @@
 """Analytical machinery: renewal theory, PI hazards, theoretical QoM."""
 
+from __future__ import annotations
+
 from repro.analysis.partial_info import (
     PartialInfoAnalysis,
     analyse_partial_info_policy,

@@ -29,7 +29,11 @@ from repro.core.baselines import (
 )
 from repro.core.clustering import optimize_clustering
 from repro.core.greedy import solve_greedy
-from repro.energy.recharge import BernoulliRecharge, ConstantRecharge
+from repro.energy.recharge import (
+    BernoulliRecharge,
+    ConstantRecharge,
+    RechargeProcess,
+)
 from repro.events import (
     DeterministicInterArrival,
     GammaInterArrival,
@@ -41,7 +45,7 @@ from repro.events import (
     UniformInterArrival,
     WeibullInterArrival,
 )
-from repro.exceptions import ReproError
+from repro.exceptions import EnergyError, ReproError
 from repro.sim.engine import simulate_single
 
 _FAMILIES = {
@@ -91,6 +95,13 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the reproducibility linter (see 'repro lint --help')",
+    )
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER,
+                      help="arguments forwarded to repro.devtools.cli")
 
     solve = sub.add_parser("solve", help="compute a policy and its QoM")
     solve.add_argument("--events", type=parse_events, required=True,
@@ -184,8 +195,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         policy = energy_balanced_period(
             events, args.rate, args.delta1, args.delta2
         )
-    if args.bernoulli_q:
-        recharge = BernoulliRecharge(
+    if args.bernoulli_q is not None:
+        # Truthiness would silently ignore --bernoulli-q 0 (and 0 would
+        # divide by zero below); reject it loudly instead.
+        if not 0 < args.bernoulli_q <= 1:
+            raise EnergyError(
+                f"--bernoulli-q must be in (0, 1], got {args.bernoulli_q}"
+            )
+        recharge: RechargeProcess = BernoulliRecharge(
             args.bernoulli_q, args.rate / args.bernoulli_q
         )
     else:
@@ -244,6 +261,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        # Forward everything (including option flags) to the linter's own
+        # parser; argparse.REMAINDER alone cannot pass leading options.
+        from repro.devtools.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
     try:

@@ -1,6 +1,8 @@
 """The paper's activation policies: greedy FI, clustering PI, baselines,
 multi-sensor coordination, and the LP cross-check."""
 
+from __future__ import annotations
+
 from repro.core.baselines import (
     AggressivePolicy,
     EBCWSolution,

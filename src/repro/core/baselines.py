@@ -156,7 +156,7 @@ def solve_ebcw(
         )
         return policy, analysis
 
-    if e == 0.0:
+    if e <= 0.0:  # e is validated >= 0 above; avoid float equality (RL002)
         policy, analysis = evaluate(0.0, 1e-9)
         return EBCWSolution(policy=policy, analysis=analysis, p1=0.0, p0=0.0)
 

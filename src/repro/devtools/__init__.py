@@ -1,0 +1,40 @@
+"""Developer tooling for the :mod:`repro` reproduction.
+
+The centrepiece is ``repro lint`` (also ``python -m repro.lint``): an
+AST-based static-analysis pass that enforces the reproducibility and
+numeric-safety invariants the paper reproduction depends on — seeded
+randomness threaded through :mod:`repro.sim.rng`, no float equality in
+numeric code, validated probability arrays, and an intact
+:class:`~repro.exceptions.ReproError` error channel.
+
+Public surface:
+
+* :class:`~repro.devtools.rules.Finding` / :class:`~repro.devtools.rules.Rule`
+  — the data model and extension point;
+* :func:`~repro.devtools.rules.all_rules` — the rule registry;
+* :func:`~repro.devtools.runner.lint_source` /
+  :func:`~repro.devtools.runner.lint_paths` — the engine;
+* :class:`~repro.devtools.config.LintConfig` /
+  :func:`~repro.devtools.config.load_config` — ``[tool.repro-lint]``;
+* :func:`~repro.devtools.cli.main` — the command line.
+"""
+
+from __future__ import annotations
+
+from repro.devtools import checks as _checks  # noqa: F401  (registers rules)
+from repro.devtools.cli import main
+from repro.devtools.config import LintConfig, load_config
+from repro.devtools.rules import Finding, Rule, all_rules, get_rule
+from repro.devtools.runner import lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "main",
+]

@@ -1,0 +1,153 @@
+"""Per-module analysis context shared by every lint rule.
+
+One :class:`ModuleContext` is built per linted file.  It parses the
+source once, pre-computes the pieces every rule needs —
+
+* an import table that resolves local names and attribute chains back to
+  fully-qualified dotted names (``np.random.default_rng`` →
+  ``numpy.random.default_rng`` even when numpy was imported under an
+  alias), and
+* the inline-suppression index (``# repro-lint: disable=RL001`` /
+  ``disable-next-line=...``) extracted with :mod:`tokenize` so comments
+  survive into analysis even though :mod:`ast` drops them —
+
+so the individual rules stay small, declarative visitors.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from io import StringIO
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.devtools.rules import LintError
+
+#: Matches one suppression comment.  ``disable`` silences the same line,
+#: ``disable-next-line`` the line below; the code list is comma-separated
+#: and ``all`` (or an empty list) silences every rule.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-next-line)?)"
+    r"(?:\s*=\s*(?P<codes>[A-Za-z0-9_,\s]+))?"
+)
+
+#: Sentinel stored in the suppression index meaning "every rule".
+ALL_CODES: FrozenSet[str] = frozenset({"all"})
+
+
+def _parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> rule codes suppressed on that line."""
+    suppressed: Dict[int, Set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(tok.string)
+        if match is None:
+            continue
+        line = tok.start[0]
+        if match.group("kind") == "disable-next-line":
+            line += 1
+        raw = match.group("codes")
+        if raw is None or raw.strip().lower() == "all":
+            codes: Set[str] = set(ALL_CODES)
+        else:
+            codes = {c.strip().upper() for c in raw.split(",") if c.strip()}
+        suppressed.setdefault(line, set()).update(codes)
+    return {line: frozenset(codes) for line, codes in suppressed.items()}
+
+
+class ImportTable:
+    """Resolves local names to fully-qualified dotted import paths."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else local
+                    self._aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports stay package-local
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve_name(self, name: str) -> Optional[str]:
+        """Resolve a bare name to its imported dotted path, if any."""
+        return self._aliases.get(name)
+
+    def qualname(self, node: ast.AST) -> Optional[str]:
+        """Resolve a Name/Attribute chain to a dotted name.
+
+        The chain's root must be an imported name; locals and call
+        results resolve to ``None`` so rules never misfire on a variable
+        that merely shadows a module.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self._aliases.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+class ModuleContext:
+    """Everything a rule needs to know about one module under analysis."""
+
+    def __init__(
+        self,
+        source: str,
+        path: str = "<string>",
+        display_path: Optional[str] = None,
+        rng_modules: Iterable[str] = ("sim/rng.py",),
+    ) -> None:
+        self.source = source
+        self.path = path
+        self.display_path = display_path if display_path is not None else path
+        #: Modules allowed to construct generators directly (RL001).
+        self.config_rng_modules = tuple(rng_modules)
+        try:
+            self.tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            raise LintError(f"{path}: cannot parse: {exc}") from exc
+        self.imports = ImportTable(self.tree)
+        self.suppressions = _parse_suppressions(source)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """True when ``code`` is silenced on ``line`` by an inline comment."""
+        codes = self.suppressions.get(line)
+        if codes is None:
+            return False
+        return codes == ALL_CODES or code in codes or bool(codes & ALL_CODES)
+
+    def walk(self) -> Iterable[ast.AST]:
+        """Iterate over every AST node of the module."""
+        return ast.walk(self.tree)
+
+    def path_matches(self, candidates: Iterable[str]) -> bool:
+        """True when this module's path ends with any candidate suffix.
+
+        Used for module-scoped allowances such as RL001's designated RNG
+        module; comparison is on ``/``-normalised paths so behaviour does
+        not depend on the host platform.
+        """
+        normalised = self.path.replace("\\", "/")
+        for candidate in candidates:
+            suffix = candidate.replace("\\", "/").lstrip("./")
+            if normalised == suffix or normalised.endswith("/" + suffix):
+                return True
+        return False

@@ -1,0 +1,114 @@
+"""Lint engine: walk files, run rules, filter suppressions, report.
+
+The engine is importable (:func:`lint_source` / :func:`lint_paths`
+return plain :class:`~repro.devtools.rules.Finding` lists) so the test
+suite can lint fixture snippets without touching the filesystem, and the
+CLI layer stays a thin argument-parsing shell.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.devtools.config import LintConfig
+from repro.devtools.context import ModuleContext
+from repro.devtools.rules import Finding, LintError, all_rules
+
+__all__ = [
+    "collect_files",
+    "format_findings",
+    "lint_paths",
+    "lint_source",
+]
+
+
+def _run_rules(
+    module: ModuleContext, config: LintConfig
+) -> List[Finding]:
+    enabled = set(config.enabled_codes())
+    findings: List[Finding] = []
+    for rule in all_rules():
+        if rule.code not in enabled:
+            continue
+        for finding in rule.check(module):
+            if not module.is_suppressed(finding.code, finding.line):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Lint one in-memory module and return its findings."""
+    cfg = config if config is not None else LintConfig()
+    module = ModuleContext(
+        source, path=path, rng_modules=cfg.rng_modules
+    )
+    return _run_rules(module, cfg)
+
+
+def collect_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    seen = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.is_file():
+            candidates = [path]
+        else:
+            raise LintError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            seen[candidate.resolve()] = candidate
+    return sorted(seen.values())
+
+
+def lint_paths(
+    paths: Iterable[Union[str, Path]],
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths`` and return all findings."""
+    cfg = config if config is not None else LintConfig()
+    findings: List[Finding] = []
+    for path in collect_files(paths):
+        display = path.as_posix()
+        if cfg.is_excluded(display):
+            continue
+        source = path.read_text(encoding="utf-8")
+        module = ModuleContext(
+            source,
+            path=display,
+            display_path=display,
+            rng_modules=cfg.rng_modules,
+        )
+        findings.extend(_run_rules(module, cfg))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def format_findings(
+    findings: Sequence[Finding], output_format: str = "text"
+) -> str:
+    """Render findings as ``text`` (one line each) or ``json``."""
+    if output_format == "json":
+        payload = {
+            "count": len(findings),
+            "findings": [f.to_dict() for f in findings],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+    if output_format != "text":
+        raise LintError(f"unknown output format {output_format!r}")
+    lines = [
+        f"{f.anchor()}: {f.code} {f.message}" for f in findings
+    ]
+    summary = (
+        "repro lint: clean" if not findings
+        else f"repro lint: {len(findings)} finding(s)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)

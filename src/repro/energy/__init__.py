@@ -1,5 +1,7 @@
 """Energy substrate: batteries, recharge processes, balance accounting."""
 
+from __future__ import annotations
+
 from repro.energy.balance import (
     energy_budget,
     is_energy_balanced,

@@ -7,9 +7,12 @@ deterministic / uniform / empirical / mixture families, and the event
 sequence generators the simulator consumes.
 """
 
+from __future__ import annotations
+
 from repro.events.base import (
     ContinuousDiscretisedDistribution,
     InterArrivalDistribution,
+    validate_pmf,
 )
 from repro.events.deterministic import DeterministicInterArrival, UniformInterArrival
 from repro.events.empirical import EmpiricalInterArrival, MixtureInterArrival
@@ -55,4 +58,5 @@ __all__ = [
     "generate_event_flags",
     "generate_event_slots",
     "simulate_markov_chain",
+    "validate_pmf",
 ]

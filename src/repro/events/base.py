@@ -34,6 +34,37 @@ DEFAULT_TAIL_EPS = 1e-12
 DEFAULT_MAX_SUPPORT = 2_000_000
 
 
+def validate_pmf(
+    pmf: "np.typing.ArrayLike",
+    *,
+    atol: float = 1e-6,
+    normalise: bool = True,
+) -> np.ndarray:
+    """Validate a probability vector and return it as a float array.
+
+    This is the canonical checkpoint the RL004 lint rule requires every
+    probability array to pass through before it reaches a sampler or the
+    pmf cache: the array must be 1-D, non-empty, finite, non-negative
+    (values above ``-1e-15`` are clipped to zero to absorb rounding),
+    and sum to 1 within ``atol``.  With ``normalise`` (the default) the
+    returned array is rescaled to sum to exactly 1.
+
+    Raises :class:`~repro.exceptions.DistributionError` on violation.
+    """
+    arr = np.asarray(pmf, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise DistributionError("pmf must be a non-empty 1-D array")
+    if np.any(arr < -1e-15) or not np.all(np.isfinite(arr)):
+        raise DistributionError("pmf values must be finite and non-negative")
+    arr = np.clip(arr, 0.0, None)
+    total = arr.sum()
+    if not np.isclose(total, 1.0, atol=atol):
+        raise DistributionError(
+            f"pmf sums to {total!r}, expected 1 (within {atol:g})"
+        )
+    return arr / total if normalise else arr
+
+
 class InterArrivalDistribution(abc.ABC):
     """A distribution of event inter-arrival times in whole slots.
 
@@ -66,18 +97,7 @@ class InterArrivalDistribution(abc.ABC):
     def alpha(self) -> np.ndarray:
         """pmf array; ``alpha[i - 1] = P(X = i)``."""
         if self._alpha is None:
-            pmf = np.asarray(self._compute_pmf(), dtype=float)
-            if pmf.ndim != 1 or pmf.size == 0:
-                raise DistributionError("pmf must be a non-empty 1-D array")
-            if np.any(pmf < -1e-15) or not np.all(np.isfinite(pmf)):
-                raise DistributionError("pmf values must be finite and non-negative")
-            pmf = np.clip(pmf, 0.0, None)
-            total = pmf.sum()
-            if not np.isclose(total, 1.0, atol=1e-6):
-                raise DistributionError(
-                    f"pmf sums to {total!r}, expected 1 (within 1e-6)"
-                )
-            self._alpha = pmf / total
+            self._alpha = validate_pmf(self._compute_pmf())
         return self._alpha
 
     @property

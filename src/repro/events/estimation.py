@@ -160,8 +160,9 @@ def estimate_then_optimize(
     ``n_samples`` observed gaps (full-information design).
     """
     from repro.analysis.sensitivity import full_info_mismatch
+    from repro.sim.rng import make_rng
 
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     gaps = true_distribution.sample(rng, n_samples)
     if family == "weibull":
         fitted: InterArrivalDistribution = fit_weibull(gaps)

@@ -29,7 +29,8 @@ class GeometricInterArrival(InterArrivalDistribution):
         self._tail_eps = float(tail_eps)
 
     def _compute_pmf(self) -> np.ndarray:
-        if self.p == 1.0:
+        # p is validated into (0, 1]; >= avoids exact float equality (RL002).
+        if self.p >= 1.0:
             return np.array([1.0])
         # Truncate where the tail (1-p)^n falls below tail_eps.
         n = int(np.ceil(np.log(self._tail_eps) / np.log(1.0 - self.p)))

@@ -44,9 +44,11 @@ class MarkovInterArrival(InterArrivalDistribution):
 
     def _compute_pmf(self) -> np.ndarray:
         a, b = self.a, self.b
-        if a == 1.0:
+        # a is validated into (0, 1] and b into [0, 1); order comparisons
+        # avoid exact float equality (RL002) with identical behaviour.
+        if a >= 1.0:
             return np.array([1.0])
-        if b == 0.0:
+        if b <= 0.0:
             # Gap is 1 w.p. a, exactly 2 otherwise.
             return np.array([a, 1.0 - a])
         # Tail mass past slot n is (1 - a) * b**(n - 1); truncate at eps.

@@ -1,5 +1,7 @@
 """Experiment drivers reproducing every figure of the paper's Sec. VI."""
 
+from __future__ import annotations
+
 from repro.experiments.common import FigureResult, Series
 from repro.experiments.config import (
     DEFAULT_SEED,

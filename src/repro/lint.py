@@ -1,0 +1,16 @@
+"""``python -m repro.lint`` — the reproducibility linter entry point.
+
+Thin shim over :mod:`repro.devtools`; see that package for the rule
+registry, engine, and configuration.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.devtools.cli import main
+
+__all__ = ["main"]
+
+if __name__ == "__main__":
+    sys.exit(main())

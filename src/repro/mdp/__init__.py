@@ -1,5 +1,7 @@
 """Generic MDP/POMDP substrate used to validate the paper's closed forms."""
 
+from __future__ import annotations
+
 from repro.mdp.belief import BeliefState
 from repro.mdp.mdp import FiniteMDP, build_full_info_mdp, truncate_distribution
 from repro.mdp.pomdp import (

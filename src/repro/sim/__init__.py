@@ -1,5 +1,7 @@
 """Slotted discrete-event simulator for rechargeable event-capture sensors."""
 
+from __future__ import annotations
+
 from repro.sim.engine import simulate_single
 from repro.sim.metrics import SensorStats, SimulationResult
 from repro.sim.network import simulate_network

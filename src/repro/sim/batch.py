@@ -67,7 +67,7 @@ def summarize(
             confidence=confidence,
         )
     sem = float(arr.std(ddof=1) / np.sqrt(arr.size))
-    if sem == 0.0:
+    if sem <= 0.0:  # sem is a standard error, >= 0 by construction
         return ReplicationSummary(
             values=tuple(arr), mean=mean, std_error=0.0,
             ci_low=mean, ci_high=mean, confidence=confidence,

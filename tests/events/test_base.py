@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.events import EmpiricalInterArrival
+from repro.events import EmpiricalInterArrival, validate_pmf
 from repro.exceptions import DistributionError
 
 
@@ -133,3 +133,43 @@ class TestValidation:
     def test_rejects_nan(self):
         with pytest.raises(DistributionError):
             EmpiricalInterArrival([float("nan"), 1.0]).alpha
+
+
+class TestValidatePmf:
+    """The standalone helper RL004 requires pmfs to pass through."""
+
+    def test_returns_normalised_float_array(self):
+        out = validate_pmf([0.25, 0.25, 0.5])
+        assert out.dtype == np.float64
+        assert np.isclose(out.sum(), 1.0)
+
+    def test_renormalises_within_tolerance(self):
+        out = validate_pmf([0.5, 0.5 + 1e-8])
+        assert out.sum() == pytest.approx(1.0, abs=1e-15)
+
+    def test_normalise_false_preserves_values(self):
+        values = [0.5, 0.5]
+        out = validate_pmf(values, normalise=False)
+        np.testing.assert_array_equal(out, values)
+
+    def test_clips_tiny_negative_rounding(self):
+        out = validate_pmf([1.0, -1e-16])
+        assert np.all(out >= 0)
+
+    def test_rejects_bad_mass(self):
+        with pytest.raises(DistributionError):
+            validate_pmf([0.5, 0.2])
+
+    def test_rejects_two_dimensional(self):
+        with pytest.raises(DistributionError):
+            validate_pmf([[0.5, 0.5]])
+
+    def test_rejects_infinite(self):
+        with pytest.raises(DistributionError):
+            validate_pmf([float("inf"), 1.0])
+
+    def test_custom_atol(self):
+        with pytest.raises(DistributionError):
+            validate_pmf([0.5, 0.49], atol=1e-6)
+        out = validate_pmf([0.5, 0.49], atol=0.05)
+        assert np.isclose(out.sum(), 1.0)

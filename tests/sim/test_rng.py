@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
+from repro.exceptions import SimulationError
 from repro.sim import make_rng, spawn
 
 
@@ -33,3 +35,38 @@ class TestSpawn:
 
     def test_count(self):
         assert len(spawn(make_rng(0), 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn(make_rng(0), 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(SimulationError):
+            spawn(make_rng(0), -1)
+
+    def test_children_use_seed_sequence_spawn_keys(self):
+        """Regression: children must be SeedSequence-spawned, not reseeded.
+
+        The old implementation drew raw 63-bit integers from the parent
+        and fed them to ``default_rng``, so a child stream could collide
+        with a root stream ``make_rng(k)`` (and, by the birthday bound,
+        with a sibling).  SeedSequence spawning tags every child with a
+        non-empty spawn key, which makes such collisions impossible.
+        """
+        (child,) = spawn(make_rng(0), 1)
+        seed_seq = child.bit_generator.seed_seq
+        assert tuple(seed_seq.spawn_key), "child has no spawn key"
+
+    def test_repeated_spawn_advances_parent(self):
+        """Two spawn() calls on one parent yield distinct children."""
+        parent = make_rng(9)
+        (first,) = spawn(parent, 1)
+        (second,) = spawn(parent, 1)
+        assert not np.array_equal(first.random(8), second.random(8))
+
+    def test_spawn_matches_seed_sequence_reference(self):
+        """Children equal the documented SeedSequence derivation."""
+        child = spawn(make_rng(123), 2)[1]
+        reference = np.random.default_rng(
+            np.random.SeedSequence(123).spawn(2)[1]
+        )
+        np.testing.assert_array_equal(child.random(16), reference.random(16))

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+from pathlib import Path
 
 import pytest
 
@@ -105,3 +106,85 @@ class TestCommands:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestErrorPaths:
+    """Failures must exit non-zero with a message, never succeed silently."""
+
+    def test_unknown_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code != 0
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_bad_seed_not_an_integer(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", "--events", "geometric:0.2", "--rate", "0.5",
+                  "--horizon", "100", "--seed", "banana"])
+        assert excinfo.value.code != 0
+        assert "invalid int value" in capsys.readouterr().err
+
+    def test_malformed_distribution_spec(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", "--events", "weibull:abc,3", "--rate", "0.5"])
+        assert excinfo.value.code != 0
+        assert capsys.readouterr().err
+
+    def test_unknown_event_family_exits_with_message(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", "--events", "zipf:1.2", "--rate", "0.5"])
+        assert excinfo.value.code != 0
+        assert "unknown event family" in capsys.readouterr().err
+
+    def test_wrong_arity_exits_with_message(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", "--events", "weibull:40", "--rate", "0.5"])
+        assert excinfo.value.code != 0
+        assert "parameter" in capsys.readouterr().err
+
+    def test_invalid_distribution_parameters(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", "--events", "markov:2,0.5", "--rate", "0.5"])
+        assert excinfo.value.code != 0
+        assert capsys.readouterr().err
+
+    def test_bernoulli_q_zero_rejected(self, capsys):
+        """Regression: --bernoulli-q 0 used to be silently ignored.
+
+        The old truthiness check fell back to constant recharge, so the
+        run succeeded while quietly simulating a different recharge
+        process than the one requested.
+        """
+        rc = main(["simulate", "--events", "geometric:0.2", "--rate", "0.5",
+                   "--horizon", "100", "--bernoulli-q", "0"])
+        captured = capsys.readouterr()
+        assert rc != 0
+        assert "bernoulli-q" in captured.err
+
+    def test_bernoulli_q_above_one_rejected(self, capsys):
+        rc = main(["simulate", "--events", "geometric:0.2", "--rate", "0.5",
+                   "--horizon", "100", "--bernoulli-q", "1.5"])
+        assert rc != 0
+        assert "bernoulli-q" in capsys.readouterr().err
+
+    def test_reproerror_maps_to_exit_code_one(self, capsys):
+        """Library errors surface as 'error: ...' on stderr with rc 1."""
+        rc = main(["simulate", "--events", "deterministic:5", "--rate", "1.0",
+                   "--horizon", "100", "--capacity", "-1"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert captured.err.startswith("error:")
+
+
+class TestLintSubcommand:
+    def test_lint_clean_tree_exits_zero(self, capsys):
+        package_dir = Path(__file__).resolve().parent.parent / "src" / "repro"
+        rc = main(["lint", str(package_dir)])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_forwards_flags(self, capsys):
+        rc = main(["lint", "--list-rules"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "RL001" in out and "RL008" in out
