@@ -3,11 +3,18 @@
 Unlike the figure benches this one exercises pytest-benchmark properly
 (multiple rounds) because raw simulator speed is what bounds every
 experiment above; a regression here multiplies across the whole harness.
+
+The reference/vectorized pairs double as a bit-identity check, and
+``test_bench_json_payload`` archives the machine-readable
+``BENCH_simulator.json`` payload (also produced by ``repro bench``).
 """
 
 from __future__ import annotations
 
+from _util import record_json
+
 from repro.core import AggressivePolicy, solve_greedy
+from repro.devtools.bench import run_bench
 from repro.energy import BernoulliRecharge
 from repro.events import WeibullInterArrival
 from repro.experiments.config import DELTA1, DELTA2
@@ -29,6 +36,55 @@ def test_single_sensor_throughput_aggressive(benchmark):
         iterations=1,
     )
     assert result.horizon == HORIZON
+
+
+def test_single_sensor_throughput_aggressive_vectorized(benchmark):
+    reference = simulate_single(
+        EVENTS, AggressivePolicy(), RECHARGE,
+        capacity=1000, delta1=DELTA1, delta2=DELTA2,
+        horizon=HORIZON, seed=1, backend="reference",
+    )
+    result = benchmark.pedantic(
+        lambda: simulate_single(
+            EVENTS, AggressivePolicy(), RECHARGE,
+            capacity=1000, delta1=DELTA1, delta2=DELTA2,
+            horizon=HORIZON, seed=1, backend="vectorized",
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result == reference
+
+
+def test_single_sensor_throughput_greedy_vectorized(benchmark):
+    policy = solve_greedy(EVENTS, 0.5, DELTA1, DELTA2).as_policy()
+    reference = simulate_single(
+        EVENTS, policy, RECHARGE,
+        capacity=1000, delta1=DELTA1, delta2=DELTA2,
+        horizon=HORIZON, seed=1, backend="reference",
+    )
+    result = benchmark.pedantic(
+        lambda: simulate_single(
+            EVENTS, policy, RECHARGE,
+            capacity=1000, delta1=DELTA1, delta2=DELTA2,
+            horizon=HORIZON, seed=1, backend="vectorized",
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result == reference
+
+
+def test_bench_json_payload(benchmark):
+    """Full reference-vs-vectorized sweep; archives BENCH_simulator.json."""
+    payload = benchmark.pedantic(
+        lambda: run_bench(horizon=HORIZON, n_replicates=4, n_jobs=2, rounds=2),
+        rounds=1,
+        iterations=1,
+    )
+    record_json("BENCH_simulator", payload)
+    assert all(row["bit_identical"] for row in payload["policies"].values())
+    assert payload["replicate"]["identical"]
 
 
 def test_single_sensor_throughput_greedy(benchmark):

@@ -129,6 +129,10 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--delta1", type=float, default=1.0)
     simulate.add_argument("--delta2", type=float, default=6.0)
+    simulate.add_argument("--backend",
+                          choices=("auto", "reference", "vectorized"),
+                          default="auto",
+                          help="simulation engine (all are bit-identical)")
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper figure as a table"
@@ -140,10 +144,29 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--horizon", type=int, default=None)
     experiment.add_argument("--seed", type=int, default=None)
+    experiment.add_argument("--jobs", type=int, default=None,
+                            help="worker processes per figure sweep "
+                                 "(-1 = all cores); results are identical "
+                                 "to a serial run")
     experiment.add_argument("--output", default=None,
                             help="with 'all': write the markdown report here")
     experiment.add_argument("--plot", action="store_true",
                             help="also render an ASCII chart of the figure")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the simulator throughput suite, write BENCH_simulator.json",
+    )
+    bench.add_argument("--horizon", type=int, default=None,
+                       help="slots per timed run (default 100000)")
+    bench.add_argument("--quick", action="store_true",
+                       help="reduced horizon / replicates for CI smoke runs")
+    bench.add_argument("--replicates", type=int, default=None,
+                       help="replicates for the serial-vs-parallel timing")
+    bench.add_argument("--jobs", type=int, default=2,
+                       help="worker processes for the parallel timing")
+    bench.add_argument("--output", default="BENCH_simulator.json",
+                       help="where to write the JSON payload")
     return parser
 
 
@@ -210,9 +233,36 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     result = simulate_single(
         events, policy, recharge,
         capacity=args.capacity, delta1=args.delta1, delta2=args.delta2,
-        horizon=args.horizon, seed=args.seed,
+        horizon=args.horizon, seed=args.seed, backend=args.backend,
     )
     print(result.summary())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.devtools.bench import (
+        DEFAULT_HORIZON,
+        QUICK_HORIZON,
+        format_bench,
+        run_bench,
+        write_bench,
+    )
+
+    horizon = args.horizon
+    if horizon is None:
+        horizon = QUICK_HORIZON if args.quick else DEFAULT_HORIZON
+    replicates = args.replicates
+    if replicates is None:
+        replicates = 4 if args.quick else 8
+    payload = run_bench(
+        horizon=horizon,
+        n_replicates=replicates,
+        n_jobs=args.jobs,
+        rounds=2 if args.quick else 3,
+    )
+    write_bench(payload, args.output)
+    print(format_bench(payload))
+    print(f"wrote {args.output}")
     return 0
 
 
@@ -224,6 +274,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         kwargs["horizon"] = args.horizon
     if args.seed is not None:
         kwargs["seed"] = args.seed
+    if args.jobs is not None:
+        kwargs["n_jobs"] = args.jobs
     if args.figure == "theorem1":
         print(exp.format_example(exp.run_theorem1_example()))
         return 0
@@ -233,6 +285,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             output_path=args.output,
             horizon=kwargs.get("horizon"),
             seed=seed,
+            n_jobs=args.jobs,
         )
         if args.output is None:
             print(text)
@@ -275,6 +328,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_solve(args)
         if args.command == "simulate":
             return _cmd_simulate(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         return _cmd_experiment(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

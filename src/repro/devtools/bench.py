@@ -1,0 +1,165 @@
+"""Simulator throughput benchmark emitting machine-readable JSON.
+
+``python -m repro bench`` runs the simulator throughput suite — the
+reference loop against the vectorized kernel for each shipped policy
+class, plus serial-versus-parallel :func:`repro.sim.replicate` — and
+writes ``BENCH_simulator.json`` so future changes can be checked for
+perf regressions against an archived run.
+
+Every timed pair is also checked for bit-identity (the kernel contract),
+so a benchmark run doubles as an end-to-end consistency check; the
+``bit_identical`` flags land in the JSON next to the timings.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.baselines import AggressivePolicy, energy_balanced_period
+from repro.core.clustering import optimize_clustering
+from repro.core.greedy import solve_greedy
+from repro.core.policy import ActivationPolicy
+from repro.energy.recharge import BernoulliRecharge
+from repro.events.weibull import WeibullInterArrival
+from repro.experiments.config import DELTA1, DELTA2
+from repro.sim import replicate, simulate_single
+from repro.sim._native import get_native_scan
+from repro.sim.metrics import SimulationResult
+
+#: Default full-size horizon (matches benchmarks/bench_simulator_throughput).
+DEFAULT_HORIZON = 100_000
+
+#: Quick-mode horizon for CI smoke runs.
+QUICK_HORIZON = 20_000
+
+_SEED = 1
+_CAPACITY = 1000.0
+
+
+def _policy_cases() -> List[Tuple[str, ActivationPolicy]]:
+    """One representative per table-driven policy class."""
+    events = WeibullInterArrival(40, 3)
+    return [
+        ("aggressive_partial", AggressivePolicy()),
+        ("greedy_full_info", solve_greedy(events, 0.5, DELTA1, DELTA2).as_policy()),
+        ("clustering_partial", optimize_clustering(events, 0.5, DELTA1, DELTA2).policy),
+        ("periodic_slot_table", energy_balanced_period(events, 0.5, DELTA1, DELTA2)),
+    ]
+
+
+def _best_of(fn: Callable[[], SimulationResult], rounds: int) -> Tuple[SimulationResult, float]:
+    """Run ``fn`` ``rounds`` times; return (last result, best seconds)."""
+    best = float("inf")
+    result: Optional[SimulationResult] = None
+    for _ in range(max(rounds, 1)):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    if result is None:  # pragma: no cover - rounds >= 1 always
+        raise RuntimeError("benchmark closure never ran")
+    return result, best
+
+
+def run_bench(
+    horizon: int = DEFAULT_HORIZON,
+    n_replicates: int = 8,
+    n_jobs: int = 2,
+    rounds: int = 3,
+) -> Dict[str, Any]:
+    """Time every policy class on both backends; return the JSON payload."""
+    events = WeibullInterArrival(40, 3)
+    recharge = BernoulliRecharge(0.5, 1.0)
+
+    policies: Dict[str, Any] = {}
+    for name, policy in _policy_cases():
+        def _run(backend: str, policy: ActivationPolicy = policy) -> SimulationResult:
+            return simulate_single(
+                events, policy, recharge,
+                capacity=_CAPACITY, delta1=DELTA1, delta2=DELTA2,
+                horizon=horizon, seed=_SEED, backend=backend,
+            )
+
+        ref_result, ref_s = _best_of(lambda: _run("reference"), max(1, rounds - 1))
+        vec_result, vec_s = _best_of(lambda: _run("vectorized"), rounds)
+        policies[name] = {
+            "reference_seconds": ref_s,
+            "vectorized_seconds": vec_s,
+            "speedup": ref_s / vec_s if vec_s > 0 else None,
+            "slots_per_second": {
+                "reference": horizon / ref_s if ref_s > 0 else None,
+                "vectorized": horizon / vec_s if vec_s > 0 else None,
+            },
+            "bit_identical": ref_result == vec_result,
+        }
+
+    def _replicate_run(seed: Any) -> SimulationResult:
+        return simulate_single(
+            events, AggressivePolicy(), recharge,
+            capacity=_CAPACITY, delta1=DELTA1, delta2=DELTA2,
+            horizon=horizon, seed=seed,
+        )
+
+    start = time.perf_counter()
+    serial = replicate(_replicate_run, n_replicates, base_seed=_SEED, n_jobs=1)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = replicate(
+        _replicate_run, n_replicates, base_seed=_SEED, n_jobs=n_jobs
+    )
+    parallel_s = time.perf_counter() - start
+
+    return {
+        "schema": 1,
+        "generated_unix": time.time(),
+        "horizon": horizon,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+            "native_scan": get_native_scan() is not None,
+        },
+        "policies": policies,
+        "replicate": {
+            "n_replicates": n_replicates,
+            "n_jobs": n_jobs,
+            "serial_seconds": serial_s,
+            "parallel_seconds": parallel_s,
+            "speedup": serial_s / parallel_s if parallel_s > 0 else None,
+            "identical": serial.values == parallel.values,
+        },
+    }
+
+
+def format_bench(payload: Dict[str, Any]) -> str:
+    """Human-readable summary of a benchmark payload."""
+    lines = [
+        f"simulator benchmark — horizon={payload['horizon']}, "
+        f"native_scan={payload['host']['native_scan']}"
+    ]
+    for name, row in payload["policies"].items():
+        speedup = row["speedup"]
+        lines.append(
+            f"  {name:20s} ref {row['reference_seconds'] * 1e3:8.2f} ms   "
+            f"vec {row['vectorized_seconds'] * 1e3:7.2f} ms   "
+            f"{speedup:6.1f}x   bit_identical={row['bit_identical']}"
+        )
+    rep = payload["replicate"]
+    lines.append(
+        f"  replicate x{rep['n_replicates']:<3d}      serial "
+        f"{rep['serial_seconds']:.2f} s   n_jobs={rep['n_jobs']} "
+        f"{rep['parallel_seconds']:.2f} s   identical={rep['identical']}"
+    )
+    return "\n".join(lines)
+
+
+def write_bench(payload: Dict[str, Any], path: str) -> None:
+    """Write the payload as pretty-printed JSON."""
+    out = pathlib.Path(path)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -35,6 +35,17 @@ def generate_event_slots(
     current = 0
     while current <= horizon:
         gaps = distribution.sample(rng, batch)
+        # A zero or negative gap would stall the loop forever (arrivals
+        # stop advancing); slots are discrete, so gaps must be >= 1.
+        if gaps.size == 0 or bool(np.min(gaps) < 1):
+            offender = (
+                "an empty batch" if gaps.size == 0
+                else f"gap {np.min(gaps)!r}"
+            )
+            raise SimulationError(
+                f"{distribution!r} produced {offender}; inter-arrival "
+                f"samples must be >= 1 slot"
+            )
         arrivals = current + np.cumsum(gaps)
         times.append(arrivals)
         current = int(arrivals[-1])

@@ -3,7 +3,27 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.sim.parallel import parallel_map
+
+_P = TypeVar("_P")
+_R = TypeVar("_R")
+
+
+def compute_points(
+    point_fn: Callable[[_P], _R],
+    points: Sequence[_P],
+    n_jobs: Optional[int] = None,
+) -> List[_R]:
+    """Evaluate one figure point per item, optionally across processes.
+
+    Thin wrapper over :func:`repro.sim.parallel.parallel_map` so every
+    figure driver exposes the same ``n_jobs`` semantics: order is
+    preserved and results are identical to a serial sweep for any value
+    of ``n_jobs``.
+    """
+    return parallel_map(point_fn, list(points), n_jobs=n_jobs)
 
 
 @dataclass(frozen=True)

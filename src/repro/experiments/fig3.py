@@ -25,7 +25,7 @@ from repro.energy.recharge import (
 )
 from repro.events.base import InterArrivalDistribution
 from repro.events.weibull import WeibullInterArrival
-from repro.experiments.common import FigureResult, Series
+from repro.experiments.common import FigureResult, Series, compute_points
 from repro.experiments.config import DEFAULT_SEED, DELTA1, DELTA2, bench_horizon
 from repro.sim.engine import simulate_single
 
@@ -49,6 +49,7 @@ def run_fig3(
     recharges: Sequence[tuple[str, RechargeProcess]] = PAPER_RECHARGES,
     horizon: Optional[int] = None,
     seed: int = DEFAULT_SEED,
+    n_jobs: Optional[int] = None,
 ) -> FigureResult:
     """Reproduce Fig. 3(a) (``info="full"``) or Fig. 3(b) (``info="partial"``)."""
     if info not in ("full", "partial"):
@@ -66,25 +67,34 @@ def run_fig3(
             y=tuple(bound for _ in capacities),
         )
     ]
-    for idx, (label, recharge) in enumerate(recharges):
-        qoms = []
-        for k_idx, capacity in enumerate(capacities):
-            result = simulate_single(
-                distribution,
-                policy,
-                recharge,
-                capacity=capacity,
-                delta1=DELTA1,
-                delta2=DELTA2,
-                horizon=horizon,
-                seed=seed + 1000 * idx + k_idx,
-            )
-            qoms.append(result.qom)
+    points = [
+        (idx, k_idx, recharge, capacity)
+        for idx, (_, recharge) in enumerate(recharges)
+        for k_idx, capacity in enumerate(capacities)
+    ]
+
+    def _point(job: tuple) -> float:
+        idx, k_idx, recharge, capacity = job
+        result = simulate_single(
+            distribution,
+            policy,
+            recharge,
+            capacity=capacity,
+            delta1=DELTA1,
+            delta2=DELTA2,
+            horizon=horizon,
+            seed=seed + 1000 * idx + k_idx,
+        )
+        return result.qom
+
+    qoms = compute_points(_point, points, n_jobs=n_jobs)
+    per_recharge = len(list(capacities))
+    for idx, (label, _) in enumerate(recharges):
         series.append(
             Series(
                 label=label,
                 x=tuple(float(k) for k in capacities),
-                y=tuple(qoms),
+                y=tuple(qoms[idx * per_recharge:(idx + 1) * per_recharge]),
             )
         )
     panel = "a" if info == "full" else "b"

@@ -18,7 +18,7 @@ from repro.energy.recharge import BernoulliRecharge
 from repro.events.base import InterArrivalDistribution
 from repro.events.pareto import ParetoInterArrival
 from repro.events.weibull import WeibullInterArrival
-from repro.experiments.common import FigureResult, Series
+from repro.experiments.common import FigureResult, Series, compute_points
 from repro.experiments.config import DEFAULT_SEED, DELTA1, DELTA2, bench_horizon
 from repro.sim.engine import simulate_single
 
@@ -37,6 +37,7 @@ def run_fig4(
     distribution: Optional[InterArrivalDistribution] = None,
     horizon: Optional[int] = None,
     seed: int = DEFAULT_SEED,
+    n_jobs: Optional[int] = None,
 ) -> FigureResult:
     """Reproduce Fig. 4(a) (``events="weibull"``) or 4(b) (``"pareto"``)."""
     if distribution is None:
@@ -57,19 +58,14 @@ def run_fig4(
     if horizon is None:
         horizon = bench_horizon()
 
-    clustering_qom: list[float] = []
-    aggressive_qom: list[float] = []
-    periodic_qom: list[float] = []
-    for idx, c in enumerate(c_values):
+    def _point(job: tuple) -> tuple:
+        idx, c = job
         e = q * c
         recharge = BernoulliRecharge(q=q, c=c)
         clustering = optimize_clustering(distribution, e, DELTA1, DELTA2)
         periodic = energy_balanced_period(distribution, e, DELTA1, DELTA2)
-        for policy, bucket in (
-            (clustering.policy, clustering_qom),
-            (AggressivePolicy(), aggressive_qom),
-            (periodic, periodic_qom),
-        ):
+        qoms = []
+        for policy in (clustering.policy, AggressivePolicy(), periodic):
             result = simulate_single(
                 distribution,
                 policy,
@@ -80,7 +76,13 @@ def run_fig4(
                 horizon=horizon,
                 seed=seed + idx,
             )
-            bucket.append(result.qom)
+            qoms.append(result.qom)
+        return tuple(qoms)
+
+    rows = compute_points(_point, list(enumerate(c_values)), n_jobs=n_jobs)
+    clustering_qom = [row[0] for row in rows]
+    aggressive_qom = [row[1] for row in rows]
+    periodic_qom = [row[2] for row in rows]
 
     xs = tuple(float(c) for c in c_values)
     return FigureResult(

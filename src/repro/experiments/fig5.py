@@ -17,7 +17,7 @@ from repro.core.baselines import solve_ebcw
 from repro.core.clustering import optimize_clustering
 from repro.energy.recharge import BernoulliRecharge
 from repro.events.markov import MarkovInterArrival
-from repro.experiments.common import FigureResult, Series
+from repro.experiments.common import FigureResult, Series, compute_points
 from repro.experiments.config import DEFAULT_SEED, DELTA1, DELTA2, bench_horizon
 from repro.sim.engine import simulate_single
 
@@ -33,6 +33,7 @@ def run_fig5(
     capacity: float = 1000.0,
     horizon: Optional[int] = None,
     seed: int = DEFAULT_SEED,
+    n_jobs: Optional[int] = None,
 ) -> FigureResult:
     """Reproduce one panel of Fig. 5 (``b = 0.2`` top, ``b = 0.7`` bottom)."""
     if horizon is None:
@@ -40,16 +41,13 @@ def run_fig5(
     e = q * c
     recharge = BernoulliRecharge(q=q, c=c)
 
-    clustering_qom: list[float] = []
-    ebcw_qom: list[float] = []
-    for idx, a in enumerate(a_values):
+    def _point(job: tuple) -> tuple:
+        idx, a = job
         distribution = MarkovInterArrival(a=a, b=b)
         clustering = optimize_clustering(distribution, e, DELTA1, DELTA2)
         ebcw = solve_ebcw(distribution, e, DELTA1, DELTA2)
-        for policy, bucket in (
-            (clustering.policy, clustering_qom),
-            (ebcw.policy, ebcw_qom),
-        ):
+        qoms = []
+        for policy in (clustering.policy, ebcw.policy):
             result = simulate_single(
                 distribution,
                 policy,
@@ -60,7 +58,12 @@ def run_fig5(
                 horizon=horizon,
                 seed=seed + idx,
             )
-            bucket.append(result.qom)
+            qoms.append(result.qom)
+        return tuple(qoms)
+
+    rows = compute_points(_point, list(enumerate(a_values)), n_jobs=n_jobs)
+    clustering_qom = [row[0] for row in rows]
+    ebcw_qom = [row[1] for row in rows]
 
     xs = tuple(float(a) for a in a_values)
     return FigureResult(

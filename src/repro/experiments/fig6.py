@@ -23,7 +23,7 @@ from repro.core.multi import (
 from repro.energy.recharge import BernoulliRecharge
 from repro.events.base import InterArrivalDistribution
 from repro.events.weibull import WeibullInterArrival
-from repro.experiments.common import FigureResult, Series
+from repro.experiments.common import FigureResult, Series, compute_points
 from repro.experiments.config import DEFAULT_SEED, DELTA1, DELTA2, bench_horizon
 from repro.sim.network import simulate_network
 
@@ -39,6 +39,7 @@ def run_fig6a(
     distribution: Optional[InterArrivalDistribution] = None,
     horizon: Optional[int] = None,
     seed: int = DEFAULT_SEED,
+    n_jobs: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 6(a): QoM vs. number of sensors ``N``."""
     if distribution is None:
@@ -55,6 +56,7 @@ def run_fig6a(
         capacity,
         horizon,
         seed,
+        n_jobs=n_jobs,
     )
     return FigureResult(
         figure="Fig. 6(a) multi-sensor QoM vs N",
@@ -75,6 +77,7 @@ def run_fig6b(
     distribution: Optional[InterArrivalDistribution] = None,
     horizon: Optional[int] = None,
     seed: int = DEFAULT_SEED,
+    n_jobs: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 6(b): QoM vs. per-recharge amount ``c`` at ``N = 5``."""
     if distribution is None:
@@ -87,13 +90,19 @@ def run_fig6b(
     clustering_x = tuple(p[0] for p in points)
 
     labels = ("M-FI", "M-PI", "pi_AG", "pi_PE")
-    buckets: dict[str, list[float]] = {label: [] for label in labels}
-    for idx, (c, n) in enumerate(points):
+
+    def _one(job: tuple) -> list:
+        idx, (c, n) = job
         e = q * c
         recharge = BernoulliRecharge(q=q, c=c)
-        for label, qom in _point(
+        return _point(
             distribution, recharge, e, n, capacity, horizon, seed + idx
-        ):
+        )
+
+    rows = compute_points(_one, list(enumerate(points)), n_jobs=n_jobs)
+    buckets: dict[str, list[float]] = {label: [] for label in labels}
+    for row in rows:
+        for label, qom in row:
             buckets[label].append(qom)
     series = tuple(
         Series(label, clustering_x, tuple(buckets[label])) for label in labels
@@ -117,14 +126,21 @@ def _sweep(
     capacity: float,
     horizon: int,
     seed: int,
+    n_jobs: Optional[int] = None,
 ) -> tuple[Series, ...]:
     labels = ("M-FI", "M-PI", "pi_AG", "pi_PE")
-    buckets: dict[str, list[float]] = {label: [] for label in labels}
     xs = tuple(p[0] for p in points)
-    for idx, (_, n) in enumerate(points):
-        for label, qom in _point(
+
+    def _one(job: tuple) -> list:
+        idx, (_, n) = job
+        return _point(
             distribution, recharge, e, n, capacity, horizon, seed + idx
-        ):
+        )
+
+    rows = compute_points(_one, list(enumerate(points)), n_jobs=n_jobs)
+    buckets: dict[str, list[float]] = {label: [] for label in labels}
+    for row in rows:
+        for label, qom in row:
             buckets[label].append(qom)
     return tuple(Series(label, xs, tuple(buckets[label])) for label in labels)
 

@@ -218,12 +218,14 @@ def _figure_report(
 
 
 def run_all_experiments(
-    horizon: Optional[int] = None, seed: int = DEFAULT_SEED
+    horizon: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+    n_jobs: Optional[int] = None,
 ) -> list[ExperimentReport]:
     """Regenerate every paper artifact; returns one report each."""
     if horizon is None:
         horizon = bench_horizon()
-    kwargs = dict(horizon=horizon, seed=seed)
+    kwargs = dict(horizon=horizon, seed=seed, n_jobs=n_jobs)
     reports = [_theorem1_report()]
     reports.append(
         _figure_report(
@@ -341,9 +343,10 @@ def generate_report(
     output_path: Optional[str] = None,
     horizon: Optional[int] = None,
     seed: int = DEFAULT_SEED,
+    n_jobs: Optional[int] = None,
 ) -> str:
     """Run everything and (optionally) write the markdown document."""
-    reports = run_all_experiments(horizon=horizon, seed=seed)
+    reports = run_all_experiments(horizon=horizon, seed=seed, n_jobs=n_jobs)
     text = render_markdown(reports, horizon=horizon, seed=seed)
     if output_path is not None:
         with open(output_path, "w") as handle:

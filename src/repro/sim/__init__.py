@@ -4,8 +4,9 @@ from __future__ import annotations
 
 from repro.sim.engine import simulate_single
 from repro.sim.metrics import SensorStats, SimulationResult
-from repro.sim.network import simulate_network
-from repro.sim.rng import make_rng, spawn
+from repro.sim.network import simulate_network, simulate_network_batch
+from repro.sim.parallel import parallel_map, resolve_n_jobs
+from repro.sim.rng import make_rng, spawn, spawn_seeds
 from repro.sim.batch import ReplicationSummary, compare, replicate, summarize
 from repro.sim.lifetime import OutageStats, outage_capacity_curve, outage_stats
 from repro.sim.trace import SlotRecord, summarize_trace, trace_single
@@ -18,12 +19,16 @@ __all__ = [
     "SimulationResult",
     "compare",
     "make_rng",
+    "parallel_map",
     "replicate",
+    "resolve_n_jobs",
     "outage_capacity_curve",
     "outage_stats",
     "simulate_network",
+    "simulate_network_batch",
     "simulate_single",
     "spawn",
+    "spawn_seeds",
     "summarize",
     "summarize_trace",
     "trace_single",

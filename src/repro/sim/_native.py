@@ -1,0 +1,237 @@
+"""Optional compiled slot-scan for the vectorized kernel.
+
+The dense per-slot scan (recharge reflection + table lookup + coin
+comparison) is a few floating-point operations per slot, which a C loop
+executes two orders of magnitude faster than Python.  This module embeds
+that loop as C source, compiles it once per interpreter/cache lifetime
+with the system ``gcc`` and loads it through :mod:`ctypes` — no build
+step, no new dependency.
+
+Bit-identity with the Python reference loop is guaranteed because every
+operation is a plain IEEE-754 double add/subtract/compare in program
+order and the source is compiled with ``-ffp-contract=off`` and without
+any fast-math flags, so the compiler cannot fuse or reorder them.
+
+The accelerator is best-effort: if ``gcc`` is missing, compilation
+fails, or ``REPRO_NATIVE_SCAN=0`` is set, callers get ``None`` and fall
+back to the pure-numpy kernel paths.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import pathlib
+import shutil
+import subprocess
+import tempfile
+from typing import Optional, Tuple
+
+import numpy as np
+
+_SOURCE = r"""
+#include <stdint.h>
+
+/* One sensor, `horizon` slots, reflected-battery arithmetic: the level
+ * before each decision is (neg + cs[t]) - shave.  Must mirror
+ * repro.sim.engine._simulate_reference operation-for-operation. */
+void repro_scan(
+    int64_t horizon,
+    const double *cs,        /* cumulative recharge, cs[t] = sum a_1..a_{t+1} */
+    const uint8_t *events,   /* event flag per slot */
+    const double *coins,     /* activation coin per slot */
+    const double *table,     /* recency table, or per-slot probs (slot_mode) */
+    int64_t table_size,
+    double tail,
+    int32_t slot_mode,       /* 1: table is indexed by slot, not recency */
+    int32_t full_info,
+    double capacity,
+    double delta1,
+    double delta2,
+    double initial,
+    int64_t *out_counts,     /* activations, captures, blocked */
+    double *out_state)       /* neg, shave */
+{
+    double neg = initial;
+    double shave = 0.0;
+    const double cost_capture = delta1 + delta2;
+    const double activation_cost = delta1 + delta2;
+    int64_t activations = 0, captures = 0, blocked = 0;
+    int64_t recency = 1;
+    int64_t t;
+    for (t = 0; t < horizon; t++) {
+        double pre = neg + cs[t];
+        double over = pre - capacity;
+        double battery, prob;
+        int wanted, event, captured;
+        if (over > shave) shave = over;
+        battery = pre - shave;
+        if (slot_mode) {
+            prob = table[t];
+        } else {
+            prob = (recency <= table_size) ? table[recency - 1] : tail;
+        }
+        wanted = coins[t] < prob;
+        event = events[t];
+        captured = 0;
+        if (wanted) {
+            if (battery < activation_cost) {
+                blocked++;
+            } else {
+                activations++;
+                if (event) {
+                    captured = 1;
+                    captures++;
+                    neg = neg - cost_capture;
+                } else {
+                    neg = neg - delta1;
+                }
+            }
+        }
+        if (full_info) {
+            recency = event ? 1 : recency + 1;
+        } else {
+            recency = captured ? 1 : recency + 1;
+        }
+    }
+    out_counts[0] = activations;
+    out_counts[1] = captures;
+    out_counts[2] = blocked;
+    out_state[0] = neg;
+    out_state[1] = shave;
+}
+"""
+
+#: Flags chosen for IEEE-strict doubles: no contraction (no FMA fusing
+#: of a+b-c chains), no fast-math, plain -O2.
+_CFLAGS = ("-O2", "-fPIC", "-shared", "-ffp-contract=off")
+
+_ENV_FLAG = "REPRO_NATIVE_SCAN"
+
+# Module-level compile cache: None = not tried yet, False = unavailable.
+_lib_cache: Optional[object] = None
+_lib_tried = False
+
+
+class NativeScan:
+    """ctypes wrapper around the compiled ``repro_scan`` symbol."""
+
+    def __init__(self, lib: ctypes.CDLL) -> None:
+        self._fn = lib.repro_scan
+        self._fn.restype = None
+        self._fn.argtypes = [
+            ctypes.c_int64,
+            ctypes.POINTER(ctypes.c_double),
+            ctypes.POINTER(ctypes.c_uint8),
+            ctypes.POINTER(ctypes.c_double),
+            ctypes.POINTER(ctypes.c_double),
+            ctypes.c_int64,
+            ctypes.c_double,
+            ctypes.c_int32,
+            ctypes.c_int32,
+            ctypes.c_double,
+            ctypes.c_double,
+            ctypes.c_double,
+            ctypes.c_double,
+            ctypes.POINTER(ctypes.c_int64),
+            ctypes.POINTER(ctypes.c_double),
+        ]
+
+    def scan(
+        self,
+        cs: np.ndarray,
+        events: np.ndarray,
+        coins: np.ndarray,
+        table: np.ndarray,
+        tail: float,
+        slot_mode: bool,
+        full_info: bool,
+        capacity: float,
+        delta1: float,
+        delta2: float,
+        initial: float,
+    ) -> Tuple[int, int, int, float, float]:
+        """Run the scan; returns (activations, captures, blocked, neg, shave)."""
+        horizon = cs.shape[0]
+        cs_c = np.ascontiguousarray(cs, dtype=np.float64)
+        ev_c = np.ascontiguousarray(events, dtype=np.uint8)
+        coin_c = np.ascontiguousarray(coins, dtype=np.float64)
+        table_c = np.ascontiguousarray(table, dtype=np.float64)
+        table_size = table_c.shape[0]
+        if table_size == 0:  # keep the pointer valid; never dereferenced
+            table_c = np.zeros(1, dtype=np.float64)
+        counts = np.zeros(3, dtype=np.int64)
+        state = np.zeros(2, dtype=np.float64)
+        as_f64 = ctypes.POINTER(ctypes.c_double)
+        self._fn(
+            ctypes.c_int64(horizon),
+            cs_c.ctypes.data_as(as_f64),
+            ev_c.ctypes.data_as(ctypes.POINTER(ctypes.c_uint8)),
+            coin_c.ctypes.data_as(as_f64),
+            table_c.ctypes.data_as(as_f64),
+            ctypes.c_int64(table_size),
+            ctypes.c_double(tail),
+            ctypes.c_int32(1 if slot_mode else 0),
+            ctypes.c_int32(1 if full_info else 0),
+            ctypes.c_double(capacity),
+            ctypes.c_double(delta1),
+            ctypes.c_double(delta2),
+            ctypes.c_double(initial),
+            counts.ctypes.data_as(ctypes.POINTER(ctypes.c_int64)),
+            state.ctypes.data_as(as_f64),
+        )
+        return (
+            int(counts[0]),
+            int(counts[1]),
+            int(counts[2]),
+            float(state[0]),
+            float(state[1]),
+        )
+
+
+def _compile() -> Optional[ctypes.CDLL]:
+    """Compile the scan into a cached shared object; None on any failure."""
+    gcc = shutil.which("gcc") or shutil.which("cc")
+    if gcc is None:
+        return None
+    digest = hashlib.sha256(
+        _SOURCE.encode() + " ".join(_CFLAGS).encode()
+    ).hexdigest()[:16]
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    cache = pathlib.Path(tempfile.gettempdir()) / f"repro-native-{uid}"
+    so_path = cache / f"repro_scan-{digest}.so"
+    try:
+        if not so_path.exists():
+            cache.mkdir(parents=True, exist_ok=True)
+            src_path = cache / f"repro_scan-{digest}.c"
+            src_path.write_text(_SOURCE)
+            with tempfile.NamedTemporaryFile(
+                dir=str(cache), suffix=".so", delete=False
+            ) as tmp:
+                tmp_name = tmp.name
+            subprocess.run(
+                [gcc, *_CFLAGS, "-o", tmp_name, str(src_path)],
+                check=True,
+                capture_output=True,
+            )
+            os.replace(tmp_name, so_path)  # atomic vs concurrent compiles
+        return ctypes.CDLL(str(so_path))
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def get_native_scan() -> Optional[NativeScan]:
+    """The compiled scan, or None when disabled or unavailable.
+
+    Set ``REPRO_NATIVE_SCAN=0`` to force the pure-numpy kernel paths
+    (checked on every call so tests can exercise both implementations).
+    """
+    if os.environ.get(_ENV_FLAG, "1").strip().lower() in ("0", "false", "no"):
+        return None
+    global _lib_cache, _lib_tried
+    if not _lib_tried:
+        _lib_tried = True
+        lib = _compile()
+        _lib_cache = NativeScan(lib) if lib is not None else None
+    return _lib_cache  # type: ignore[return-value]

@@ -12,11 +12,33 @@ The recency state fed to the policy depends on its information model:
 full information tracks slots since the last *event*, partial information
 slots since the last *capture*.  An event is assumed at slot 0, so both
 recencies start at 1.
+
+Backends
+--------
+``simulate_single`` accepts ``backend="auto" | "reference" | "vectorized"``.
+The reference backend is the readable per-slot Python loop below; the
+vectorized backend (:mod:`repro.sim.kernel`) replays the identical
+arithmetic with array primitives (and an optional compiled scan) and is
+bit-identical to it.  Both consume the same three RNG sub-streams in the
+same order, so a seed pins one trajectory regardless of backend.
+
+To make bit-identity achievable the battery is maintained in *reflected*
+form: instead of the clipped level ``B_t`` the loop tracks
+
+* ``cum``   — the running sum of recharge amounts,
+* ``neg``   — the initial energy minus all activation costs so far,
+* ``shave`` — the running maximum of ``(neg + cum) - K`` (total overflow),
+
+and the level before each decision is ``(neg + cum) - shave``.  This is
+the Skorokhod-reflection solution of the clip recursion: exactly equal in
+real arithmetic, and — because every term is a plain sequential sum — a
+form that ``np.cumsum`` / ``np.subtract.accumulate`` / ``np.maximum``
+reproduce operation-for-operation in floating point.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -32,6 +54,9 @@ from repro.sim.rng import SeedLike, make_rng, spawn
 #: recency fast path; recencies beyond it use the policy's tail value.
 _TABLE_SLOTS = 1 << 16
 
+#: Valid values of the ``backend`` argument.
+BACKENDS = ("auto", "reference", "vectorized")
+
 
 def simulate_single(
     distribution: InterArrivalDistribution,
@@ -44,13 +69,24 @@ def simulate_single(
     seed: SeedLike = None,
     initial_energy: Optional[float] = None,
     collect_battery_trace: bool = False,
+    backend: str = "auto",
 ) -> SimulationResult:
     """Run one sensor for ``horizon`` slots and return its statistics.
 
     ``initial_energy`` defaults to ``capacity / 2`` as in the paper's
     experiments.  Events, recharge and activation coin-flips each use an
     independent sub-stream of ``seed`` for reproducibility.
+
+    ``backend`` selects the execution engine: ``"reference"`` forces the
+    per-slot Python loop, ``"vectorized"`` forces the fast kernel (and
+    raises :class:`SimulationError` when the configuration is not
+    eligible), ``"auto"`` uses the kernel whenever it is eligible.  All
+    backends are bit-identical.
     """
+    if backend not in BACKENDS:
+        raise SimulationError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
     if horizon < 0:
         raise SimulationError(f"horizon must be >= 0, got {horizon}")
     if capacity < 0:
@@ -81,23 +117,94 @@ def simulate_single(
             slot_probs = policy.slot_probabilities(horizon)
 
     full_info = policy.info_model == InfoModel.FULL
-    battery = capacity / 2.0 if initial_energy is None else float(initial_energy)
-    if not 0 <= battery <= capacity:
+    initial = capacity / 2.0 if initial_energy is None else float(initial_energy)
+    if not 0 <= initial <= capacity:
         raise SimulationError(
-            f"initial energy {battery} outside [0, {capacity}]"
+            f"initial energy {initial} outside [0, {capacity}]"
         )
 
+    if backend != "reference":
+        from repro.sim import kernel
+
+        reason = kernel.ineligibility_reason(
+            battery_aware=battery_aware,
+            collect_battery_trace=collect_battery_trace,
+            has_table=table is not None,
+            has_slot_probs=slot_probs is not None,
+            recharge_amounts=recharge_amounts,
+        )
+        if reason is None:
+            return kernel.simulate_kernel(
+                events=events,
+                recharge_amounts=recharge_amounts,
+                coins=coins,
+                table=table,
+                tail=tail,
+                slot_probs=slot_probs,
+                full_info=full_info,
+                capacity=float(capacity),
+                delta1=float(delta1),
+                delta2=float(delta2),
+                horizon=horizon,
+                initial=initial,
+            )
+        if backend == "vectorized":
+            raise SimulationError(
+                f"vectorized backend unavailable: {reason}"
+            )
+
+    return _simulate_reference(
+        policy=policy,
+        events=events,
+        recharge_amounts=recharge_amounts,
+        coins=coins,
+        table=table,
+        tail=tail,
+        slot_probs=slot_probs,
+        battery_aware=battery_aware,
+        full_info=full_info,
+        capacity=float(capacity),
+        delta1=float(delta1),
+        delta2=float(delta2),
+        horizon=horizon,
+        initial=initial,
+        collect_battery_trace=collect_battery_trace,
+    )
+
+
+def _simulate_reference(
+    policy: ActivationPolicy,
+    events: np.ndarray,
+    recharge_amounts: np.ndarray,
+    coins: np.ndarray,
+    table: Optional[np.ndarray],
+    tail: float,
+    slot_probs: Optional[np.ndarray],
+    battery_aware: bool,
+    full_info: bool,
+    capacity: float,
+    delta1: float,
+    delta2: float,
+    horizon: int,
+    initial: float,
+    collect_battery_trace: bool,
+) -> SimulationResult:
+    """The bit-exact per-slot reference loop (reflected battery form)."""
     activation_cost = delta1 + delta2  # decision threshold (Sec. III-A)
+    cost_capture = delta1 + delta2
     table_size = 0 if table is None else table.size
 
     n_events = 0
     n_captures = 0
     activations = 0
     blocked = 0
-    harvested = 0.0
-    consumed = 0.0
-    overflow = 0.0
     trace = np.empty(horizon) if collect_battery_trace else None
+
+    # Reflected battery state (see module docstring): the level before
+    # each decision is (neg + cum) - shave.
+    cum = 0.0
+    neg = initial
+    shave = 0.0
 
     recency = 1  # an event occurred at slot 0
     events_list = events.tolist()
@@ -107,13 +214,13 @@ def simulate_single(
     slot_list = slot_probs.tolist() if slot_probs is not None else None
 
     for t in range(1, horizon + 1):
-        # 1. Recharge.
-        amount = recharge_list[t - 1]
-        harvested += amount
-        battery += amount
-        if battery > capacity:
-            overflow += battery - capacity
-            battery = capacity
+        # 1. Recharge (clip at capacity via the running shave).
+        cum = cum + recharge_list[t - 1]
+        pre = neg + cum
+        over = pre - capacity
+        if over > shave:
+            shave = over
+        battery = pre - shave
 
         # 2. Activation decision.
         if table_list is not None:
@@ -138,16 +245,15 @@ def simulate_single(
         captured = False
         if wants_active:
             activations += 1
-            cost = delta1
             if event:
                 captured = True
                 n_captures += 1
-                cost += delta2
-            battery -= cost
-            consumed += cost
+                neg = neg - cost_capture
+            else:
+                neg = neg - delta1
 
         if trace is not None:
-            trace[t - 1] = battery
+            trace[t - 1] = (neg + cum) - shave
 
         # 4. Recency update for the next slot.
         if full_info:
@@ -158,11 +264,11 @@ def simulate_single(
     stats = SensorStats(
         activations=activations,
         captures=n_captures,
-        energy_harvested=harvested,
-        energy_consumed=consumed,
-        energy_overflow=overflow,
+        energy_harvested=cum,
+        energy_consumed=activations * delta1 + n_captures * delta2,
+        energy_overflow=shave,
         blocked_slots=blocked,
-        final_battery=battery,
+        final_battery=(neg + cum) - shave,
     )
     return SimulationResult(
         horizon=horizon,

@@ -12,7 +12,7 @@ shared state.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -23,6 +23,7 @@ from repro.events.base import InterArrivalDistribution
 from repro.events.renewal import generate_event_flags
 from repro.exceptions import SimulationError
 from repro.sim.metrics import SensorStats, SimulationResult
+from repro.sim.parallel import parallel_map
 from repro.sim.rng import SeedLike, make_rng, spawn
 
 
@@ -136,3 +137,39 @@ def simulate_network(
         n_captures=n_captures,
         sensors=stats,
     )
+
+
+def simulate_network_batch(
+    distribution: InterArrivalDistribution,
+    coordinator: Coordinator,
+    recharge: RechargeProcess,
+    capacity: float,
+    delta1: float,
+    delta2: float,
+    horizon: int,
+    seeds: Sequence[SeedLike],
+    initial_energy: Optional[float] = None,
+    n_jobs: Optional[int] = None,
+) -> List[SimulationResult]:
+    """Run :func:`simulate_network` once per seed, optionally in parallel.
+
+    The multi-sensor slot loop itself is coordinator-coupled and stays
+    sequential, so parallelism comes from fanning independent *runs*
+    out across processes; results are returned in seed order and are
+    identical to a serial loop for every ``n_jobs``.
+    """
+
+    def _one(seed: SeedLike) -> SimulationResult:
+        return simulate_network(
+            distribution,
+            coordinator,
+            recharge,
+            capacity=capacity,
+            delta1=delta1,
+            delta2=delta2,
+            horizon=horizon,
+            seed=seed,
+            initial_energy=initial_energy,
+        )
+
+    return parallel_map(_one, list(seeds), n_jobs=n_jobs)

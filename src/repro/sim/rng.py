@@ -19,13 +19,13 @@ tests pin distributional bounds, not the old bit patterns.
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
 from repro.exceptions import SimulationError
 
-SeedLike = Union[int, np.random.Generator, None]
+SeedLike = Union[int, np.random.Generator, np.random.SeedSequence, None]
 
 
 def make_rng(seed: SeedLike = None) -> np.random.Generator:
@@ -49,3 +49,19 @@ def spawn(rng: np.random.Generator, count: int) -> List[np.random.Generator]:
         return list(rng.spawn(count))
     seed_seq = rng.bit_generator.seed_seq  # pragma: no cover - old numpy
     return [np.random.default_rng(s) for s in seed_seq.spawn(count)]
+
+
+def spawn_seeds(
+    base_seed: Optional[int], count: int
+) -> List[np.random.SeedSequence]:
+    """Derive ``count`` non-colliding child seeds from one base seed.
+
+    Unlike drawing raw integers from a generator (which carries a
+    birthday-collision risk across large batches), ``SeedSequence.spawn``
+    children are guaranteed distinct and mutually independent.  The
+    returned :class:`numpy.random.SeedSequence` objects are valid
+    ``SeedLike`` values for every simulation entry point.
+    """
+    if count < 0:
+        raise SimulationError(f"seed count must be >= 0, got {count}")
+    return list(np.random.SeedSequence(base_seed).spawn(count))

@@ -67,3 +67,35 @@ class TestEmpiricalGaps:
         flags = generate_event_flags(weibull, 200_000, rng)
         gaps = empirical_gaps(flags)
         assert gaps.mean() == pytest.approx(weibull.mu, rel=0.05)
+
+
+class _BrokenGaps(DeterministicInterArrival):
+    """A sampler violating the >= 1 slot contract, for guard tests."""
+
+    def __init__(self, gaps):
+        super().__init__(5)
+        self._gaps = np.asarray(gaps)
+
+    def sample(self, rng, size=1):
+        return self._gaps
+
+
+class TestDegenerateGapGuard:
+    """Non-positive gaps used to hang generate_event_slots forever."""
+
+    @pytest.mark.parametrize("gaps", [[0], [3, 0, 2], [-1, 4]])
+    def test_nonpositive_gap_raises(self, rng, gaps):
+        with pytest.raises(SimulationError, match="must be >= 1"):
+            generate_event_slots(_BrokenGaps(gaps), 1_000, rng)
+
+    def test_empty_batch_raises(self, rng):
+        with pytest.raises(SimulationError, match="empty batch"):
+            generate_event_slots(_BrokenGaps([]), 1_000, rng)
+
+    def test_error_names_the_distribution(self, rng):
+        with pytest.raises(SimulationError, match="Deterministic"):
+            generate_event_slots(_BrokenGaps([0]), 1_000, rng)
+
+    def test_fractional_gaps_above_one_still_accepted(self, rng):
+        slots = generate_event_slots(_BrokenGaps([1, 2, 3, 4, 2000]), 8, rng)
+        assert list(slots) == [1, 3, 6]

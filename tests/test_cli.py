@@ -188,3 +188,55 @@ class TestLintSubcommand:
         assert rc == 0
         out = capsys.readouterr().out
         assert "RL001" in out and "RL008" in out
+
+
+class TestBackendFlag:
+    def test_vectorized_matches_reference(self, capsys):
+        base = ["simulate", "--events", "weibull:40,3", "--rate", "0.5",
+                "--policy", "aggressive", "--horizon", "3000",
+                "--seed", "7", "--bernoulli-q", "0.5"]
+        assert main(base + ["--backend", "reference"]) == 0
+        ref_out = capsys.readouterr().out
+        assert main(base + ["--backend", "vectorized"]) == 0
+        vec_out = capsys.readouterr().out
+        assert ref_out == vec_out
+        assert "QoM=" in ref_out
+
+    def test_unknown_backend_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--events", "weibull:40,3", "--rate", "0.5",
+                  "--policy", "aggressive", "--horizon", "100",
+                  "--backend", "numba"])
+
+
+class TestJobsFlag:
+    def test_experiment_jobs_matches_serial(self, capsys):
+        args = ["experiment", "fig3a", "--horizon", "2000", "--seed", "3"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+
+class TestBenchCommand:
+    def test_quick_bench_writes_payload(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "bench.json"
+        rc = main(["bench", "--quick", "--horizon", "2000",
+                   "--replicates", "2", "--jobs", "2",
+                   "--output", str(out)])
+        text = capsys.readouterr().out
+        assert rc == 0
+        assert "simulator benchmark" in text
+        assert "identical=True" in text
+        assert str(out) in text
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == 1
+        assert payload["horizon"] == 2000
+        for row in payload["policies"].values():
+            assert row["bit_identical"] is True
+            assert row["speedup"] > 0
+        assert payload["replicate"]["identical"] is True
+        assert payload["replicate"]["n_jobs"] == 2
