@@ -13,11 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.policy import ActivationPolicy
 from repro.energy.recharge import RechargeProcess
 from repro.events.base import InterArrivalDistribution
 from repro.exceptions import SimulationError
 from repro.sim.engine import simulate_single
+from repro.sim.rng import spawn_seeds
 
 
 @dataclass(frozen=True)
@@ -43,11 +46,12 @@ def capacity_profile(
 ) -> list[CapacityPoint]:
     """Simulated QoM gap to ``bound`` for each capacity (a Fig. 3 curve)."""
     points = []
-    for idx, capacity in enumerate(capacities):
+    child_seeds = spawn_seeds(seed, len(list(capacities)))
+    for capacity, child_seed in zip(capacities, child_seeds):
         result = simulate_single(
             distribution, policy, recharge,
             capacity=capacity, delta1=delta1, delta2=delta2,
-            horizon=horizon, seed=seed + idx,
+            horizon=horizon, seed=child_seed,
         )
         points.append(
             CapacityPoint(
@@ -84,20 +88,23 @@ def find_sufficient_capacity(
     if target_gap <= 0:
         raise SimulationError(f"target_gap must be > 0, got {target_gap}")
 
-    def gap_at(capacity: float, idx: int) -> float:
+    # One collision-free child seed per probe; the parent's spawn counter
+    # makes successive probes independent without knowing their number
+    # up front.
+    parent = np.random.SeedSequence(seed)
+
+    def gap_at(capacity: float) -> float:
         result = simulate_single(
             distribution, policy, recharge,
             capacity=capacity, delta1=delta1, delta2=delta2,
-            horizon=horizon, seed=seed + idx,
+            horizon=horizon, seed=parent.spawn(1)[0],
         )
         return bound - result.qom
 
     low = delta1 + delta2  # below this the sensor cannot act at all
     capacity = max(low * 2, 1.0)
-    idx = 0
-    while gap_at(capacity, idx) > target_gap:
+    while gap_at(capacity) > target_gap:
         capacity *= 2
-        idx += 1
         if capacity > max_capacity:
             raise SimulationError(
                 f"no capacity up to {max_capacity} reaches within "
@@ -106,8 +113,7 @@ def find_sufficient_capacity(
     lo, hi = capacity / 2, capacity
     for _ in range(12):
         mid = (lo + hi) / 2
-        idx += 1
-        if gap_at(mid, idx) > target_gap:
+        if gap_at(mid) > target_gap:
             lo = mid
         else:
             hi = mid

@@ -31,16 +31,42 @@ drain ``E_out = sum_i y_i c_i (delta1 + beta_hat_i delta2)`` — the
 quantities the clustering-policy optimiser needs (paper Sec. IV-B2).
 
 Heavy-tailed gap distributions (Pareto) make the survival decay only
-polynomially, so :func:`analyse_partial_info_policy` streams the DP and
-closes the cycle with an explicit tail estimate instead of iterating
-until the survival underflows.
+polynomially, so the analysis streams the DP and closes the cycle with an
+explicit tail estimate instead of iterating until the survival underflows.
+
+Performance architecture (see DESIGN.md):
+
+* ``_HazardStepper`` tracks the *live window* of ``w``: whenever a slot
+  produces no missed-event birth (``c_t = 1`` — the aggressive recovery
+  tail — or zero event mass), the age distribution only shifts, so the
+  leading entries stay exactly zero and are skipped.  In the recovery
+  region the per-slot cost drops from ``O(t)`` to ``O(window)``.
+* ``step_block`` advances many slots per call for a constant activation
+  probability, hoisting the Python-level overhead out of the hot loop;
+  :class:`PartialInfoSolver` feeds it maximal constant-``c`` runs.
+* ``snapshot()`` / ``restore()`` checkpoint the DP state so policies
+  sharing an activation prefix (the bisection over the clustering
+  boundary scale; structures sharing ``(n1, n2)``) fork the prefix
+  instead of recomputing it.  All accumulators use sequential prefix
+  sums, so a forked continuation is bit-identical to a streamed run.
+* Results are memoised in a process-wide LRU keyed on the distribution
+  fingerprint, activation bytes, energy costs and tolerances, with an
+  optional on-disk cache (``REPRO_ANALYSIS_CACHE=<dir>``).  Set
+  ``REPRO_ANALYSIS_MEMO=0`` to disable caching entirely.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import struct
+import zipfile
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.events.base import InterArrivalDistribution
 from repro.exceptions import PolicyError
@@ -50,6 +76,26 @@ DEFAULT_TAIL_REL_EPS = 1e-5
 
 #: Hard cap on the analysis horizon (slots since last capture).
 DEFAULT_MAX_HORIZON = 200_000
+
+#: Slots advanced per blocked call in the constant-activation tail.
+_TAIL_BLOCK = 1024
+
+#: Matrix-cell budget for the no-birth fast path (bounds temp memory).
+_FAST_CELLS = 1 << 18
+
+#: Minimum block length worth the matrix set-up cost.
+_FAST_MIN = 16
+
+#: Caps for the process-wide analysis memo (LRU eviction).  A full
+#: optimizer search touches a few thousand distinct (policy, tolerance)
+#: keys, so the cache is budgeted by bytes rather than a small entry
+#: count — a small LRU would be thrashed to zero hits by the repeated
+#: deterministic evaluation sequence of a warm search.
+_MEMO_MAX_ENTRIES = 16_384
+_MEMO_MAX_BYTES = 256 * 1024 * 1024
+
+#: Prefix checkpoints kept per solver (LRU eviction).
+_PREFIX_MAX = 1024
 
 
 def expand_activation(
@@ -101,6 +147,9 @@ class PartialInfoAnalysis:
     truncated:
         True when the horizon cap was hit before the tail estimate fell
         below tolerance — ``qom`` is then only an upper estimate.
+
+    Instances may be shared through the analysis memo; the arrays are
+    marked read-only and must not be mutated.
     """
 
     beta_hat: np.ndarray
@@ -117,7 +166,7 @@ def conditional_hazards(
     activation: np.ndarray,
     horizon: int,
     tail: float = 0.0,
-) -> tuple[np.ndarray, np.ndarray]:
+) -> Tuple[np.ndarray, np.ndarray]:
     """Compute ``(beta_hat, survival)`` for slots ``1..horizon``.
 
     This is the discrete, fractional-activation generalisation of the
@@ -139,46 +188,441 @@ def conditional_hazards(
 
 
 class _HazardStepper:
-    """Streams the (capture-recency x event-age) DP one slot at a time.
+    """Streams the (capture-recency x event-age) DP over slots.
 
     ``step(c_t)`` returns ``(s_t, beta_hat_t)`` for the next slot ``t``
     (starting at t = 1) and advances the internal age distribution using
-    the supplied activation probability.
+    the supplied activation probability; ``step_block`` advances up to
+    ``n`` slots at a constant activation probability per call.
+
+    The age distribution ``w`` is stored as a window ``w[lo:width]``:
+    entries below ``lo`` are exactly zero because slots without a
+    missed-event birth (``c_t = 1`` or zero event mass) only shift the
+    window up.  ``snapshot()``/``restore()`` capture and re-install the
+    window so a shared activation prefix can be forked; the restored
+    state advances through bit-identical arithmetic.
     """
 
     def __init__(self, distribution: InterArrivalDistribution) -> None:
         self._beta_g = distribution.beta
+        self._decay = 1.0 - self._beta_g
         self._support = distribution.support_max
         # Pre-allocate generously; grown on demand.
         self._w = np.zeros(min(self._support, 1024))
         self._w[0] = 1.0
+        self._lo = 0
         self._width = 1
 
-    def step(self, c_t: float) -> tuple[float, float]:
+    def step(self, c_t: float) -> Tuple[float, float]:
+        s_arr, bh_arr, _ = self.step_block(c_t, 1)
+        return float(s_arr[0]), float(bh_arr[0])
+
+    def step_block(
+        self, c: float, n: int
+    ) -> Tuple[np.ndarray, np.ndarray, bool]:
+        """Advance up to ``n`` slots at activation probability ``c``.
+
+        Returns ``(survival, beta_hat, exhausted)`` for the slots actually
+        processed.  ``exhausted`` is True when the age mass hit zero; the
+        zero-mass slot is reported as ``(0.0, 1.0)`` (matching the
+        per-slot convention) and the state does not advance past it.
+        """
+        bg = self._beta_g
+        decay = self._decay
+        support = self._support
+        w = self._w
+        lo = self._lo
         width = self._width
-        wt = self._w[:width]
-        bg = self._beta_g[:width]
-        mass = float(wt.sum())
-        if mass <= 0.0:
-            return 0.0, 1.0
-        event_mass = float(wt @ bg)
-        beta_hat = min(event_mass / mass, 1.0)
-        # Advance one slot: ages shift up (no event), missed events reset
-        # the age to 1 without closing the cycle.
-        new_width = min(width + 1, self._support)
-        if new_width > self._w.size:
-            grown = np.zeros(min(self._support, self._w.size * 2))
-            grown[: self._w.size] = self._w
-            self._w = grown
-        wt = self._w[:width]
-        np.multiply(wt, 1.0 - bg, out=wt)
-        # Shift in place: w[1:new_width] = old w[0:new_width-1].
-        self._w[1:new_width] = self._w[: new_width - 1]
-        self._w[0] = event_mass * (1.0 - c_t)
-        if new_width < self._w.size:
-            self._w[new_width] = 0.0
-        self._width = new_width
-        return mass, beta_hat
+        one_minus_c = 1.0 - float(c)
+        s_out = np.empty(n)
+        bh_out = np.empty(n)
+        m = 0
+        exhausted = False
+        while m < n:
+            # No-birth fast path (c >= 1, e.g. the aggressive recovery
+            # tail): entries only decay and shift, so a whole block is a
+            # cumulative product plus row sums.  Every reduction uses the
+            # same pairwise scheme as the per-slot path, so results are
+            # bit-identical regardless of which path computes a slot.
+            if one_minus_c <= 0.0 and width < support and lo < width:
+                window = width - lo
+                fast_n = min(
+                    n - m, support - width, max(_FAST_MIN, _FAST_CELLS // window)
+                )
+                if fast_n >= _FAST_MIN:
+                    # Row k of these views is decay/bg over ages
+                    # lo+k .. lo+k+window-1 — strided views, no copies.
+                    span = slice(lo, lo + fast_n + window - 1)
+                    dec_rows = sliding_window_view(decay[span], window)
+                    bg_rows = sliding_window_view(bg[span], window)
+                    vals = np.empty((fast_n + 1, window))
+                    vals[0] = w[lo:width]
+                    vals[1:] = dec_rows
+                    np.cumprod(vals, axis=0, out=vals)
+                    masses = np.sum(vals[:fast_n], axis=1)
+                    ems = np.sum(vals[:fast_n] * bg_rows, axis=1)
+                    dead = np.flatnonzero(masses <= 0.0)
+                    take = fast_n if dead.size == 0 else int(dead[0])
+                    if take:
+                        s_out[m : m + take] = masses[:take]
+                        bh_block = ems[:take] / masses[:take]
+                        np.minimum(bh_block, 1.0, out=bh_block)
+                        bh_out[m : m + take] = bh_block
+                        m += take
+                        new_width = width + take
+                        if new_width > w.size:
+                            size = w.size
+                            while size < new_width:
+                                size = min(support, size * 2)
+                            w = np.zeros(size)
+                            self._w = w
+                        else:
+                            w[lo : lo + take] = 0.0
+                        w[lo + take : new_width] = vals[take]
+                        lo += take
+                        width = new_width
+                    if take < fast_n:
+                        s_out[m] = 0.0
+                        bh_out[m] = 1.0
+                        m += 1
+                        exhausted = True
+                        break
+                    continue
+            live = w[lo:width]
+            mass = float(live.sum())
+            if mass <= 0.0:
+                s_out[m] = 0.0
+                bh_out[m] = 1.0
+                m += 1
+                exhausted = True
+                break
+            event_mass = float(np.sum(live * bg[lo:width]))
+            beta_hat = event_mass / mass
+            if beta_hat > 1.0:
+                beta_hat = 1.0
+            s_out[m] = mass
+            bh_out[m] = beta_hat
+            m += 1
+            # Advance one slot: ages shift up (no event), missed events
+            # reset the age to 1 without closing the cycle.
+            new_width = width + 1 if width < support else support
+            if new_width > w.size:
+                grown = np.zeros(min(support, w.size * 2))
+                grown[: w.size] = w
+                self._w = grown
+                w = grown
+            np.multiply(w[lo:width], decay[lo:width], out=w[lo:width])
+            # Shift in place: w[lo+1:new_width] = old w[lo:new_width-1].
+            w[lo + 1 : new_width] = w[lo : new_width - 1]
+            # The shift copies w[lo] up but leaves the original behind.
+            w[lo] = 0.0
+            birth = event_mass * one_minus_c
+            if birth > 0.0:
+                w[0] = birth
+                lo = 0
+            else:
+                # No birth: the window moves up wholesale.
+                lo += 1
+            width = new_width
+        self._lo = lo
+        self._width = width
+        return s_out[:m], bh_out[:m], exhausted
+
+    def snapshot(self) -> Tuple[np.ndarray, int, int]:
+        """Copy of the live DP window, restorable via :meth:`restore`."""
+        window = self._w[self._lo : self._width].copy()
+        window.flags.writeable = False
+        return (window, self._lo, self._width)
+
+    def restore(self, state: Tuple[np.ndarray, int, int]) -> None:
+        """Re-install a snapshot; subsequent steps are bit-identical to a
+        stepper that streamed to the snapshot point directly."""
+        window, lo, width = state
+        size = self._w.size
+        while size < width:
+            size = min(self._support, size * 2)
+        w = np.zeros(size)
+        w[lo:width] = window
+        self._w = w
+        self._lo = lo
+        self._width = width
+
+
+@dataclass(frozen=True)
+class _PrefixCheckpoint:
+    """Forked DP prefix: stepper state plus the accumulators at slot t."""
+
+    state: Tuple[np.ndarray, int, int]
+    t: int
+    beta_hat: np.ndarray
+    survival: np.ndarray
+    cycle_total: float
+    energy_total: float
+
+
+def _activation_run_ends(c_vec: np.ndarray) -> np.ndarray:
+    """End indices (exclusive) of maximal constant runs in ``c_vec``."""
+    if c_vec.size == 0:
+        return np.empty(0, dtype=np.intp)
+    change = np.flatnonzero(np.diff(c_vec)) + 1
+    return np.concatenate((change, [c_vec.size])).astype(np.intp)
+
+
+class PartialInfoSolver:
+    """Reusable partial-information analysis engine for one event model.
+
+    Wraps the streamed DP of :func:`analyse_partial_info_policy` and adds
+    *prefix checkpointing*: ``analyse(..., checkpoint_slots=(k1, k2))``
+    snapshots the DP state after slots ``k1``/``k2`` keyed on the clipped
+    activation prefix bytes, and later calls whose activation starts with
+    a checkpointed prefix resume from the snapshot instead of recomputing
+    it.  Because every accumulator is a sequential prefix sum and the
+    snapshot restores the exact window layout, a resumed analysis is
+    bit-identical to a streamed one (property-tested).
+
+    The clustering optimiser shares one solver across its bisections and
+    across structures with a common ``(n1, n2)`` hot region.
+    """
+
+    def __init__(
+        self,
+        distribution: InterArrivalDistribution,
+        delta1: float,
+        delta2: float,
+    ) -> None:
+        if delta1 < 0 or delta2 < 0:
+            raise PolicyError(
+                f"delta1/delta2 must be >= 0, got {delta1}, {delta2}"
+            )
+        self.distribution = distribution
+        self.delta1 = float(delta1)
+        self.delta2 = float(delta2)
+        self._prefix: "OrderedDict[bytes, _PrefixCheckpoint]" = OrderedDict()
+        #: Distinct checkpoint lengths ever captured; resume tries each.
+        self._lengths: set = set()
+
+    def analyse(
+        self,
+        activation: np.ndarray,
+        tail: float = 1.0,
+        tail_rel_eps: float = DEFAULT_TAIL_REL_EPS,
+        max_horizon: int = DEFAULT_MAX_HORIZON,
+        checkpoint_slots: Sequence[int] = (),
+    ) -> PartialInfoAnalysis:
+        """Analyse one activation vector (see module-level function)."""
+        arr = np.asarray(activation, dtype=float)
+        if arr.ndim != 1:
+            raise PolicyError("activation vector must be 1-D")
+        key = _memo_key(
+            self.distribution,
+            arr,
+            self.delta1,
+            self.delta2,
+            tail,
+            tail_rel_eps,
+            max_horizon,
+        )
+        result = _cache_get(key)
+        if result is None:
+            result = self._stream(
+                arr, tail, tail_rel_eps, max_horizon, checkpoint_slots
+            )
+            _cache_put(key, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Core streamed DP
+    # ------------------------------------------------------------------
+    def _stream(
+        self,
+        arr: np.ndarray,
+        tail: float,
+        tail_rel_eps: float,
+        max_horizon: int,
+        checkpoint_slots: Sequence[int],
+    ) -> PartialInfoAnalysis:
+        d1, d2 = self.delta1, self.delta2
+        distribution = self.distribution
+        tail_c = float(np.clip(tail, 0.0, 1.0))
+        c_vec = np.clip(arr, 0.0, 1.0)
+        run_ends = _activation_run_ends(c_vec)
+        min_slots = max(arr.size + 1, distribution.quantile(0.999), 32)
+
+        # Checkpoints are only meaningful strictly inside the vector and
+        # before any tail-closure decision can fire (min_slots > k keeps
+        # the prefix computation independent of the tolerance and of the
+        # suffix length, so it can be shared across policies).
+        marks = sorted(
+            {
+                int(k)
+                for k in checkpoint_slots
+                if 1 <= int(k) <= c_vec.size and int(k) < min_slots
+            }
+        )
+
+        stepper = _HazardStepper(distribution)
+        bh_blocks: List[np.ndarray] = []
+        s_blocks: List[np.ndarray] = []
+        cycle_total = 0.0
+        energy_total = 0.0
+        t = 0
+        # Resume from the longest cached prefix of this activation vector
+        # (checkpoints captured for *any* earlier policy apply, since the
+        # DP state depends only on the clipped prefix bytes).
+        limit = min(c_vec.size, min_slots - 1)
+        for k in sorted(
+            (x for x in self._lengths if x <= limit), reverse=True
+        ):
+            key = c_vec[:k].tobytes()
+            cached = self._prefix.get(key)
+            if cached is not None:
+                stepper.restore(cached.state)
+                t = cached.t
+                bh_blocks = [cached.beta_hat]
+                s_blocks = [cached.survival]
+                cycle_total = cached.cycle_total
+                energy_total = cached.energy_total
+                self._prefix.move_to_end(key)
+                break
+        marks = [k for k in marks if k > t]
+
+        tail_cycle = 0.0
+        tail_energy = 0.0
+        truncated = True
+        finished = False
+
+        while t < max_horizon and not finished:
+            if t < c_vec.size:
+                c = float(c_vec[t])
+                end_idx = int(
+                    run_ends[np.searchsorted(run_ends, t, side="right")]
+                )
+                block_end = min(end_idx, max_horizon)
+            else:
+                c = tail_c
+                block_end = min(t + _TAIL_BLOCK, max_horizon)
+            if marks:
+                block_end = min(block_end, marks[0])
+            s_arr, bh_arr, exhausted = stepper.step_block(c, block_end - t)
+            got = s_arr.size
+            # Sequential prefix sums reproduce the scalar accumulation
+            # chain exactly, independent of how slots are blocked.
+            cyc = np.cumsum(np.concatenate(([cycle_total], s_arr)))[1:]
+            contrib = s_arr * c * (d1 + bh_arr * d2)
+            ene = np.cumsum(np.concatenate(([energy_total], contrib)))[1:]
+
+            stop = -1
+            # Tail-closure check; never fires before min_slots, and the
+            # zero-mass slot (if any) breaks without a tail estimate.
+            limit = got - 1 if exhausted else got
+            first_check = max(min_slots, t + 1)
+            off = first_check - (t + 1)
+            if off < limit:
+                r = c * bh_arr[off:limit]
+                pos = np.flatnonzero(r > 0.0)
+                if pos.size:
+                    rr = r[pos]
+                    ss = s_arr[off:limit][pos]
+                    tt = (t + 1 + off + pos).astype(float)
+                    geom = ss * (1.0 - rr) / rr
+                    gamma = tt * rr
+                    power = ss * tt / np.maximum(gamma - 1.0, 1e-3)
+                    remaining = np.maximum(geom, power)
+                    hit = np.flatnonzero(
+                        remaining <= tail_rel_eps * (cyc[off:limit][pos] + remaining)
+                    )
+                    if hit.size:
+                        j = int(pos[hit[0]]) + off
+                        rem = float(remaining[hit[0]])
+                        tail_cycle = rem
+                        tail_energy = rem * tail_c * (
+                            d1 + float(bh_arr[j]) * d2
+                        )
+                        truncated = False
+                        stop = j
+            if stop < 0 and exhausted:
+                stop = got - 1
+                truncated = False
+
+            if stop >= 0:
+                upto = stop + 1
+                bh_blocks.append(bh_arr[:upto])
+                s_blocks.append(s_arr[:upto])
+                cycle_total = float(cyc[stop])
+                energy_total = float(ene[stop])
+                finished = True
+                break
+
+            bh_blocks.append(bh_arr)
+            s_blocks.append(s_arr)
+            if got:
+                cycle_total = float(cyc[-1])
+                energy_total = float(ene[-1])
+            t += got
+            if marks and t == marks[0]:
+                k = marks.pop(0)
+                self._capture(
+                    c_vec[:k].tobytes(),
+                    stepper,
+                    t,
+                    bh_blocks,
+                    s_blocks,
+                    cycle_total,
+                    energy_total,
+                )
+
+        if s_blocks:
+            survival = np.concatenate(s_blocks)
+            beta_hat = np.concatenate(bh_blocks)
+        else:
+            survival = np.empty(0)
+            beta_hat = np.empty(0)
+        total = cycle_total + tail_cycle
+        if total <= 0.0:
+            raise PolicyError("degenerate policy: capture cycle has zero length")
+        stationary = survival / total
+        qom = min(distribution.mu / total, 1.0)
+        energy_rate = (energy_total + tail_energy) / total
+        for out in (beta_hat, survival, stationary):
+            out.flags.writeable = False
+        return PartialInfoAnalysis(
+            beta_hat=beta_hat,
+            survival=survival,
+            stationary=stationary,
+            expected_cycle=total,
+            qom=qom,
+            energy_rate=energy_rate,
+            truncated=truncated,
+        )
+
+    def _capture(
+        self,
+        key: bytes,
+        stepper: _HazardStepper,
+        t: int,
+        bh_blocks: List[np.ndarray],
+        s_blocks: List[np.ndarray],
+        cycle_total: float,
+        energy_total: float,
+    ) -> None:
+        if key in self._prefix:
+            self._prefix.move_to_end(key)
+            return
+        beta_hat = np.concatenate(bh_blocks) if bh_blocks else np.empty(0)
+        survival = np.concatenate(s_blocks) if s_blocks else np.empty(0)
+        beta_hat.flags.writeable = False
+        survival.flags.writeable = False
+        self._prefix[key] = _PrefixCheckpoint(
+            state=stepper.snapshot(),
+            t=t,
+            beta_hat=beta_hat,
+            survival=survival,
+            cycle_total=cycle_total,
+            energy_total=energy_total,
+        )
+        self._lengths.add(t)
+        while len(self._prefix) > _PREFIX_MAX:
+            self._prefix.popitem(last=False)
 
 
 def analyse_partial_info_policy(
@@ -199,72 +643,163 @@ def analyse_partial_info_policy(
     estimate.  A policy that never captures in the tail (``tail`` and the
     trailing activation probabilities all zero) cannot close its cycle;
     it is reported ``truncated`` with the QoM upper estimate at the cap.
+
+    Results are memoised (see module docstring); repeated calls with the
+    same distribution, activation vector and tolerances return the cached
+    analysis without recomputation.
     """
-    if delta1 < 0 or delta2 < 0:
-        raise PolicyError(f"delta1/delta2 must be >= 0, got {delta1}, {delta2}")
-    arr = np.asarray(activation, dtype=float)
-    stepper = _HazardStepper(distribution)
-    tail_c = float(np.clip(tail, 0.0, 1.0))
+    solver = PartialInfoSolver(distribution, delta1, delta2)
+    return solver.analyse(
+        activation,
+        tail=tail,
+        tail_rel_eps=tail_rel_eps,
+        max_horizon=max_horizon,
+    )
 
-    beta_hat_list: list[float] = []
-    survival_list: list[float] = []
-    cycle_total = 0.0
-    energy_total = 0.0  # per-cycle expected energy
-    tail_cycle = 0.0
-    tail_energy = 0.0
-    truncated = True
 
-    min_slots = max(arr.size + 1, distribution.quantile(0.999), 32)
-    t = 0
-    while t < max_horizon:
-        t += 1
-        if t <= arr.size:
-            c_t = float(np.clip(arr[t - 1], 0.0, 1.0))
-        else:
-            c_t = tail_c
-        s_t, bh_t = stepper.step(c_t)
-        beta_hat_list.append(bh_t)
-        survival_list.append(s_t)
-        cycle_total += s_t
-        energy_total += s_t * c_t * (delta1 + bh_t * delta2)
-        if s_t <= 0.0:
-            truncated = False
-            break
-        if t >= min_slots:
-            capture_rate = c_t * bh_t
-            if capture_rate <= 0.0:
-                # No capture possible from here on: only an all-zero tail
-                # can cause this; the cycle never closes.
-                continue
-            # Remaining cycle mass: geometric bound s * (1 - r) / r with
-            # r = capture_rate, and power-law bound s * t / (gamma - 1)
-            # with gamma ~ t * capture_rate.  Take the larger (safe).
-            geom = s_t * (1.0 - capture_rate) / capture_rate
-            gamma = t * capture_rate
-            power = s_t * t / max(gamma - 1.0, 1e-3)
-            remaining = max(geom, power)
-            if remaining <= tail_rel_eps * (cycle_total + remaining):
-                tail_cycle = remaining
-                tail_energy = remaining * tail_c * (
-                    delta1 + bh_t * delta2
-                )
-                truncated = False
-                break
+# ----------------------------------------------------------------------
+# Analysis memo: process-wide LRU + optional on-disk cache
+# ----------------------------------------------------------------------
+_memo: "OrderedDict[bytes, PartialInfoAnalysis]" = OrderedDict()
+_memo_bytes: List[int] = [0]
 
-    survival = np.asarray(survival_list)
-    beta_hat = np.asarray(beta_hat_list)
-    total = cycle_total + tail_cycle
-    if total <= 0.0:
-        raise PolicyError("degenerate policy: capture cycle has zero length")
-    stationary = survival / total
-    qom = min(distribution.mu / total, 1.0)
-    energy_rate = (energy_total + tail_energy) / total
+
+def _entry_nbytes(key: bytes, result: PartialInfoAnalysis) -> int:
+    return (
+        len(key)
+        + result.beta_hat.nbytes
+        + result.survival.nbytes
+        + result.stationary.nbytes
+        + 128
+    )
+
+
+def _memo_enabled() -> bool:
+    return os.environ.get("REPRO_ANALYSIS_MEMO", "1") != "0"
+
+
+def _disk_cache_dir() -> Optional[str]:
+    return os.environ.get("REPRO_ANALYSIS_CACHE") or None
+
+
+def clear_analysis_cache() -> None:
+    """Drop every in-memory memoised analysis (disk entries persist)."""
+    _memo.clear()
+    _memo_bytes[0] = 0
+
+
+def analysis_cache_size() -> int:
+    """Number of analyses currently memoised in this process."""
+    return len(_memo)
+
+
+def _memo_key(
+    distribution: InterArrivalDistribution,
+    arr: np.ndarray,
+    delta1: float,
+    delta2: float,
+    tail: float,
+    tail_rel_eps: float,
+    max_horizon: int,
+) -> bytes:
+    header = struct.pack(
+        "<ddddq", delta1, delta2, tail, tail_rel_eps, int(max_horizon)
+    )
+    return (
+        distribution.fingerprint.encode("ascii") + header + arr.tobytes()
+    )
+
+
+def _cache_get(key: bytes) -> Optional[PartialInfoAnalysis]:
+    if not _memo_enabled():
+        return None
+    hit = _memo.get(key)
+    if hit is not None:
+        _memo.move_to_end(key)
+        return hit
+    directory = _disk_cache_dir()
+    if directory:
+        loaded = _disk_get(directory, key)
+        if loaded is not None:
+            _memo_store(key, loaded)
+            return loaded
+    return None
+
+
+def _cache_put(key: bytes, result: PartialInfoAnalysis) -> None:
+    if not _memo_enabled():
+        return
+    _memo_store(key, result)
+    directory = _disk_cache_dir()
+    if directory:
+        _disk_put(directory, key, result)
+
+
+def _memo_store(key: bytes, result: PartialInfoAnalysis) -> None:
+    previous = _memo.get(key)
+    if previous is not None:
+        _memo_bytes[0] -= _entry_nbytes(key, previous)
+    _memo[key] = result
+    _memo.move_to_end(key)
+    _memo_bytes[0] += _entry_nbytes(key, result)
+    while _memo and (
+        len(_memo) > _MEMO_MAX_ENTRIES or _memo_bytes[0] > _MEMO_MAX_BYTES
+    ):
+        old_key, old_result = _memo.popitem(last=False)
+        _memo_bytes[0] -= _entry_nbytes(old_key, old_result)
+
+
+def _disk_path(directory: str, key: bytes) -> str:
+    digest = hashlib.sha256(key).hexdigest()
+    return os.path.join(directory, f"pia-{digest}.npz")
+
+
+def _disk_get(directory: str, key: bytes) -> Optional[PartialInfoAnalysis]:
+    path = _disk_path(directory, key)
+    try:
+        with np.load(path) as data:
+            beta_hat = np.array(data["beta_hat"])
+            survival = np.array(data["survival"])
+            stationary = np.array(data["stationary"])
+            scalars = np.array(data["scalars"])
+            flags = np.array(data["flags"])
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile, EOFError):
+        return None
+    if scalars.shape != (3,) or flags.shape != (1,):
+        return None
+    for out in (beta_hat, survival, stationary):
+        out.flags.writeable = False
     return PartialInfoAnalysis(
         beta_hat=beta_hat,
         survival=survival,
         stationary=stationary,
-        expected_cycle=total,
-        qom=qom,
-        energy_rate=energy_rate,
-        truncated=truncated,
+        expected_cycle=float(scalars[0]),
+        qom=float(scalars[1]),
+        energy_rate=float(scalars[2]),
+        truncated=bool(int(flags[0])),
     )
+
+
+def _disk_put(directory: str, key: bytes, result: PartialInfoAnalysis) -> None:
+    path = _disk_path(directory, key)
+    tmp = f"{path}.tmp-{os.getpid()}"
+    try:
+        os.makedirs(directory, exist_ok=True)
+        with open(tmp, "wb") as handle:
+            np.savez(
+                handle,
+                beta_hat=result.beta_hat,
+                survival=result.survival,
+                stationary=result.stationary,
+                scalars=np.array(
+                    [result.expected_cycle, result.qom, result.energy_rate]
+                ),
+                flags=np.array([1 if result.truncated else 0], dtype=np.int64),
+            )
+        os.replace(tmp, path)
+    except OSError:  # pragma: no cover - cache writes are best-effort
+        if os.path.exists(tmp):
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass

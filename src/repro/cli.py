@@ -112,6 +112,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="mean recharge rate e (energy/slot)")
     solve.add_argument("--delta1", type=float, default=1.0)
     solve.add_argument("--delta2", type=float, default=6.0)
+    solve.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for the clustering policy "
+                            "search (-1 = all cores); results are "
+                            "identical to a serial run")
 
     simulate = sub.add_parser("simulate", help="run the slotted simulator")
     simulate.add_argument("--events", type=parse_events, required=True)
@@ -187,7 +191,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
               f"of budget {solution.budget:.3f}")
     elif args.policy == "clustering":
         solution = optimize_clustering(
-            events, args.rate, args.delta1, args.delta2
+            events, args.rate, args.delta1, args.delta2, n_jobs=args.jobs
         )
         p = solution.policy
         print(f"clustering pi'_PI({args.rate}) on {events!r}")
@@ -259,6 +263,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         n_replicates=replicates,
         n_jobs=args.jobs,
         rounds=2 if args.quick else 3,
+        quick=args.quick,
     )
     write_bench(payload, args.output)
     print(format_bench(payload))

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.analysis.partial_info import (
     PartialInfoAnalysis,
+    PartialInfoSolver,
     analyse_partial_info_policy,
 )
 from repro.core.greedy import solve_greedy
@@ -61,6 +62,18 @@ class ClusteringPolicy(VectorPolicy):
 
         vector = np.zeros(self.n3)
         if self.n1 == self.n2:
+            # Degenerate hot region: the single hot slot is simultaneously
+            # the n1 and n2 boundary, so the two boundary probabilities
+            # must agree (the slot takes their common value).  Accepting
+            # contradictory values and silently ignoring c_n2 — the old
+            # behaviour — made the policy round-trip inconsistently
+            # through scaled(), so contradictions are now rejected.
+            if not np.isclose(self.c_n1, self.c_n2, rtol=1e-9, atol=1e-12):
+                raise PolicyError(
+                    f"degenerate hot region (n1 == n2 == {self.n1}) needs "
+                    f"c_n1 == c_n2; got c_n1={self.c_n1!r}, "
+                    f"c_n2={self.c_n2!r}"
+                )
             vector[self.n1 - 1] = self.c_n1
         else:
             vector[self.n1 - 1] = self.c_n1
@@ -198,6 +211,7 @@ def optimize_clustering(
     tail_rel_eps: float = 1e-4,
     screen_eps: float = 3e-3,
     top_k: int = 6,
+    n_jobs: Optional[int] = None,
 ) -> ClusteringSolution:
     """Search for the best clustering policy under the energy budget ``e``.
 
@@ -211,10 +225,19 @@ def optimize_clustering(
     a short bisection, then the ``top_k`` structures — plus, with
     ``refine=True``, a neighbourhood of the winner — are re-optimised at
     full tolerance (``tail_rel_eps``).
+
+    Structures are enumerated in ``(n1, n2, n3)`` order and analysed on a
+    shared :class:`~repro.analysis.partial_info.PartialInfoSolver`, so
+    consecutive candidates reuse checkpointed DP prefixes (the cooling
+    region and, per ``lambda``, the hot region).  ``n_jobs`` fans the
+    screening pass out over worker processes (contiguous structure
+    blocks, so each worker keeps its own prefix reuse); results are
+    bit-identical for every ``n_jobs``.
     """
     if e < 0:
         raise PolicyError(f"mean recharge rate must be >= 0, got {e}")
 
+    solver = PartialInfoSolver(distribution, delta1, delta2)
     n1s, n2s, n3_offsets = _boundary_candidates(
         distribution, e, delta1, delta2, max_candidates
     )
@@ -225,7 +248,8 @@ def optimize_clustering(
     # n3 values; stretching the cooling region (larger n3) always lowers
     # the long-run drain, so extend n3 geometrically until feasible.
     scored = _screen(
-        distribution, e, delta1, delta2, structures, screen_eps
+        distribution, e, delta1, delta2, structures, screen_eps,
+        n_jobs=n_jobs, solver=solver,
     )
     k = 4.0
     scale = max(distribution.mu, (delta1 + delta2) / max(e, 1e-9))
@@ -238,6 +262,8 @@ def optimize_clustering(
             delta2,
             list(_structures(n1s, n2s, far_offset)),
             screen_eps,
+            n_jobs=n_jobs,
+            solver=solver,
         )
         k *= 2.0
     if not scored:
@@ -263,28 +289,31 @@ def optimize_clustering(
             if a <= b <= c and (a, b, c) not in seen
         ]
         scored.extend(
-            _screen(distribution, e, delta1, delta2, neighbourhood, screen_eps)
+            _screen(
+                distribution, e, delta1, delta2, neighbourhood, screen_eps,
+                n_jobs=n_jobs, solver=solver,
+            )
         )
         scored.sort(key=lambda item: -item[0])
 
     finalists = [s for _, s in scored[:top_k]]
     best = _search(
-        distribution, e, delta1, delta2, finalists, None, tail_rel_eps
+        distribution, e, delta1, delta2, finalists, None, tail_rel_eps,
+        solver=solver,
     )
     if best is None:  # pragma: no cover - screening guarantees a finalist
         raise PolicyError("screened structures all became infeasible")
     return best
 
 
-def _screen(
-    distribution: InterArrivalDistribution,
-    e: float,
-    delta1: float,
-    delta2: float,
-    structures: list[tuple[int, int, int]],
-    screen_eps: float,
+def _screen_group(
+    task: tuple,
+    solver: Optional[PartialInfoSolver] = None,
 ) -> list[tuple[float, tuple[int, int, int]]]:
-    """Loose-tolerance scoring pass; returns (qom, structure) pairs."""
+    """Score one contiguous block of structures on one solver."""
+    distribution, e, delta1, delta2, structures, screen_eps = task
+    if solver is None:
+        solver = PartialInfoSolver(distribution, delta1, delta2)
     scored: list[tuple[float, tuple[int, int, int]]] = []
     for structure in structures:
         candidate = _best_for_structure(
@@ -295,10 +324,50 @@ def _screen(
             *structure,
             tail_rel_eps=screen_eps,
             bisect_iters=6,
+            solver=solver,
         )
         if candidate is not None:
             scored.append((candidate.qom, structure))
     return scored
+
+
+def _screen(
+    distribution: InterArrivalDistribution,
+    e: float,
+    delta1: float,
+    delta2: float,
+    structures: list[tuple[int, int, int]],
+    screen_eps: float,
+    n_jobs: Optional[int] = None,
+    solver: Optional[PartialInfoSolver] = None,
+) -> list[tuple[float, tuple[int, int, int]]]:
+    """Loose-tolerance scoring pass; returns (qom, structure) pairs.
+
+    With ``n_jobs > 1`` the structure list is split into contiguous
+    blocks (one per worker) so structures sharing ``(n1, n2)`` prefixes
+    stay on the same worker's solver.  Each structure's score depends
+    only on the structure itself, so serial and parallel runs return
+    bit-identical lists in the same order.
+    """
+    # Imported lazily: repro.sim's package init reaches back into
+    # repro.core (network -> multi -> clustering), so a module-level
+    # import here would be circular.
+    from repro.sim.parallel import parallel_map, resolve_n_jobs
+
+    jobs = min(resolve_n_jobs(n_jobs), len(structures)) if structures else 1
+    if jobs <= 1:
+        return _screen_group(
+            (distribution, e, delta1, delta2, structures, screen_eps),
+            solver=solver,
+        )
+    bounds = np.linspace(0, len(structures), num=jobs + 1, dtype=int)
+    groups = [
+        (distribution, e, delta1, delta2, structures[a:b], screen_eps)
+        for a, b in zip(bounds[:-1], bounds[1:])
+        if b > a
+    ]
+    results = parallel_map(_screen_group, groups, n_jobs=jobs, chunksize=1)
+    return [item for group in results for item in group]
 
 
 def _around(value: int, lo: int, hi: int) -> list[int]:
@@ -327,10 +396,12 @@ def _search(
     structures: Iterable[tuple[int, int, int]],
     best: Optional[ClusteringSolution],
     tail_rel_eps: float,
+    solver: Optional[PartialInfoSolver] = None,
 ) -> Optional[ClusteringSolution]:
     for n1, n2, n3 in structures:
         candidate = _best_for_structure(
-            distribution, e, delta1, delta2, n1, n2, n3, tail_rel_eps
+            distribution, e, delta1, delta2, n1, n2, n3, tail_rel_eps,
+            solver=solver,
         )
         if candidate is None:
             continue
@@ -349,18 +420,28 @@ def _best_for_structure(
     n3: int,
     tail_rel_eps: float,
     bisect_iters: int = 12,
+    solver: Optional[PartialInfoSolver] = None,
 ) -> Optional[ClusteringSolution]:
-    """Largest-``lambda`` feasible policy for one region structure."""
+    """Largest-``lambda`` feasible policy for one region structure.
+
+    All bisection steps run on one :class:`PartialInfoSolver` with
+    checkpoints at the region boundaries: the cooling prefix (slots
+    ``1..n1-1``, identical for every ``lambda``) is computed once and
+    forked per step, and the hot/cooling prefixes up to ``n2`` and
+    ``n3 - 1`` are reused across structures sharing them at the same
+    ``lambda``.
+    """
+    if solver is None:
+        solver = PartialInfoSolver(distribution, delta1, delta2)
+    marks = (n1 - 1, n2, n3 - 1)
 
     def evaluate(factor: float) -> tuple[ClusteringPolicy, PartialInfoAnalysis]:
         policy = ClusteringPolicy(n1, n2, n3).scaled(factor)
-        analysis = analyse_partial_info_policy(
-            distribution,
+        analysis = solver.analyse(
             policy.vector,
-            delta1,
-            delta2,
             tail=policy.tail,
             tail_rel_eps=tail_rel_eps,
+            checkpoint_slots=marks,
         )
         return policy, analysis
 

@@ -20,11 +20,14 @@ import platform
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.analysis.partial_info import clear_analysis_cache
 from repro.core.baselines import AggressivePolicy, energy_balanced_period
-from repro.core.clustering import optimize_clustering
+from repro.core.clustering import ClusteringSolution, optimize_clustering
 from repro.core.greedy import solve_greedy
 from repro.core.policy import ActivationPolicy
 from repro.energy.recharge import BernoulliRecharge
+from repro.events.base import InterArrivalDistribution
+from repro.events.pareto import ParetoInterArrival
 from repro.events.weibull import WeibullInterArrival
 from repro.experiments.config import DELTA1, DELTA2
 from repro.sim import replicate, simulate_single
@@ -39,6 +42,16 @@ QUICK_HORIZON = 20_000
 
 _SEED = 1
 _CAPACITY = 1000.0
+
+#: Pre-checkpointing ``optimize_clustering`` timings (seconds per cold
+#: serial call at e=0.5, delta1=1, delta2=6) measured on the 1-core
+#: reference container before the cached/checkpointed optimiser landed.
+#: ``speedup_vs_baseline`` in the ``optimizer`` section is relative to
+#: these, so the perf trajectory survives re-benchmarking.
+OPTIMIZER_BASELINE_SECONDS: Dict[str, float] = {
+    "weibull": 1.887,
+    "pareto": 78.988,
+}
 
 
 def _policy_cases() -> List[Tuple[str, ActivationPolicy]]:
@@ -67,11 +80,66 @@ def _best_of(fn: Callable[[], SimulationResult], rounds: int) -> Tuple[Simulatio
     return result, best
 
 
+def _solution_key(solution: ClusteringSolution) -> Tuple[Any, ...]:
+    """Everything that must match for two optimiser runs to be identical."""
+    p = solution.policy
+    a = solution.analysis
+    return (
+        p.n1, p.n2, p.n3, p.c_n1, p.c_n2, p.c_n3,
+        a.qom, a.energy_rate, a.expected_cycle,
+        a.survival.tobytes(), a.beta_hat.tobytes(),
+    )
+
+
+def _bench_optimizer(quick: bool, n_jobs: int) -> Dict[str, Any]:
+    """Time ``optimize_clustering`` cold / warm / parallel per event model.
+
+    The cold run starts from an empty analysis memo; the warm run reuses
+    it; the parallel run starts cold again with ``n_jobs`` workers.  All
+    three must return bit-identical solutions — the ``bit_identical``
+    flag asserts the optimiser's cache/checkpoint contract end to end.
+    """
+    cases: List[Tuple[str, InterArrivalDistribution]] = [
+        ("weibull", WeibullInterArrival(40, 3)),
+    ]
+    if not quick:
+        cases.append(("pareto", ParetoInterArrival(2, 10)))
+    section: Dict[str, Any] = {}
+    for name, events in cases:
+        clear_analysis_cache()
+        start = time.perf_counter()
+        cold = optimize_clustering(events, 0.5, DELTA1, DELTA2)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = optimize_clustering(events, 0.5, DELTA1, DELTA2)
+        warm_s = time.perf_counter() - start
+        clear_analysis_cache()
+        parallel = optimize_clustering(
+            events, 0.5, DELTA1, DELTA2, n_jobs=n_jobs
+        )
+        baseline = OPTIMIZER_BASELINE_SECONDS[name]
+        section[name] = {
+            "cold_seconds": cold_s,
+            "warm_seconds": warm_s,
+            "baseline_seconds": baseline,
+            "speedup_vs_baseline": baseline / cold_s if cold_s > 0 else None,
+            "warm_speedup": cold_s / warm_s if warm_s > 0 else None,
+            "parallel_n_jobs": n_jobs,
+            "bit_identical": (
+                _solution_key(cold) == _solution_key(warm)
+                and _solution_key(cold) == _solution_key(parallel)
+            ),
+        }
+    clear_analysis_cache()
+    return section
+
+
 def run_bench(
     horizon: int = DEFAULT_HORIZON,
     n_replicates: int = 8,
     n_jobs: int = 2,
     rounds: int = 3,
+    quick: bool = False,
 ) -> Dict[str, Any]:
     """Time every policy class on both backends; return the JSON payload."""
     events = WeibullInterArrival(40, 3)
@@ -126,6 +194,7 @@ def run_bench(
             "native_scan": get_native_scan() is not None,
         },
         "policies": policies,
+        "optimizer": _bench_optimizer(quick, n_jobs),
         "replicate": {
             "n_replicates": n_replicates,
             "n_jobs": n_jobs,
@@ -149,6 +218,13 @@ def format_bench(payload: Dict[str, Any]) -> str:
             f"  {name:20s} ref {row['reference_seconds'] * 1e3:8.2f} ms   "
             f"vec {row['vectorized_seconds'] * 1e3:7.2f} ms   "
             f"{speedup:6.1f}x   bit_identical={row['bit_identical']}"
+        )
+    for name, row in payload.get("optimizer", {}).items():
+        lines.append(
+            f"  optimize:{name:12s} cold {row['cold_seconds']:7.2f} s   "
+            f"warm {row['warm_seconds'] * 1e3:7.1f} ms   "
+            f"{row['speedup_vs_baseline']:6.1f}x vs baseline   "
+            f"bit_identical={row['bit_identical']}"
         )
     rep = payload["replicate"]
     lines.append(

@@ -1,4 +1,4 @@
-"""The domain rules behind ``repro lint`` (RL001–RL008).
+"""The domain rules behind ``repro lint`` (RL001–RL009).
 
 Each rule encodes one invariant the reproduction's correctness rests on;
 see the module docstrings referenced from README's "Static analysis &
@@ -471,6 +471,55 @@ class AssertValidationRule(Rule):
                 )
 
 
+def _mentions_seed_name(node: ast.AST) -> bool:
+    """True when an expression's subtree references a seed-ish variable."""
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Name) and "seed" in inner.id.lower():
+            return True
+        if isinstance(inner, ast.Attribute) and "seed" in inner.attr.lower():
+            return True
+    return False
+
+
+@register
+class SeedArithmeticRule(Rule):
+    """RL009 — no arithmetic seed derivation at call sites.
+
+    Deriving per-point seeds as ``seed + idx`` (or any other arithmetic
+    on a seed variable) collides whenever two base seeds differ by less
+    than the sweep length — e.g. ``run(seed=1)`` point 5 replays
+    ``run(seed=0)`` point 6 — silently correlating runs that must be
+    independent.  ``repro.sim.rng.spawn_seeds`` derives children through
+    ``SeedSequence.spawn``, which guarantees distinct, independent
+    streams for every (base seed, index) pair.
+    """
+
+    code = "RL009"
+    name = "seed-arithmetic"
+    description = (
+        "derive child seeds via repro.sim.rng.spawn_seeds, not arithmetic"
+    )
+
+    _SEED_KWARGS = frozenset({"seed", "base_seed"})
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            for kw in node.keywords:
+                if (
+                    kw.arg in self._SEED_KWARGS
+                    and isinstance(kw.value, ast.BinOp)
+                    and _mentions_seed_name(kw.value)
+                ):
+                    yield self.finding(
+                        module, kw.value,
+                        f"arithmetic seed derivation passed as {kw.arg!r} "
+                        "can collide across runs; derive child seeds with "
+                        "repro.sim.rng.spawn_seeds",
+                    )
+
+
 #: Kept for introspection/tests: the full tuple of rule classes here.
 ALL_CHECKS: Tuple[type, ...] = (
     UnseededRandomRule,
@@ -481,4 +530,5 @@ ALL_CHECKS: Tuple[type, ...] = (
     FutureAnnotationsRule,
     ExportedDocstringRule,
     AssertValidationRule,
+    SeedArithmeticRule,
 )

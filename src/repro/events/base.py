@@ -19,6 +19,7 @@ corresponds to slot ``i`` (slots are 1-based in the paper).
 from __future__ import annotations
 
 import abc
+import hashlib
 from typing import Optional
 
 import numpy as np
@@ -78,6 +79,7 @@ class InterArrivalDistribution(abc.ABC):
         self._cdf: Optional[np.ndarray] = None
         self._beta: Optional[np.ndarray] = None
         self._mu: Optional[float] = None
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Abstract surface
@@ -137,6 +139,22 @@ class InterArrivalDistribution(abc.ABC):
     def support_max(self) -> int:
         """Largest slot with positive probability after truncation."""
         return int(self.alpha.size)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable content hash of the discretised event model.
+
+        Two distribution objects share a fingerprint exactly when they
+        discretise to the same pmf bytes (and class), which is the only
+        thing the downstream analysis consumes — this is the cache key
+        component used by the partial-information analysis memo.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(type(self).__name__.encode("utf-8"))
+            digest.update(self.alpha.tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Point evaluations (1-based slot indices, out-of-range friendly)

@@ -28,6 +28,7 @@ from repro.events.weibull import WeibullInterArrival
 from repro.experiments.common import FigureResult, Series, compute_points
 from repro.experiments.config import DEFAULT_SEED, DELTA1, DELTA2, bench_horizon
 from repro.sim.engine import simulate_single
+from repro.sim.rng import spawn_seeds
 
 #: Paper's three recharge models for Fig. 3 (the figure legend labels the
 #: Bernoulli process "Poisson").
@@ -59,7 +60,7 @@ def run_fig3(
     if horizon is None:
         horizon = bench_horizon()
 
-    policy, bound = _policy_for(info, distribution, e)
+    policy, bound = _policy_for(info, distribution, e, n_jobs=n_jobs)
     series = [
         Series(
             label="Upper Bound",
@@ -67,14 +68,18 @@ def run_fig3(
             y=tuple(bound for _ in capacities),
         )
     ]
-    points = [
-        (idx, k_idx, recharge, capacity)
-        for idx, (_, recharge) in enumerate(recharges)
-        for k_idx, capacity in enumerate(capacities)
+    # One collision-free SeedSequence child per sweep point (the old
+    # seed + 1000*idx + k_idx arithmetic collided for >= 1000 points or
+    # overlapping base seeds).
+    grid = [
+        (recharge, capacity)
+        for _, recharge in recharges
+        for capacity in capacities
     ]
+    points = list(zip(grid, spawn_seeds(seed, len(grid))))
 
     def _point(job: tuple) -> float:
-        idx, k_idx, recharge, capacity = job
+        (recharge, capacity), child_seed = job
         result = simulate_single(
             distribution,
             policy,
@@ -83,7 +88,7 @@ def run_fig3(
             delta1=DELTA1,
             delta2=DELTA2,
             horizon=horizon,
-            seed=seed + 1000 * idx + k_idx,
+            seed=child_seed,
         )
         return result.qom
 
@@ -110,11 +115,16 @@ def run_fig3(
 
 
 def _policy_for(
-    info: str, distribution: InterArrivalDistribution, e: float
+    info: str,
+    distribution: InterArrivalDistribution,
+    e: float,
+    n_jobs: Optional[int] = None,
 ) -> tuple[ActivationPolicy, float]:
     """The policy under test and its energy-assumption QoM bound."""
     if info == "full":
         solution = solve_greedy(distribution, e, DELTA1, DELTA2)
         return solution.as_policy(), solution.qom
-    clustering = optimize_clustering(distribution, e, DELTA1, DELTA2)
+    clustering = optimize_clustering(
+        distribution, e, DELTA1, DELTA2, n_jobs=n_jobs
+    )
     return clustering.policy, clustering.qom

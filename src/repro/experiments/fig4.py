@@ -21,6 +21,7 @@ from repro.events.weibull import WeibullInterArrival
 from repro.experiments.common import FigureResult, Series, compute_points
 from repro.experiments.config import DEFAULT_SEED, DELTA1, DELTA2, bench_horizon
 from repro.sim.engine import simulate_single
+from repro.sim.rng import spawn_seeds
 
 #: Per-recharge amounts swept in Fig. 4(a); e = q*c with q = 0.5.
 WEIBULL_C_VALUES: tuple[float, ...] = (0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2)
@@ -59,7 +60,7 @@ def run_fig4(
         horizon = bench_horizon()
 
     def _point(job: tuple) -> tuple:
-        idx, c = job
+        c, child_seed = job
         e = q * c
         recharge = BernoulliRecharge(q=q, c=c)
         clustering = optimize_clustering(distribution, e, DELTA1, DELTA2)
@@ -74,12 +75,15 @@ def run_fig4(
                 delta1=DELTA1,
                 delta2=DELTA2,
                 horizon=horizon,
-                seed=seed + idx,
+                seed=child_seed,
             )
             qoms.append(result.qom)
         return tuple(qoms)
 
-    rows = compute_points(_point, list(enumerate(c_values)), n_jobs=n_jobs)
+    # Collision-free per-point seeds (was seed + idx, which overlaps
+    # between runs whose base seeds differ by less than the point count).
+    points = list(zip(c_values, spawn_seeds(seed, len(list(c_values)))))
+    rows = compute_points(_point, points, n_jobs=n_jobs)
     clustering_qom = [row[0] for row in rows]
     aggressive_qom = [row[1] for row in rows]
     periodic_qom = [row[2] for row in rows]

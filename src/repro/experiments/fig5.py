@@ -20,6 +20,7 @@ from repro.events.markov import MarkovInterArrival
 from repro.experiments.common import FigureResult, Series, compute_points
 from repro.experiments.config import DEFAULT_SEED, DELTA1, DELTA2, bench_horizon
 from repro.sim.engine import simulate_single
+from repro.sim.rng import spawn_seeds
 
 #: ``a`` sweep used in both panels of Fig. 5.
 DEFAULT_A_VALUES: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
@@ -42,7 +43,7 @@ def run_fig5(
     recharge = BernoulliRecharge(q=q, c=c)
 
     def _point(job: tuple) -> tuple:
-        idx, a = job
+        a, child_seed = job
         distribution = MarkovInterArrival(a=a, b=b)
         clustering = optimize_clustering(distribution, e, DELTA1, DELTA2)
         ebcw = solve_ebcw(distribution, e, DELTA1, DELTA2)
@@ -56,12 +57,14 @@ def run_fig5(
                 delta1=DELTA1,
                 delta2=DELTA2,
                 horizon=horizon,
-                seed=seed + idx,
+                seed=child_seed,
             )
             qoms.append(result.qom)
         return tuple(qoms)
 
-    rows = compute_points(_point, list(enumerate(a_values)), n_jobs=n_jobs)
+    # Collision-free per-point seeds (was the arithmetic seed + idx).
+    points = list(zip(a_values, spawn_seeds(seed, len(list(a_values)))))
+    rows = compute_points(_point, points, n_jobs=n_jobs)
     clustering_qom = [row[0] for row in rows]
     ebcw_qom = [row[1] for row in rows]
 

@@ -26,6 +26,7 @@ from repro.events.weibull import WeibullInterArrival
 from repro.experiments.common import FigureResult, Series, compute_points
 from repro.experiments.config import DEFAULT_SEED, DELTA1, DELTA2, bench_horizon
 from repro.sim.network import simulate_network
+from repro.sim.rng import SeedLike, spawn_seeds
 
 DEFAULT_N_VALUES: tuple[int, ...] = (1, 2, 3, 4, 6, 8, 10, 12)
 DEFAULT_C_VALUES: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0)
@@ -92,14 +93,16 @@ def run_fig6b(
     labels = ("M-FI", "M-PI", "pi_AG", "pi_PE")
 
     def _one(job: tuple) -> list:
-        idx, (c, n) = job
+        (c, n), child_seed = job
         e = q * c
         recharge = BernoulliRecharge(q=q, c=c)
         return _point(
-            distribution, recharge, e, n, capacity, horizon, seed + idx
+            distribution, recharge, e, n, capacity, horizon, child_seed
         )
 
-    rows = compute_points(_one, list(enumerate(points)), n_jobs=n_jobs)
+    # Collision-free per-point seeds (was the arithmetic seed + idx).
+    jobs = list(zip(points, spawn_seeds(seed, len(points))))
+    rows = compute_points(_one, jobs, n_jobs=n_jobs)
     buckets: dict[str, list[float]] = {label: [] for label in labels}
     for row in rows:
         for label, qom in row:
@@ -132,12 +135,14 @@ def _sweep(
     xs = tuple(p[0] for p in points)
 
     def _one(job: tuple) -> list:
-        idx, (_, n) = job
+        (_, n), child_seed = job
         return _point(
-            distribution, recharge, e, n, capacity, horizon, seed + idx
+            distribution, recharge, e, n, capacity, horizon, child_seed
         )
 
-    rows = compute_points(_one, list(enumerate(points)), n_jobs=n_jobs)
+    # Collision-free per-point seeds (was the arithmetic seed + idx).
+    jobs = list(zip(points, spawn_seeds(seed, len(points))))
+    rows = compute_points(_one, jobs, n_jobs=n_jobs)
     buckets: dict[str, list[float]] = {label: [] for label in labels}
     for row in rows:
         for label, qom in row:
@@ -152,7 +157,7 @@ def _point(
     n_sensors: int,
     capacity: float,
     horizon: int,
-    seed: int,
+    seed: SeedLike,
 ) -> list[tuple[str, float]]:
     """QoM of the four multi-sensor strategies at one sweep point."""
     mfi, _ = make_mfi(distribution, e, n_sensors, DELTA1, DELTA2)

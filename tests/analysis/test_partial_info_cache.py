@@ -1,0 +1,223 @@
+"""Cache/checkpoint equivalence for the partial-information analysis.
+
+The tentpole contract of the cached, checkpointed, parallel optimiser:
+no matter how a result is produced — streamed fresh, replayed from the
+in-process memo, loaded from the on-disk cache, resumed from a prefix
+checkpoint, or computed across worker processes — the returned numbers
+are bit-identical to the uncached serial reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.partial_info import (
+    PartialInfoSolver,
+    analyse_partial_info_policy,
+    analysis_cache_size,
+    clear_analysis_cache,
+)
+from repro.core.clustering import optimize_clustering
+from repro.events import EmpiricalInterArrival, WeibullInterArrival
+
+DELTA1, DELTA2 = 1.0, 6.0
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_analysis_cache()
+    yield
+    clear_analysis_cache()
+
+
+def _assert_identical(a, b):
+    """Bit-level equality of two PartialInfoAnalysis results."""
+    assert np.array_equal(a.beta_hat, b.beta_hat)
+    assert np.array_equal(a.survival, b.survival)
+    assert np.array_equal(a.stationary, b.stationary)
+    assert a.expected_cycle == b.expected_cycle
+    assert a.qom == b.qom
+    assert a.energy_rate == b.energy_rate
+    assert a.truncated == b.truncated
+
+
+def _vector(small_weibull):
+    vec = np.zeros(12)
+    vec[3] = 0.5
+    vec[4:7] = 1.0
+    vec[7] = 0.4
+    vec[11] = 0.9
+    return vec
+
+
+class TestMemoEquivalence:
+    def test_warm_hit_is_bit_identical(self, small_weibull):
+        vec = _vector(small_weibull)
+        cold = analyse_partial_info_policy(
+            small_weibull, vec, DELTA1, DELTA2
+        )
+        assert analysis_cache_size() == 1
+        warm = analyse_partial_info_policy(
+            small_weibull, vec, DELTA1, DELTA2
+        )
+        assert warm is cold  # memo returns the cached instance
+
+    def test_disabled_memo_matches(self, small_weibull, monkeypatch):
+        vec = _vector(small_weibull)
+        cached = analyse_partial_info_policy(
+            small_weibull, vec, DELTA1, DELTA2
+        )
+        monkeypatch.setenv("REPRO_ANALYSIS_MEMO", "0")
+        fresh = analyse_partial_info_policy(
+            small_weibull, vec, DELTA1, DELTA2
+        )
+        assert fresh is not cached
+        _assert_identical(fresh, cached)
+        assert analysis_cache_size() == 1  # disabled run did not store
+
+    def test_memo_key_separates_parameters(self, small_weibull):
+        vec = _vector(small_weibull)
+        analyse_partial_info_policy(small_weibull, vec, DELTA1, DELTA2)
+        analyse_partial_info_policy(
+            small_weibull, vec, DELTA1, DELTA2, tail=0.5
+        )
+        analyse_partial_info_policy(
+            small_weibull, vec, DELTA1, DELTA2, tail_rel_eps=1e-3
+        )
+        assert analysis_cache_size() == 3
+
+    def test_results_are_read_only(self, small_weibull):
+        result = analyse_partial_info_policy(
+            small_weibull, _vector(small_weibull), DELTA1, DELTA2
+        )
+        with pytest.raises(ValueError):
+            result.survival[0] = 0.0
+
+    def test_fingerprint_separates_distributions(self):
+        a = WeibullInterArrival(40, 3)
+        b = WeibullInterArrival(40, 3)
+        c = WeibullInterArrival(8, 3)
+        assert a.fingerprint == b.fingerprint
+        assert a.fingerprint != c.fingerprint
+
+
+class TestDiskCacheEquivalence:
+    def test_round_trip_is_bit_identical(
+        self, small_weibull, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_ANALYSIS_CACHE", str(tmp_path))
+        vec = _vector(small_weibull)
+        stored = analyse_partial_info_policy(
+            small_weibull, vec, DELTA1, DELTA2
+        )
+        assert list(tmp_path.glob("pia-*.npz"))
+        clear_analysis_cache()  # force the disk path
+        loaded = analyse_partial_info_policy(
+            small_weibull, vec, DELTA1, DELTA2
+        )
+        _assert_identical(loaded, stored)
+
+    def test_corrupt_entry_falls_back_to_computing(
+        self, small_weibull, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_ANALYSIS_CACHE", str(tmp_path))
+        vec = _vector(small_weibull)
+        reference = analyse_partial_info_policy(
+            small_weibull, vec, DELTA1, DELTA2
+        )
+        for entry in tmp_path.glob("pia-*.npz"):
+            entry.write_bytes(b"not an npz payload")
+        clear_analysis_cache()
+        recomputed = analyse_partial_info_policy(
+            small_weibull, vec, DELTA1, DELTA2
+        )
+        _assert_identical(recomputed, reference)
+
+
+class TestOptimizerEquivalence:
+    def _key(self, sol):
+        p = sol.policy
+        return (
+            p.n1, p.n2, p.n3, p.c_n1, p.c_n2, p.c_n3,
+            sol.qom, sol.energy_rate,
+            sol.analysis.survival.tobytes(),
+            sol.analysis.beta_hat.tobytes(),
+        )
+
+    def test_cold_warm_parallel_disabled_identical(
+        self, small_weibull, monkeypatch
+    ):
+        cold = optimize_clustering(small_weibull, 0.5, DELTA1, DELTA2)
+        warm = optimize_clustering(small_weibull, 0.5, DELTA1, DELTA2)
+        clear_analysis_cache()
+        parallel = optimize_clustering(
+            small_weibull, 0.5, DELTA1, DELTA2, n_jobs=2
+        )
+        clear_analysis_cache()
+        monkeypatch.setenv("REPRO_ANALYSIS_MEMO", "0")
+        disabled = optimize_clustering(small_weibull, 0.5, DELTA1, DELTA2)
+        assert self._key(cold) == self._key(warm)
+        assert self._key(cold) == self._key(parallel)
+        assert self._key(cold) == self._key(disabled)
+
+
+pmf_weights = st.lists(
+    st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    min_size=2,
+    max_size=10,
+)
+
+activation_vectors = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=2,
+    max_size=14,
+)
+
+
+class TestCheckpointForkEquivalence:
+    @given(pmf_weights, activation_vectors, st.integers(min_value=1, max_value=13))
+    @settings(max_examples=60, deadline=None)
+    def test_forked_prefix_matches_streamed_reference(
+        self, weights, activation, mark
+    ):
+        """Resuming from a checkpointed DP prefix must be exact.
+
+        A solver analyses one vector with a checkpoint, then analyses a
+        second vector sharing that prefix (resuming from the snapshot);
+        the result must equal a fresh, checkpoint-free analysis bit for
+        bit — the block-invariance contract of the streamed DP.
+        """
+        total = sum(weights)
+        distribution = EmpiricalInterArrival([w / total for w in weights])
+        vec = np.asarray(activation, dtype=float)
+        mark = min(mark, vec.size - 1)
+
+        solver = PartialInfoSolver(distribution, DELTA1, DELTA2)
+        solver.analyse(vec, checkpoint_slots=(mark,))
+        # A sibling vector sharing the prefix up to the checkpoint.
+        sibling = vec.copy()
+        sibling[mark:] = np.minimum(sibling[mark:] + 0.5, 1.0)
+        forked = solver.analyse(sibling, checkpoint_slots=(mark,))
+
+        reference = analyse_partial_info_policy(
+            distribution, sibling, DELTA1, DELTA2
+        )
+        _assert_identical(forked, reference)
+
+    @given(pmf_weights, activation_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_repeat_analysis_on_one_solver_is_stable(
+        self, weights, activation
+    ):
+        total = sum(weights)
+        distribution = EmpiricalInterArrival([w / total for w in weights])
+        vec = np.asarray(activation, dtype=float)
+        solver = PartialInfoSolver(distribution, DELTA1, DELTA2)
+        marks = tuple(range(1, vec.size))
+        first = solver.analyse(vec, checkpoint_slots=marks)
+        clear_analysis_cache()  # defeat the memo, keep the checkpoints
+        second = solver.analyse(vec, checkpoint_slots=marks)
+        _assert_identical(first, second)

@@ -20,6 +20,31 @@ DELTA1 = 1.0
 DELTA2 = 6.0
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked @pytest.mark.slow",
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list
+) -> None:
+    """Skip ``slow``-marked tests unless ``--runslow`` was given.
+
+    Keeps the tier-1 run (``pytest -x -q``) under the CI time budget;
+    CI runs the slow tier as a separate ``--runslow -m slow`` step.
+    """
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

@@ -27,8 +27,26 @@ class TestPolicyConstruction:
         assert p.info_model == InfoModel.PARTIAL
 
     def test_single_slot_hot_region(self):
-        p = ClusteringPolicy(n1=2, n2=2, n3=4, c_n1=0.5, c_n2=0.9)
-        assert p.vector[1] == pytest.approx(0.5)  # c_n1 wins when n1 == n2
+        p = ClusteringPolicy(n1=2, n2=2, n3=4, c_n1=0.5, c_n2=0.5)
+        assert p.vector[1] == pytest.approx(0.5)  # common boundary value
+
+    def test_single_slot_hot_region_rejects_contradiction(self):
+        # The old behaviour silently ignored c_n2 when n1 == n2, making
+        # the policy round-trip inconsistently through scaled().
+        with pytest.raises(PolicyError):
+            ClusteringPolicy(n1=2, n2=2, n3=4, c_n1=0.5, c_n2=0.9)
+
+    def test_single_slot_hot_region_scaled_round_trip(self):
+        p = ClusteringPolicy(n1=3, n2=3, n3=5, c_n1=0.8, c_n2=0.8)
+        s = p.scaled(0.25)  # equal boundaries stay equal, no PolicyError
+        assert s.c_n1 == pytest.approx(0.2)
+        assert s.c_n2 == pytest.approx(0.2)
+        assert s.vector[2] == pytest.approx(0.2)
+
+    def test_single_slot_hot_region_tolerates_rounding(self):
+        c = 0.1 + 0.2  # 0.30000000000000004
+        p = ClusteringPolicy(n1=2, n2=2, n3=4, c_n1=c, c_n2=0.3)
+        assert p.vector[1] == pytest.approx(0.3)
 
     def test_recovery_coincides_with_hot_exit(self):
         p = ClusteringPolicy(n1=1, n2=3, n3=3, c_n2=0.2, c_n3=0.8)
@@ -86,7 +104,7 @@ class TestOptimizer:
     def test_beats_naive_structures(self, small_weibull):
         """The optimum must beat an arbitrary feasible clustering policy."""
         sol = optimize_clustering(small_weibull, 0.5, DELTA1, DELTA2)
-        naive = ClusteringPolicy(1, 1, 30, c_n1=0.0, c_n3=0.0)
+        naive = ClusteringPolicy(1, 1, 30, c_n1=0.0, c_n2=0.0, c_n3=0.0)
         naive_analysis = evaluate_clustering(
             small_weibull, naive, DELTA1, DELTA2
         )

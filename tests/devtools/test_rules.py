@@ -25,9 +25,9 @@ def run_rule(code, source, path="pkg/module.py"):
 
 
 class TestRegistry:
-    def test_eight_rules_registered(self):
+    def test_nine_rules_registered(self):
         codes = [rule.code for rule in all_rules()]
-        assert codes == [f"RL00{i}" for i in range(1, 9)]
+        assert codes == [f"RL00{i}" for i in range(1, 10)]
 
     def test_rules_have_names_and_descriptions(self):
         for rule in all_rules():
@@ -355,6 +355,53 @@ class TestRL008AssertValidation:
                     raise EnergyError(f"rate must be >= 0, got {rate}")
         """
         assert run_rule("RL008", src) == []
+
+
+class TestRL009SeedArithmetic:
+    def test_flags_seed_plus_index(self):
+        src = """
+            for idx, point in enumerate(points):
+                simulate(point, seed=seed + idx)
+        """
+        assert run_rule("RL009", src) == ["RL009"]
+
+    def test_flags_multiplicative_derivation(self):
+        src = "run(seed=base_seed + 1000 * idx + k_idx)\n"
+        assert run_rule("RL009", src) == ["RL009"]
+
+    def test_flags_base_seed_keyword(self):
+        src = "replicate(fn, 8, base_seed=seed * 2)\n"
+        assert run_rule("RL009", src) == ["RL009"]
+
+    def test_flags_attribute_seed(self):
+        src = "simulate(point, seed=config.seed + idx)\n"
+        assert run_rule("RL009", src) == ["RL009"]
+
+    def test_silent_on_spawned_seeds(self):
+        src = """
+            from repro.sim.rng import spawn_seeds
+            for point, child in zip(points, spawn_seeds(seed, len(points))):
+                simulate(point, seed=child)
+        """
+        assert run_rule("RL009", src) == []
+
+    def test_silent_on_plain_seed_passthrough(self):
+        src = "simulate(point, seed=seed)\n"
+        assert run_rule("RL009", src) == []
+
+    def test_silent_on_arithmetic_without_seed_operand(self):
+        src = "simulate(point, seed=2 * idx + 1)\n"
+        assert run_rule("RL009", src) == []
+
+    def test_silent_on_seed_arithmetic_elsewhere(self):
+        # Only call-site seed keywords are flagged; unrelated arithmetic
+        # on a variable that merely contains "seed" is fine.
+        src = "offset = seed + 1\n"
+        assert run_rule("RL009", src) == []
+
+    def test_suppressible(self):
+        src = "simulate(point, seed=seed + idx)  # repro-lint: disable=RL009\n"
+        assert run_rule("RL009", src) == []
 
 
 class TestSuppressions:

@@ -8,6 +8,11 @@ import pytest
 
 from repro.experiments import generate_report, render_markdown, run_all_experiments
 
+# Even at a tiny horizon, running every experiment end to end takes
+# minutes on a 1-core runner, so the whole module is opt-in: it runs in
+# CI's dedicated slow step (``pytest --runslow -m slow``), not in tier-1.
+pytestmark = pytest.mark.slow
+
 # A tiny horizon keeps this integration test fast; claims are checked at
 # the bench scale elsewhere, so here we only require the machinery to
 # run end to end and produce a structurally complete report.
