@@ -156,6 +156,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="with 'all': write the markdown report here")
     experiment.add_argument("--plot", action="store_true",
                             help="also render an ASCII chart of the figure")
+    experiment.add_argument("--backend",
+                            choices=("auto", "reference", "vectorized"),
+                            default="auto",
+                            help="simulation engine for the fig6 "
+                                 "multi-sensor sweeps (all are "
+                                 "bit-identical)")
 
     bench = sub.add_parser(
         "bench",
@@ -304,8 +310,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "fig4b": lambda: exp.run_fig4("pareto", **kwargs),
         "fig5-b02": lambda: exp.run_fig5(b=0.2, **kwargs),
         "fig5-b07": lambda: exp.run_fig5(b=0.7, **kwargs),
-        "fig6a": lambda: exp.run_fig6a(**kwargs),
-        "fig6b": lambda: exp.run_fig6b(**kwargs),
+        "fig6a": lambda: exp.run_fig6a(backend=args.backend, **kwargs),
+        "fig6b": lambda: exp.run_fig6b(backend=args.backend, **kwargs),
     }
     result = runners[args.figure]()
     print(result.format_table())

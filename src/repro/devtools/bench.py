@@ -2,9 +2,11 @@
 
 ``python -m repro bench`` runs the simulator throughput suite — the
 reference loop against the vectorized kernel for each shipped policy
-class, plus serial-versus-parallel :func:`repro.sim.replicate` — and
-writes ``BENCH_simulator.json`` so future changes can be checked for
-perf regressions against an archived run.
+class (single-sensor) and each fig6 coordinator at N ∈ {1, 4, 16}
+(multi-sensor), plus serial-versus-parallel :func:`repro.sim.replicate`
+with its auto-serial dispatch decision and the measured pool spin-up
+cost — and writes ``BENCH_simulator.json`` so future changes can be
+checked for perf regressions against an archived run.
 
 Every timed pair is also checked for bit-identity (the kernel contract),
 so a benchmark run doubles as an end-to-end consistency check; the
@@ -24,15 +26,24 @@ from repro.analysis.partial_info import clear_analysis_cache
 from repro.core.baselines import AggressivePolicy, energy_balanced_period
 from repro.core.clustering import ClusteringSolution, optimize_clustering
 from repro.core.greedy import solve_greedy
+from repro.core.multi import (
+    Coordinator,
+    MultiAggressiveCoordinator,
+    make_mfi,
+    make_mpi,
+    make_multi_periodic,
+)
 from repro.core.policy import ActivationPolicy
 from repro.energy.recharge import BernoulliRecharge
 from repro.events.base import InterArrivalDistribution
 from repro.events.pareto import ParetoInterArrival
 from repro.events.weibull import WeibullInterArrival
 from repro.experiments.config import DELTA1, DELTA2
-from repro.sim import replicate, simulate_single
+from repro.sim import parallel_map, replicate, simulate_single
 from repro.sim._native import get_native_scan
 from repro.sim.metrics import SimulationResult
+from repro.sim.network import simulate_network
+from repro.sim.parallel import PARALLEL_MIN_FORK_SECONDS, last_dispatch
 
 #: Default full-size horizon (matches benchmarks/bench_simulator_throughput).
 DEFAULT_HORIZON = 100_000
@@ -134,6 +145,60 @@ def _bench_optimizer(quick: bool, n_jobs: int) -> Dict[str, Any]:
     return section
 
 
+def _network_cases(
+    events: InterArrivalDistribution, e: float, n_sensors: int
+) -> List[Tuple[str, Coordinator]]:
+    """The four fig6 strategies at one fleet size (paper Sec. VI-B)."""
+    return [
+        ("mfi_full_info", make_mfi(events, e, n_sensors, DELTA1, DELTA2)[0]),
+        ("mpi_partial", make_mpi(events, e, n_sensors, DELTA1, DELTA2)[0]),
+        ("aggressive", MultiAggressiveCoordinator(n_sensors)),
+        ("periodic", make_multi_periodic(events, e, n_sensors, DELTA1, DELTA2)),
+    ]
+
+
+def _bench_network(
+    horizon: int, rounds: int, quick: bool
+) -> Dict[str, Any]:
+    """Time ``simulate_network`` reference vs vectorized per (policy, N).
+
+    Mirrors the fig6 setting (Bernoulli recharge q=0.1, c=1, policies
+    solved at the aggregate rate N*e).  The reference loop is timed once
+    per cell (it is the slow baseline being replaced; at N=16 one run
+    already costs seconds), the kernel best-of-``rounds``.  Every cell
+    checks bit-identity, so the section doubles as an end-to-end
+    consistency check of the network kernel.
+    """
+    events = WeibullInterArrival(40, 3)
+    e = 0.1
+    recharge = BernoulliRecharge(q=e, c=1.0)
+    n_values = [1, 4] if quick else [1, 4, 16]
+    cells: Dict[str, Any] = {}
+    for n in n_values:
+        for name, coordinator in _network_cases(events, e, n):
+            def _run(backend: str, c: Coordinator = coordinator) -> SimulationResult:
+                return simulate_network(
+                    events, c, recharge,
+                    capacity=_CAPACITY, delta1=DELTA1, delta2=DELTA2,
+                    horizon=horizon, seed=_SEED, backend=backend,
+                )
+
+            ref_result, ref_s = _best_of(lambda: _run("reference"), 1)
+            vec_result, vec_s = _best_of(lambda: _run("vectorized"), rounds)
+            cells[f"{name}_n{n}"] = {
+                "n_sensors": n,
+                "reference_seconds": ref_s,
+                "vectorized_seconds": vec_s,
+                "speedup": ref_s / vec_s if vec_s > 0 else None,
+                "slots_per_second": {
+                    "reference": horizon / ref_s if ref_s > 0 else None,
+                    "vectorized": horizon / vec_s if vec_s > 0 else None,
+                },
+                "bit_identical": ref_result == vec_result,
+            }
+    return {"e": e, "n_values": n_values, "cells": cells}
+
+
 def run_bench(
     horizon: int = DEFAULT_HORIZON,
     n_replicates: int = 8,
@@ -182,6 +247,14 @@ def run_bench(
         _replicate_run, n_replicates, base_seed=_SEED, n_jobs=n_jobs
     )
     parallel_s = time.perf_counter() - start
+    dispatch = last_dispatch()
+
+    # Pool spin-up cost in isolation: force a fork over trivial items.
+    # This is the fixed price the auto-serial threshold protects against.
+    start = time.perf_counter()
+    parallel_map(_identity, list(range(n_jobs)), n_jobs=n_jobs,
+                 min_fork_seconds=0.0)
+    spinup_s = time.perf_counter() - start
 
     return {
         "schema": 1,
@@ -194,6 +267,7 @@ def run_bench(
             "native_scan": get_native_scan() is not None,
         },
         "policies": policies,
+        "network": _bench_network(horizon, rounds, quick),
         "optimizer": _bench_optimizer(quick, n_jobs),
         "replicate": {
             "n_replicates": n_replicates,
@@ -202,8 +276,16 @@ def run_bench(
             "parallel_seconds": parallel_s,
             "speedup": serial_s / parallel_s if parallel_s > 0 else None,
             "identical": serial.values == parallel.values,
+            "dispatch": dispatch["mode"],
+            "threshold_seconds": PARALLEL_MIN_FORK_SECONDS,
+            "pool_spinup_seconds": spinup_s,
         },
     }
+
+
+def _identity(x: Any) -> Any:
+    """Trivial worker used to time pool spin-up in isolation."""
+    return x
 
 
 def format_bench(payload: Dict[str, Any]) -> str:
@@ -219,6 +301,12 @@ def format_bench(payload: Dict[str, Any]) -> str:
             f"vec {row['vectorized_seconds'] * 1e3:7.2f} ms   "
             f"{speedup:6.1f}x   bit_identical={row['bit_identical']}"
         )
+    for name, row in payload.get("network", {}).get("cells", {}).items():
+        lines.append(
+            f"  net:{name:20s} ref {row['reference_seconds'] * 1e3:8.1f} ms   "
+            f"vec {row['vectorized_seconds'] * 1e3:7.2f} ms   "
+            f"{row['speedup']:6.1f}x   bit_identical={row['bit_identical']}"
+        )
     for name, row in payload.get("optimizer", {}).items():
         lines.append(
             f"  optimize:{name:12s} cold {row['cold_seconds']:7.2f} s   "
@@ -230,7 +318,9 @@ def format_bench(payload: Dict[str, Any]) -> str:
     lines.append(
         f"  replicate x{rep['n_replicates']:<3d}      serial "
         f"{rep['serial_seconds']:.2f} s   n_jobs={rep['n_jobs']} "
-        f"{rep['parallel_seconds']:.2f} s   identical={rep['identical']}"
+        f"{rep['parallel_seconds']:.2f} s   "
+        f"dispatch={rep.get('dispatch', '?')}   "
+        f"identical={rep['identical']}"
     )
     return "\n".join(lines)
 

@@ -28,12 +28,16 @@ def generate_event_slots(
         raise SimulationError(f"horizon must be >= 0, got {horizon}")
     if horizon == 0:
         return np.empty(0, dtype=np.int64)
-    # Draw gaps in batches sized from the mean so one draw usually suffices.
+    # Draw gaps in batches sized from the mean so one draw usually
+    # suffices; follow-up batches cover only the remaining stretch.
+    # Re-batching is output-stable: samplers consume a fixed number of
+    # uniforms per variate from the same stream, so the gap sequence is
+    # independent of how it is split into draws.
     mean_gap = max(distribution.mu, 1.0)
-    batch = max(int(horizon / mean_gap * 1.2) + 16, 16)
     times: list[np.ndarray] = []
     current = 0
     while current <= horizon:
+        batch = max(int((horizon - current) / mean_gap * 1.2) + 16, 16)
         gaps = distribution.sample(rng, batch)
         # A zero or negative gap would stall the loop forever (arrivals
         # stop advancing); slots are discrete, so gaps must be >= 1.
@@ -49,8 +53,9 @@ def generate_event_slots(
         arrivals = current + np.cumsum(gaps)
         times.append(arrivals)
         current = int(arrivals[-1])
-    all_times = np.concatenate(times)
-    return all_times[all_times <= horizon]
+    all_times = times[0] if len(times) == 1 else np.concatenate(times)
+    # Arrivals are strictly increasing, so the keep-prefix is a bisection.
+    return all_times[: int(np.searchsorted(all_times, horizon, side="right"))]
 
 
 def generate_event_flags(

@@ -41,6 +41,7 @@ def run_fig6a(
     horizon: Optional[int] = None,
     seed: int = DEFAULT_SEED,
     n_jobs: Optional[int] = None,
+    backend: str = "auto",
 ) -> FigureResult:
     """Fig. 6(a): QoM vs. number of sensors ``N``."""
     if distribution is None:
@@ -58,6 +59,7 @@ def run_fig6a(
         horizon,
         seed,
         n_jobs=n_jobs,
+        backend=backend,
     )
     return FigureResult(
         figure="Fig. 6(a) multi-sensor QoM vs N",
@@ -79,6 +81,7 @@ def run_fig6b(
     horizon: Optional[int] = None,
     seed: int = DEFAULT_SEED,
     n_jobs: Optional[int] = None,
+    backend: str = "auto",
 ) -> FigureResult:
     """Fig. 6(b): QoM vs. per-recharge amount ``c`` at ``N = 5``."""
     if distribution is None:
@@ -97,7 +100,8 @@ def run_fig6b(
         e = q * c
         recharge = BernoulliRecharge(q=q, c=c)
         return _point(
-            distribution, recharge, e, n, capacity, horizon, child_seed
+            distribution, recharge, e, n, capacity, horizon, child_seed,
+            backend=backend,
         )
 
     # Collision-free per-point seeds (was the arithmetic seed + idx).
@@ -130,6 +134,7 @@ def _sweep(
     horizon: int,
     seed: int,
     n_jobs: Optional[int] = None,
+    backend: str = "auto",
 ) -> tuple[Series, ...]:
     labels = ("M-FI", "M-PI", "pi_AG", "pi_PE")
     xs = tuple(p[0] for p in points)
@@ -137,7 +142,8 @@ def _sweep(
     def _one(job: tuple) -> list:
         (_, n), child_seed = job
         return _point(
-            distribution, recharge, e, n, capacity, horizon, child_seed
+            distribution, recharge, e, n, capacity, horizon, child_seed,
+            backend=backend,
         )
 
     # Collision-free per-point seeds (was the arithmetic seed + idx).
@@ -158,6 +164,7 @@ def _point(
     capacity: float,
     horizon: int,
     seed: SeedLike,
+    backend: str = "auto",
 ) -> list[tuple[str, float]]:
     """QoM of the four multi-sensor strategies at one sweep point."""
     mfi, _ = make_mfi(distribution, e, n_sensors, DELTA1, DELTA2)
@@ -180,6 +187,7 @@ def _point(
             delta2=DELTA2,
             horizon=horizon,
             seed=seed,
+            backend=backend,
         )
         out.append((label, result.qom))
     return out

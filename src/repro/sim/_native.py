@@ -101,6 +101,84 @@ void repro_scan(
     out_state[0] = neg;
     out_state[1] = shave;
 }
+
+/* N sensors sharing one event stream and one coin stream under a
+ * precomputed responsibility assignment (resp[t] = sensor index or -1).
+ * Must mirror repro.sim.network._simulate_network_reference
+ * operation-for-operation: every sensor's overflow shave is updated on
+ * every slot *before* the responsible sensor's decision, and the shared
+ * recency advances on events (full information) or network captures
+ * (partial information).  Per-sensor reflected state lives directly in
+ * the output buffers: out_state[s*2] = neg_s, out_state[s*2+1] =
+ * shave_s; out_counts[s*3 + {0,1,2}] = activations, captures, blocked. */
+void repro_network_scan(
+    int64_t horizon,
+    int64_t n_sensors,
+    const double *cs,        /* (n_sensors, horizon) row-major cumulative recharge */
+    const uint8_t *events,   /* shared event flag per slot */
+    const double *coins,     /* shared activation coin per slot */
+    const int64_t *resp,     /* responsible sensor per slot, -1 for none */
+    const double *table,     /* recency table, or per-slot probs (slot_mode) */
+    int64_t table_size,
+    double tail,
+    int32_t slot_mode,       /* 1: table is indexed by slot, not recency */
+    int32_t full_info,
+    double capacity,
+    double delta1,
+    double delta2,
+    double initial,
+    int64_t *out_counts,     /* (n_sensors, 3) */
+    double *out_state)       /* (n_sensors, 2) */
+{
+    const double cost_capture = delta1 + delta2;
+    const double activation_cost = delta1 + delta2;
+    int64_t recency = 1;
+    int64_t t, s;
+    for (s = 0; s < n_sensors; s++) {
+        out_counts[s * 3] = 0;
+        out_counts[s * 3 + 1] = 0;
+        out_counts[s * 3 + 2] = 0;
+        out_state[s * 2] = initial;
+        out_state[s * 2 + 1] = 0.0;
+    }
+    for (t = 0; t < horizon; t++) {
+        int64_t sensor = resp[t];
+        double prob;
+        int event, captured;
+        for (s = 0; s < n_sensors; s++) {
+            double over = (out_state[s * 2] + cs[s * horizon + t]) - capacity;
+            if (over > out_state[s * 2 + 1]) out_state[s * 2 + 1] = over;
+        }
+        if (slot_mode) {
+            prob = table[t];
+        } else {
+            prob = (recency <= table_size) ? table[recency - 1] : tail;
+        }
+        event = events[t];
+        captured = 0;
+        if (sensor >= 0 && coins[t] < prob) {
+            double battery = (out_state[sensor * 2] + cs[sensor * horizon + t])
+                             - out_state[sensor * 2 + 1];
+            if (battery < activation_cost) {
+                out_counts[sensor * 3 + 2]++;
+            } else {
+                out_counts[sensor * 3]++;
+                if (event) {
+                    captured = 1;
+                    out_counts[sensor * 3 + 1]++;
+                    out_state[sensor * 2] = out_state[sensor * 2] - cost_capture;
+                } else {
+                    out_state[sensor * 2] = out_state[sensor * 2] - delta1;
+                }
+            }
+        }
+        if (full_info) {
+            recency = event ? 1 : recency + 1;
+        } else {
+            recency = captured ? 1 : recency + 1;
+        }
+    }
+}
 """
 
 #: Flags chosen for IEEE-strict doubles: no contraction (no FMA fusing
@@ -115,7 +193,7 @@ _lib_tried = False
 
 
 class NativeScan:
-    """ctypes wrapper around the compiled ``repro_scan`` symbol."""
+    """ctypes wrapper around the compiled scan symbols."""
 
     def __init__(self, lib: ctypes.CDLL) -> None:
         self._fn = lib.repro_scan
@@ -125,6 +203,27 @@ class NativeScan:
             ctypes.POINTER(ctypes.c_double),
             ctypes.POINTER(ctypes.c_uint8),
             ctypes.POINTER(ctypes.c_double),
+            ctypes.POINTER(ctypes.c_double),
+            ctypes.c_int64,
+            ctypes.c_double,
+            ctypes.c_int32,
+            ctypes.c_int32,
+            ctypes.c_double,
+            ctypes.c_double,
+            ctypes.c_double,
+            ctypes.c_double,
+            ctypes.POINTER(ctypes.c_int64),
+            ctypes.POINTER(ctypes.c_double),
+        ]
+        self._net_fn = lib.repro_network_scan
+        self._net_fn.restype = None
+        self._net_fn.argtypes = [
+            ctypes.c_int64,
+            ctypes.c_int64,
+            ctypes.POINTER(ctypes.c_double),
+            ctypes.POINTER(ctypes.c_uint8),
+            ctypes.POINTER(ctypes.c_double),
+            ctypes.POINTER(ctypes.c_int64),
             ctypes.POINTER(ctypes.c_double),
             ctypes.c_int64,
             ctypes.c_double,
@@ -188,6 +287,62 @@ class NativeScan:
             float(state[0]),
             float(state[1]),
         )
+
+    def scan_network(
+        self,
+        cs: np.ndarray,
+        events: np.ndarray,
+        coins: np.ndarray,
+        resp: np.ndarray,
+        table: np.ndarray,
+        tail: float,
+        slot_mode: bool,
+        full_info: bool,
+        capacity: float,
+        delta1: float,
+        delta2: float,
+        initial: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Run the N-sensor scan.
+
+        ``cs`` is the ``(n_sensors, horizon)`` per-sensor cumulative
+        recharge; ``resp`` the responsible sensor per slot (-1 = none).
+        Returns ``(counts, state)``: ``counts[s] = (activations,
+        captures, blocked)`` and ``state[s] = (neg, shave)``.
+        """
+        n_sensors, horizon = cs.shape
+        cs_c = np.ascontiguousarray(cs, dtype=np.float64)
+        ev_c = np.ascontiguousarray(events, dtype=np.uint8)
+        coin_c = np.ascontiguousarray(coins, dtype=np.float64)
+        resp_c = np.ascontiguousarray(resp, dtype=np.int64)
+        table_c = np.ascontiguousarray(table, dtype=np.float64)
+        table_size = table_c.shape[0]
+        if table_size == 0:  # keep the pointer valid; never dereferenced
+            table_c = np.zeros(1, dtype=np.float64)
+        counts = np.zeros((n_sensors, 3), dtype=np.int64)
+        state = np.zeros((n_sensors, 2), dtype=np.float64)
+        as_f64 = ctypes.POINTER(ctypes.c_double)
+        as_i64 = ctypes.POINTER(ctypes.c_int64)
+        self._net_fn(
+            ctypes.c_int64(horizon),
+            ctypes.c_int64(n_sensors),
+            cs_c.ctypes.data_as(as_f64),
+            ev_c.ctypes.data_as(ctypes.POINTER(ctypes.c_uint8)),
+            coin_c.ctypes.data_as(as_f64),
+            resp_c.ctypes.data_as(as_i64),
+            table_c.ctypes.data_as(as_f64),
+            ctypes.c_int64(table_size),
+            ctypes.c_double(tail),
+            ctypes.c_int32(1 if slot_mode else 0),
+            ctypes.c_int32(1 if full_info else 0),
+            ctypes.c_double(capacity),
+            ctypes.c_double(delta1),
+            ctypes.c_double(delta2),
+            ctypes.c_double(initial),
+            counts.ctypes.data_as(as_i64),
+            state.ctypes.data_as(as_f64),
+        )
+        return counts, state
 
 
 def _compile() -> Optional[ctypes.CDLL]:

@@ -8,6 +8,23 @@ Recency semantics follow the coordinator's information model: under full
 information every sensor learns each event occurrence, under partial
 information only network captures (broadcast by the sink) renew the
 shared state.
+
+Backends
+--------
+``simulate_network`` accepts ``backend="auto" | "reference" | "vectorized"``
+with the same contract as :func:`repro.sim.simulate_single`: the
+reference backend is the readable per-slot loop below, the vectorized
+backend (:mod:`repro.sim.network_kernel`) replays the identical
+arithmetic with array primitives (plus an optional compiled scan) and is
+bit-identical to it.  ``auto`` uses the kernel whenever the coordinator
+is eligible and silently falls back to the reference loop otherwise.
+
+Like the single-sensor engine, each sensor's battery is maintained in
+*reflected* form — ``battery_s = (neg_s + cum_s) - shave_s`` with
+``cum_s`` the per-sensor cumulative recharge, ``neg_s`` the initial
+energy minus activation costs, and ``shave_s`` the running overflow
+maximum — so the per-slot loop and the vectorized scans perform the same
+floating-point operations in the same order (see DESIGN.md §8/§10).
 """
 
 from __future__ import annotations
@@ -22,6 +39,7 @@ from repro.energy.recharge import RechargeProcess
 from repro.events.base import InterArrivalDistribution
 from repro.events.renewal import generate_event_flags
 from repro.exceptions import SimulationError
+from repro.sim.engine import BACKENDS
 from repro.sim.metrics import SensorStats, SimulationResult
 from repro.sim.parallel import parallel_map
 from repro.sim.rng import SeedLike, make_rng, spawn
@@ -37,13 +55,24 @@ def simulate_network(
     horizon: int,
     seed: SeedLike = None,
     initial_energy: Optional[float] = None,
+    backend: str = "auto",
 ) -> SimulationResult:
     """Simulate ``coordinator.n_sensors`` sensors for ``horizon`` slots.
 
     Every sensor gets an independent recharge stream drawn from the same
     ``recharge`` process (the paper's setting: identical sensors,
     identical average rate ``e``).
+
+    ``backend`` selects the execution engine: ``"reference"`` forces the
+    per-slot Python loop, ``"vectorized"`` forces the fast network
+    kernel (and raises :class:`SimulationError` when the coordinator is
+    not eligible), ``"auto"`` uses the kernel whenever it is eligible.
+    All backends are bit-identical.
     """
+    if backend not in BACKENDS:
+        raise SimulationError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
     if horizon < 0:
         raise SimulationError(f"horizon must be >= 0, got {horizon}")
     if capacity < 0:
@@ -52,47 +81,106 @@ def simulate_network(
     rng = make_rng(seed)
     event_rng, coin_rng, *recharge_rngs = spawn(rng, 2 + n)
 
-    events = generate_event_flags(distribution, horizon, event_rng).tolist()
-    coins = coin_rng.random(horizon).tolist()
-    recharge_rows = [
-        recharge.sequence(horizon, r).tolist() for r in recharge_rngs
-    ]
+    events = generate_event_flags(distribution, horizon, event_rng)
+    coins = coin_rng.random(horizon)
+    recharge_rows = np.stack(
+        [
+            np.asarray(recharge.sequence(horizon, r), dtype=np.float64)
+            for r in recharge_rngs
+        ]
+    )
 
     start = capacity / 2.0 if initial_energy is None else float(initial_energy)
     if not 0 <= start <= capacity:
         raise SimulationError(f"initial energy {start} outside [0, {capacity}]")
-    batteries = [start] * n
+
+    coordinator.reset()
+
+    if backend != "reference":
+        from repro.sim import network_kernel
+
+        plan, reason = network_kernel.plan_or_reason(
+            coordinator, events, recharge_rows, horizon
+        )
+        if plan is not None:
+            return network_kernel.simulate_network_kernel(
+                events=events,
+                recharge_rows=recharge_rows,
+                coins=coins,
+                plan=plan,
+                capacity=float(capacity),
+                delta1=float(delta1),
+                delta2=float(delta2),
+                horizon=horizon,
+                initial=start,
+            )
+        if backend == "vectorized":
+            raise SimulationError(f"vectorized backend unavailable: {reason}")
+
+    return _simulate_network_reference(
+        coordinator=coordinator,
+        events=events,
+        recharge_rows=recharge_rows,
+        coins=coins,
+        capacity=float(capacity),
+        delta1=float(delta1),
+        delta2=float(delta2),
+        horizon=horizon,
+        initial=start,
+    )
+
+
+def _simulate_network_reference(
+    coordinator: Coordinator,
+    events: np.ndarray,
+    recharge_rows: np.ndarray,
+    coins: np.ndarray,
+    capacity: float,
+    delta1: float,
+    delta2: float,
+    horizon: int,
+    initial: float,
+) -> SimulationResult:
+    """The bit-exact per-slot reference loop (reflected battery form).
+
+    Arrays are indexed directly (no ``.tolist()`` round-trips); the
+    per-sensor cumulative recharge is precomputed with ``np.cumsum``,
+    whose strictly sequential adds match a scalar running sum
+    operation-for-operation.
+    """
+    n = coordinator.n_sensors
+    activation_cost = delta1 + delta2
+    cost_capture = delta1 + delta2
+
+    # Reflected per-sensor battery state: the level before each decision
+    # is (neg[s] + cum[s][t]) - shave[s].
+    cum = np.cumsum(recharge_rows, axis=1)
+    neg = [initial] * n
+    shave = [0.0] * n
+
     activations = [0] * n
     captures_by = [0] * n
-    harvested = [0.0] * n
-    consumed = [0.0] * n
-    overflow = [0.0] * n
     blocked = [0] * n
 
     full_info = coordinator.info_model == InfoModel.FULL
-    activation_cost = delta1 + delta2
-    coordinator.reset()
 
     n_events = 0
     n_captures = 0
     recency = 1  # event at slot 0
 
     for t in range(1, horizon + 1):
-        # 1. Recharge every sensor.
+        # 1. Recharge every sensor (clip at capacity via the running shave).
         for s in range(n):
-            amount = recharge_rows[s][t - 1]
-            harvested[s] += amount
-            level = batteries[s] + amount
-            if level > capacity:
-                overflow[s] += level - capacity
-                level = capacity
-            batteries[s] = level
+            over = (neg[s] + cum[s, t - 1]) - capacity
+            if over > shave[s]:
+                shave[s] = over
 
         # 2. The responsible sensor decides.
         sensor, prob = coordinator.decide(t, recency)
         active = False
         if sensor != NO_SENSOR and coins[t - 1] < prob:
-            if batteries[sensor] >= activation_cost:
+            battery = (neg[sensor] + cum[sensor, t - 1]) - shave[sensor]
+            if battery >= activation_cost:
                 active = True
             else:
                 blocked[sensor] += 1
@@ -104,14 +192,13 @@ def simulate_network(
         captured = False
         if active:
             activations[sensor] += 1
-            cost = delta1
             if event:
                 captured = True
                 n_captures += 1
                 captures_by[sensor] += 1
-                cost += delta2
-            batteries[sensor] -= cost
-            consumed[sensor] += cost
+                neg[sensor] = neg[sensor] - cost_capture
+            else:
+                neg[sensor] = neg[sensor] - delta1
 
         # 4. Shared recency update.
         if full_info:
@@ -119,15 +206,16 @@ def simulate_network(
         else:
             recency = 1 if captured else recency + 1
 
+    harvested = [float(cum[s, -1]) if horizon else 0.0 for s in range(n)]
     stats = tuple(
         SensorStats(
             activations=activations[s],
             captures=captures_by[s],
             energy_harvested=harvested[s],
-            energy_consumed=consumed[s],
-            energy_overflow=overflow[s],
+            energy_consumed=activations[s] * delta1 + captures_by[s] * delta2,
+            energy_overflow=shave[s],
             blocked_slots=blocked[s],
-            final_battery=batteries[s],
+            final_battery=(neg[s] + harvested[s]) - shave[s],
         )
         for s in range(n)
     )
@@ -150,13 +238,15 @@ def simulate_network_batch(
     seeds: Sequence[SeedLike],
     initial_energy: Optional[float] = None,
     n_jobs: Optional[int] = None,
+    backend: str = "auto",
 ) -> List[SimulationResult]:
     """Run :func:`simulate_network` once per seed, optionally in parallel.
 
-    The multi-sensor slot loop itself is coordinator-coupled and stays
-    sequential, so parallelism comes from fanning independent *runs*
-    out across processes; results are returned in seed order and are
-    identical to a serial loop for every ``n_jobs``.
+    Each run executes on the selected ``backend`` (the vectorized
+    network kernel under ``"auto"`` whenever the coordinator is
+    eligible); ``n_jobs`` additionally fans independent *runs* out
+    across processes.  Results are returned in seed order and are
+    identical to a serial loop for every ``n_jobs`` and ``backend``.
     """
 
     def _one(seed: SeedLike) -> SimulationResult:
@@ -170,6 +260,7 @@ def simulate_network_batch(
             horizon=horizon,
             seed=seed,
             initial_energy=initial_energy,
+            backend=backend,
         )
 
     return parallel_map(_one, list(seeds), n_jobs=n_jobs)

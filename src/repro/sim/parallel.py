@@ -13,22 +13,45 @@ the same order, so ``parallel_map(fn, items, n_jobs=k)`` returns exactly
 ``[fn(x) for x in items]`` for every ``k`` — parallelism never changes
 results, only wall time.  On platforms without the ``fork`` start method
 the map silently degrades to serial execution.
+
+Auto-serial dispatch
+--------------------
+Forking a pool costs tens of milliseconds (process spawn, numpy state
+copy, IPC setup) *per call* — a fresh pool cannot be reused across calls
+because the worker callable is inherited at fork time.  For small
+workloads that fixed cost dominates and "parallelism" is a slowdown
+(the 0.48x replicate regression in ``BENCH_simulator.json``).
+``parallel_map`` therefore times the first item serially and only forks
+when the *remaining* serial work (``first_seconds * (len(items) - 1)``)
+exceeds :data:`PARALLEL_MIN_FORK_SECONDS`; below the threshold it
+finishes serially.  The decision is observable through
+:func:`last_dispatch` and recorded by the benchmark harness.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.exceptions import SimulationError
 
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: Minimum estimated *remaining* serial seconds that justify forking a
+#: pool.  Chosen ~10x the measured per-call pool spin-up (~20-40 ms on
+#: the benchmark container) so the fork overhead stays a small fraction
+#: of any workload that does get parallelised.
+PARALLEL_MIN_FORK_SECONDS = 0.25
+
 #: The callable being mapped; inherited by forked workers.
 _WORKER_FN: Optional[Callable[[Any], Any]] = None
+
+#: Telemetry from the most recent parallel_map call (see last_dispatch).
+_last_dispatch: Dict[str, Any] = {"mode": "none"}
 
 
 def _call_worker(item: Any) -> Any:
@@ -51,30 +74,82 @@ def resolve_n_jobs(n_jobs: Optional[int]) -> int:
     return int(n_jobs)
 
 
+def last_dispatch() -> Dict[str, Any]:
+    """How the most recent :func:`parallel_map` call executed.
+
+    Keys: ``mode`` (``"serial"`` — requested or single-item/no-fork
+    platform; ``"serial-auto"`` — parallel requested but the workload
+    could not amortise a fork; ``"parallel"`` — pool used), ``n_jobs``,
+    ``threshold_seconds``, and ``first_item_seconds`` (None unless the
+    auto decision ran).  Used by tests and the benchmark harness.
+    """
+    return dict(_last_dispatch)
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     n_jobs: Optional[int] = None,
     chunksize: Optional[int] = None,
+    min_fork_seconds: Optional[float] = None,
 ) -> List[R]:
     """``[fn(x) for x in items]``, optionally across worker processes.
 
     ``n_jobs=None`` (or 1) runs serially in-process; ``-1`` uses every
-    core.  Items are chunked to amortise IPC; ``chunksize`` defaults to
-    roughly four chunks per worker.
+    core.  With ``n_jobs > 1`` the first item is timed serially and the
+    pool is only forked when the remaining serial work would exceed
+    ``min_fork_seconds`` (default :data:`PARALLEL_MIN_FORK_SECONDS`;
+    pass ``0.0`` to always fork) — results are identical either way.
+    Items are chunked to amortise IPC; ``chunksize`` defaults to roughly
+    four chunks per worker.
     """
+    global _last_dispatch
     work: Sequence[T] = list(items)
     jobs = min(resolve_n_jobs(n_jobs), len(work))
+    threshold = (
+        PARALLEL_MIN_FORK_SECONDS
+        if min_fork_seconds is None
+        else float(min_fork_seconds)
+    )
     if jobs <= 1 or "fork" not in multiprocessing.get_all_start_methods():
+        _last_dispatch = {
+            "mode": "serial",
+            "n_jobs": jobs,
+            "threshold_seconds": threshold,
+            "first_item_seconds": None,
+        }
         return [fn(x) for x in work]
+
+    start = time.perf_counter()
+    first = fn(work[0])
+    first_seconds = time.perf_counter() - start
+    rest = work[1:]
+    if first_seconds * len(rest) < threshold:
+        _last_dispatch = {
+            "mode": "serial-auto",
+            "n_jobs": jobs,
+            "threshold_seconds": threshold,
+            "first_item_seconds": first_seconds,
+        }
+        return [first] + [fn(x) for x in rest]
+
+    _last_dispatch = {
+        "mode": "parallel",
+        "n_jobs": jobs,
+        "threshold_seconds": threshold,
+        "first_item_seconds": first_seconds,
+    }
+    jobs = min(jobs, len(rest))
     if chunksize is None:
-        chunksize = max(1, len(work) // (jobs * 4))
+        chunksize = max(1, len(rest) // (jobs * 4))
     global _WORKER_FN
     previous = _WORKER_FN
     _WORKER_FN = fn
     try:
         context = multiprocessing.get_context("fork")
         with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
-            return list(pool.map(_call_worker, work, chunksize=chunksize))
+            return [first] + list(
+                pool.map(_call_worker, rest, chunksize=chunksize)
+            )
     finally:
         _WORKER_FN = previous

@@ -29,9 +29,22 @@ SeedLike = Union[int, np.random.Generator, np.random.SeedSequence, None]
 
 
 def make_rng(seed: SeedLike = None) -> np.random.Generator:
-    """Normalise a seed-or-generator argument into a Generator."""
+    """Normalise a seed-or-generator argument into a Generator.
+
+    A :class:`~numpy.random.SeedSequence` is copied (same entropy and
+    spawn key, child counter reset to zero) before use: spawning
+    sub-streams mutates the sequence's child counter, and without the
+    copy a simulation run would mutate the *caller's* seed object —
+    making a second run with the same seed silently different.
+    """
     if isinstance(seed, np.random.Generator):
         return seed
+    if isinstance(seed, np.random.SeedSequence):
+        seed = np.random.SeedSequence(
+            entropy=seed.entropy,
+            spawn_key=seed.spawn_key,
+            pool_size=seed.pool_size,
+        )
     return np.random.default_rng(seed)
 
 

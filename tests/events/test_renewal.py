@@ -38,6 +38,27 @@ class TestGenerateEventSlots:
         slots = generate_event_slots(d, 100_000, rng)
         assert slots.size / 100_000 == pytest.approx(1 / d.mu, rel=0.05)
 
+    def test_prefix_stable_across_horizons(self, weibull):
+        """Re-batching invariance: the stream is a function of the seed.
+
+        Gap draws are split into batches sized from the (remaining)
+        horizon, so different horizons consume the stream in different
+        chunks — but samplers draw a fixed number of uniforms per
+        variate, so the realized event slots must agree on the common
+        prefix.  Heavy-tailed gaps force multiple follow-up batches.
+        """
+        from repro.events import ParetoInterArrival
+
+        for dist in (weibull, ParetoInterArrival(2, 10)):
+            short = generate_event_slots(
+                dist, 2_000, np.random.default_rng(17)
+            )
+            long = generate_event_slots(
+                dist, 50_000, np.random.default_rng(17)
+            )
+            np.testing.assert_array_equal(short, long[: short.size])
+            assert (long[short.size:] > 2_000).all()
+
 
 class TestGenerateEventFlags:
     def test_flags_match_slots(self, weibull):

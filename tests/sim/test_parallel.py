@@ -16,6 +16,8 @@ from repro.sim import (
     simulate_single,
     spawn_seeds,
 )
+from repro.sim import parallel as parallel_mod
+from repro.sim.parallel import last_dispatch
 from repro.core import MultiAggressiveCoordinator
 
 DELTA1, DELTA2 = 1.0, 6.0
@@ -75,6 +77,54 @@ class TestSpawnSeeds:
             horizon=500, seed=spawn_seeds(9, 1)[0],
         )
         assert result == again
+
+
+class TestAutoSerialDispatch:
+    """Small workloads must never pay the fork spin-up (tier-1 speed guard)."""
+
+    def test_small_workload_never_forks(self, monkeypatch):
+        """Below the threshold no pool may be constructed at all."""
+
+        class _Forbidden:
+            def __init__(self, *args, **kwargs):
+                raise AssertionError("pool forked for a tiny workload")
+
+        monkeypatch.setattr(
+            parallel_mod, "ProcessPoolExecutor", _Forbidden
+        )
+        out = parallel_map(lambda x: x + 1, range(10), n_jobs=2)
+        assert out == [x + 1 for x in range(10)]
+        assert last_dispatch()["mode"] == "serial-auto"
+
+    def test_serial_mode_recorded(self):
+        parallel_map(lambda x: x, [1, 2, 3])
+        assert last_dispatch()["mode"] == "serial"
+
+    def test_zero_threshold_forces_fork(self):
+        out = parallel_map(
+            lambda x: x * 2, range(6), n_jobs=2, min_fork_seconds=0.0
+        )
+        assert out == [x * 2 for x in range(6)]
+        dispatch = last_dispatch()
+        assert dispatch["mode"] == "parallel"
+        assert dispatch["first_item_seconds"] is not None
+
+    def test_dispatch_does_not_change_results(self):
+        fn = lambda x: x * x - 3  # noqa: E731
+        auto = parallel_map(fn, range(12), n_jobs=2)
+        forked = parallel_map(fn, range(12), n_jobs=2, min_fork_seconds=0.0)
+        assert auto == forked == [fn(x) for x in range(12)]
+
+    def test_slow_workload_forks(self, monkeypatch):
+        import time
+
+        def slow(x):
+            time.sleep(0.002)
+            return -x
+
+        out = parallel_map(slow, range(8), n_jobs=2, min_fork_seconds=0.005)
+        assert out == [-x for x in range(8)]
+        assert last_dispatch()["mode"] == "parallel"
 
 
 class TestParallelMap:

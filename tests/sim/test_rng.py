@@ -22,6 +22,21 @@ class TestMakeRng:
     def test_none_gives_fresh_generator(self):
         assert isinstance(make_rng(None), np.random.Generator)
 
+    def test_seed_sequence_reuse_is_reentrant(self):
+        """Regression: spawning must not mutate the caller's SeedSequence.
+
+        ``SeedSequence.spawn`` advances the sequence's child counter, so
+        without the defensive copy in ``make_rng`` a second simulation
+        run with the *same* seed object would derive different
+        sub-streams and silently diverge.
+        """
+        seed = np.random.SeedSequence(42)
+        first = spawn(make_rng(seed), 2)
+        second = spawn(make_rng(seed), 2)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.random(8), b.random(8))
+        assert seed.n_children_spawned == 0
+
 
 class TestSpawn:
     def test_children_are_independent_and_reproducible(self):

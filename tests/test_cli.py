@@ -218,6 +218,15 @@ class TestJobsFlag:
         parallel = capsys.readouterr().out
         assert serial == parallel
 
+    def test_experiment_fig6_backend_matches_reference(self, capsys):
+        args = ["experiment", "fig6a", "--horizon", "1500", "--seed", "3"]
+        assert main(args + ["--backend", "reference"]) == 0
+        ref_out = capsys.readouterr().out
+        assert main(args + ["--backend", "vectorized"]) == 0
+        vec_out = capsys.readouterr().out
+        assert ref_out == vec_out
+        assert "Fig. 6(a)" in ref_out
+
 
 class TestBenchCommand:
     def test_quick_bench_writes_payload(self, capsys, tmp_path):
@@ -238,5 +247,17 @@ class TestBenchCommand:
         for row in payload["policies"].values():
             assert row["bit_identical"] is True
             assert row["speedup"] > 0
+        assert payload["network"]["n_values"] == [1, 4]
+        for row in payload["network"]["cells"].values():
+            assert row["bit_identical"] is True
+            assert row["speedup"] > 0
         assert payload["replicate"]["identical"] is True
         assert payload["replicate"]["n_jobs"] == 2
+        # Parallelism must never be a pessimization: either the harness
+        # beat serial or it auto-dispatched the workload serially.
+        rep = payload["replicate"]
+        assert rep["dispatch"] in ("parallel", "serial-auto")
+        if rep["dispatch"] == "parallel":
+            assert rep["speedup"] >= 1.0
+        assert rep["pool_spinup_seconds"] > 0
+        assert rep["threshold_seconds"] > 0
