@@ -46,8 +46,9 @@ def capacity_profile(
 ) -> list[CapacityPoint]:
     """Simulated QoM gap to ``bound`` for each capacity (a Fig. 3 curve)."""
     points = []
-    child_seeds = spawn_seeds(seed, len(list(capacities)))
-    for capacity, child_seed in zip(capacities, child_seeds):
+    capacity_list = list(capacities)  # materialize once: generators welcome
+    child_seeds = spawn_seeds(seed, len(capacity_list))
+    for capacity, child_seed in zip(capacity_list, child_seeds):
         result = simulate_single(
             distribution, policy, recharge,
             capacity=capacity, delta1=delta1, delta2=delta2,

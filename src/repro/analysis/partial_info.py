@@ -68,6 +68,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.devtools import telemetry
 from repro.events.base import InterArrivalDistribution
 from repro.exceptions import PolicyError
 
@@ -715,14 +716,18 @@ def _cache_get(key: bytes) -> Optional[PartialInfoAnalysis]:
         return None
     hit = _memo.get(key)
     if hit is not None:
+        telemetry.count("analysis.memo.hit")
         _memo.move_to_end(key)
         return hit
+    telemetry.count("analysis.memo.miss")
     directory = _disk_cache_dir()
     if directory:
         loaded = _disk_get(directory, key)
         if loaded is not None:
+            telemetry.count("analysis.disk.hit")
             _memo_store(key, loaded)
             return loaded
+        telemetry.count("analysis.disk.miss")
     return None
 
 
@@ -747,6 +752,7 @@ def _memo_store(key: bytes, result: PartialInfoAnalysis) -> None:
     ):
         old_key, old_result = _memo.popitem(last=False)
         _memo_bytes[0] -= _entry_nbytes(old_key, old_result)
+        telemetry.count("analysis.memo.evict")
 
 
 def _disk_path(directory: str, key: bytes) -> str:
@@ -763,9 +769,13 @@ def _disk_get(directory: str, key: bytes) -> Optional[PartialInfoAnalysis]:
             stationary = np.array(data["stationary"])
             scalars = np.array(data["scalars"])
             flags = np.array(data["flags"])
+    except FileNotFoundError:
+        return None
     except (OSError, ValueError, KeyError, zipfile.BadZipFile, EOFError):
+        telemetry.count("analysis.disk.corrupt")
         return None
     if scalars.shape != (3,) or flags.shape != (1,):
+        telemetry.count("analysis.disk.corrupt")
         return None
     for out in (beta_hat, survival, stationary):
         out.flags.writeable = False

@@ -45,6 +45,7 @@ from repro.events import (
     UniformInterArrival,
     WeibullInterArrival,
 )
+from repro.devtools import telemetry
 from repro.exceptions import EnergyError, ReproError
 from repro.sim.engine import simulate_single
 
@@ -96,6 +97,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_telemetry_flag(command_parser: argparse.ArgumentParser) -> None:
+        command_parser.add_argument(
+            "--telemetry", metavar="OUT.json", default=None,
+            help="collect run telemetry (backend dispatch, cache hits, "
+                 "fork decisions, seed provenance) and write a JSON run "
+                 "manifest here; results are bit-identical either way",
+        )
+
     lint = sub.add_parser(
         "lint",
         help="run the reproducibility linter (see 'repro lint --help')",
@@ -116,6 +125,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the clustering policy "
                             "search (-1 = all cores); results are "
                             "identical to a serial run")
+    add_telemetry_flag(solve)
 
     simulate = sub.add_parser("simulate", help="run the slotted simulator")
     simulate.add_argument("--events", type=parse_events, required=True)
@@ -137,6 +147,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           choices=("auto", "reference", "vectorized"),
                           default="auto",
                           help="simulation engine (all are bit-identical)")
+    add_telemetry_flag(simulate)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper figure as a table"
@@ -162,6 +173,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="simulation engine for the fig6 "
                                  "multi-sensor sweeps (all are "
                                  "bit-identical)")
+    add_telemetry_flag(experiment)
 
     bench = sub.add_parser(
         "bench",
@@ -177,6 +189,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the parallel timing")
     bench.add_argument("--output", default="BENCH_simulator.json",
                        help="where to write the JSON payload")
+    add_telemetry_flag(bench)
     return parser
 
 
@@ -323,6 +336,29 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _manifest_arguments(args: argparse.Namespace) -> dict:
+    """JSON-safe view of the parsed CLI arguments for the run manifest."""
+    out = {}
+    for key, value in sorted(vars(args).items()):
+        if key in ("command", "telemetry"):
+            continue
+        if isinstance(value, (bool, int, float, str)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    return _cmd_experiment(args)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -334,14 +370,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         return lint_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
+    telemetry_path = getattr(args, "telemetry", None)
     try:
-        if args.command == "solve":
-            return _cmd_solve(args)
-        if args.command == "simulate":
-            return _cmd_simulate(args)
-        if args.command == "bench":
-            return _cmd_bench(args)
-        return _cmd_experiment(args)
+        if telemetry_path is None:
+            return _dispatch(args)
+        with telemetry.collect() as collection:
+            code = _dispatch(args)
+        telemetry.write_manifest(
+            telemetry_path,
+            collection.snapshot(),
+            command=args.command,
+            arguments=_manifest_arguments(args),
+        )
+        print(f"wrote telemetry manifest {telemetry_path}")
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

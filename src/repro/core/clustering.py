@@ -378,6 +378,8 @@ def _structures(
     n1s: Sequence[int], n2s: Sequence[int], n3_offsets: Sequence[int]
 ) -> Iterable[tuple[int, int, int]]:
     """Enumerate (n1, n2, n2 + offset) region structures."""
+    n2s = list(n2s)  # re-iterated per n1: materialize once
+    n3_offsets = list(n3_offsets)
     for n1 in n1s:
         for n2 in n2s:
             if n2 < n1:

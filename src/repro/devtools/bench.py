@@ -38,12 +38,13 @@ from repro.energy.recharge import BernoulliRecharge
 from repro.events.base import InterArrivalDistribution
 from repro.events.pareto import ParetoInterArrival
 from repro.events.weibull import WeibullInterArrival
+from repro.devtools import telemetry
 from repro.experiments.config import DELTA1, DELTA2
 from repro.sim import parallel_map, replicate, simulate_single
 from repro.sim._native import get_native_scan
 from repro.sim.metrics import SimulationResult
 from repro.sim.network import simulate_network
-from repro.sim.parallel import PARALLEL_MIN_FORK_SECONDS, last_dispatch
+from repro.sim.parallel import PARALLEL_MIN_FORK_SECONDS
 
 #: Default full-size horizon (matches benchmarks/bench_simulator_throughput).
 DEFAULT_HORIZON = 100_000
@@ -206,7 +207,31 @@ def run_bench(
     rounds: int = 3,
     quick: bool = False,
 ) -> Dict[str, Any]:
-    """Time every policy class on both backends; return the JSON payload."""
+    """Time every policy class on both backends; return the JSON payload.
+
+    The whole suite runs inside a telemetry collection, so the payload's
+    ``telemetry`` section reports what actually executed: backend
+    dispatch counts, analysis-cache hit rates and fork/serial decisions.
+    """
+    with telemetry.collect() as collection:
+        payload = _run_bench_timed(
+            horizon=horizon,
+            n_replicates=n_replicates,
+            n_jobs=n_jobs,
+            rounds=rounds,
+            quick=quick,
+        )
+    payload["telemetry"] = _telemetry_section(collection.snapshot())
+    return payload
+
+
+def _run_bench_timed(
+    horizon: int,
+    n_replicates: int,
+    n_jobs: int,
+    rounds: int,
+    quick: bool,
+) -> Dict[str, Any]:
     events = WeibullInterArrival(40, 3)
     recharge = BernoulliRecharge(0.5, 1.0)
 
@@ -247,7 +272,7 @@ def run_bench(
         _replicate_run, n_replicates, base_seed=_SEED, n_jobs=n_jobs
     )
     parallel_s = time.perf_counter() - start
-    dispatch = last_dispatch()
+    dispatch = telemetry.last_dispatch_record()
 
     # Pool spin-up cost in isolation: force a fork over trivial items.
     # This is the fixed price the auto-serial threshold protects against.
@@ -257,7 +282,7 @@ def run_bench(
     spinup_s = time.perf_counter() - start
 
     return {
-        "schema": 1,
+        "schema_version": 2,
         "generated_unix": time.time(),
         "horizon": horizon,
         "host": {
@@ -286,6 +311,53 @@ def run_bench(
 def _identity(x: Any) -> Any:
     """Trivial worker used to time pool spin-up in isolation."""
     return x
+
+
+def _hit_rate(hits: int, misses: int) -> Optional[float]:
+    total = hits + misses
+    return hits / total if total else None
+
+
+def _telemetry_section(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Condense a telemetry snapshot into the bench payload section.
+
+    Reports the three decision families the perf stack makes silently:
+    which kernel backend/scan actually ran, the analysis memo/disk-cache
+    hit rates, and how each ``parallel_map`` call dispatched.
+    """
+    counters: Dict[str, int] = dict(snapshot.get("counters", {}))
+    memo_hits = counters.get("analysis.memo.hit", 0)
+    memo_misses = counters.get("analysis.memo.miss", 0)
+    disk_hits = counters.get("analysis.disk.hit", 0)
+    disk_misses = counters.get("analysis.disk.miss", 0)
+    prefix = "parallel.dispatch."
+    return {
+        "backend_dispatch": {
+            name: value for name, value in sorted(counters.items())
+            if name.startswith(("sim.", "network.", "kernel.",
+                                "network_kernel.", "native."))
+        },
+        "cache": {
+            "memo_hits": memo_hits,
+            "memo_misses": memo_misses,
+            "memo_hit_rate": _hit_rate(memo_hits, memo_misses),
+            "memo_evictions": counters.get("analysis.memo.evict", 0),
+            "disk_hits": disk_hits,
+            "disk_misses": disk_misses,
+            "disk_hit_rate": _hit_rate(disk_hits, disk_misses),
+            "disk_corrupt": counters.get("analysis.disk.corrupt", 0),
+        },
+        "parallel_dispatch": {
+            name[len(prefix):]: value
+            for name, value in sorted(counters.items())
+            if name.startswith(prefix)
+        },
+        "timers": {
+            name: dict(slot)
+            for name, slot in sorted(snapshot.get("timers", {}).items())
+        },
+        "events_recorded": len(snapshot.get("events", ())),
+    }
 
 
 def format_bench(payload: Dict[str, Any]) -> str:

@@ -1,4 +1,4 @@
-"""The domain rules behind ``repro lint`` (RL001–RL009).
+"""The domain rules behind ``repro lint`` (RL001–RL010).
 
 Each rule encodes one invariant the reproduction's correctness rests on;
 see the module docstrings referenced from README's "Static analysis &
@@ -520,6 +520,87 @@ class SeedArithmeticRule(Rule):
                     )
 
 
+def _len_list_param(
+    node: ast.AST, params: Set[str]
+) -> Optional[ast.Name]:
+    """The parameter Name inside a ``len(list(param))`` call, if any."""
+    if not (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "len"
+        and len(node.args) == 1
+        and not node.keywords
+    ):
+        return None
+    inner = node.args[0]
+    if (
+        isinstance(inner, ast.Call)
+        and isinstance(inner.func, ast.Name)
+        and inner.func.id == "list"
+        and len(inner.args) == 1
+        and not inner.keywords
+        and isinstance(inner.args[0], ast.Name)
+        and inner.args[0].id in params
+    ):
+        return inner.args[0]
+    return None
+
+
+@register
+class GeneratorExhaustionRule(Rule):
+    """RL010 — no ``len(list(param))`` on a parameter iterated again.
+
+    ``len(list(x))`` silently *consumes* ``x`` when the caller passed a
+    generator: the ``list()`` drains it for the count and throws the
+    elements away, so every later iteration of ``x`` in the same
+    function sees an empty stream and the function returns an empty (or
+    truncated) result with no error — the ``capacity_profile`` bug.
+    Materialize the parameter once at function entry
+    (``x = list(x)``) and take ``len`` of the materialized copy.
+    """
+
+    code = "RL010"
+    name = "generator-exhaustion"
+    description = (
+        "len(list(param)) exhausts generator inputs; materialize the "
+        "parameter once at entry and reuse it"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for fn in module.walk():
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            params = _function_params(fn)
+            if not params:
+                continue
+            suspects = []
+            for sub in ast.walk(fn):
+                inner = _len_list_param(sub, params)
+                if inner is not None:
+                    suspects.append((sub, inner))
+            if not suspects:
+                continue
+            names = {inner.id for _, inner in suspects}
+            loads: dict = {name: [] for name in names}
+            for sub in ast.walk(fn):
+                if (
+                    isinstance(sub, ast.Name)
+                    and isinstance(sub.ctx, ast.Load)
+                    and sub.id in loads
+                ):
+                    loads[sub.id].append(sub)
+            for call, inner in suspects:
+                if any(n is not inner for n in loads[inner.id]):
+                    yield self.finding(
+                        module, call,
+                        f"len(list({inner.id})) consumes the parameter "
+                        f"{inner.id!r} when it is a generator, and the "
+                        "function iterates it again — materialize once "
+                        f"at entry ({inner.id} = list({inner.id})) and "
+                        "reuse the copy",
+                    )
+
+
 #: Kept for introspection/tests: the full tuple of rule classes here.
 ALL_CHECKS: Tuple[type, ...] = (
     UnseededRandomRule,
@@ -531,4 +612,5 @@ ALL_CHECKS: Tuple[type, ...] = (
     ExportedDocstringRule,
     AssertValidationRule,
     SeedArithmeticRule,
+    GeneratorExhaustionRule,
 )

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, TypeVar
 
+from repro.devtools import telemetry
 from repro.sim.parallel import parallel_map
 
 _P = TypeVar("_P")
@@ -23,7 +24,10 @@ def compute_points(
     preserved and results are identical to a serial sweep for any value
     of ``n_jobs``.
     """
-    return parallel_map(point_fn, list(points), n_jobs=n_jobs)
+    work = list(points)
+    telemetry.event("experiment_sweep", n_points=len(work), n_jobs=n_jobs)
+    with telemetry.timed("experiments.compute_points"):
+        return parallel_map(point_fn, work, n_jobs=n_jobs)
 
 
 @dataclass(frozen=True)

@@ -59,6 +59,8 @@ def run_fig3(
         distribution = WeibullInterArrival(40, 3)
     if horizon is None:
         horizon = bench_horizon()
+    capacities = list(capacities)  # materialize once: generators welcome
+    recharges = list(recharges)
 
     policy, bound = _policy_for(info, distribution, e, n_jobs=n_jobs)
     series = [
@@ -93,7 +95,7 @@ def run_fig3(
         return result.qom
 
     qoms = compute_points(_point, points, n_jobs=n_jobs)
-    per_recharge = len(list(capacities))
+    per_recharge = len(capacities)
     for idx, (label, _) in enumerate(recharges):
         series.append(
             Series(

@@ -56,6 +56,7 @@ def run_fig4(
         panel = "custom"
     if c_values is None:
         c_values = WEIBULL_C_VALUES if events == "weibull" else PARETO_C_VALUES
+    c_values = list(c_values)  # materialize once: generators welcome
     if horizon is None:
         horizon = bench_horizon()
 
@@ -82,7 +83,7 @@ def run_fig4(
 
     # Collision-free per-point seeds (was seed + idx, which overlaps
     # between runs whose base seeds differ by less than the point count).
-    points = list(zip(c_values, spawn_seeds(seed, len(list(c_values)))))
+    points = list(zip(c_values, spawn_seeds(seed, len(c_values))))
     rows = compute_points(_point, points, n_jobs=n_jobs)
     clustering_qom = [row[0] for row in rows]
     aggressive_qom = [row[1] for row in rows]

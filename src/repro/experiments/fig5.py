@@ -39,6 +39,7 @@ def run_fig5(
     """Reproduce one panel of Fig. 5 (``b = 0.2`` top, ``b = 0.7`` bottom)."""
     if horizon is None:
         horizon = bench_horizon()
+    a_values = list(a_values)  # materialize once: generators welcome
     e = q * c
     recharge = BernoulliRecharge(q=q, c=c)
 
@@ -63,7 +64,7 @@ def run_fig5(
         return tuple(qoms)
 
     # Collision-free per-point seeds (was the arithmetic seed + idx).
-    points = list(zip(a_values, spawn_seeds(seed, len(list(a_values)))))
+    points = list(zip(a_values, spawn_seeds(seed, len(a_values))))
     rows = compute_points(_point, points, n_jobs=n_jobs)
     clustering_qom = [row[0] for row in rows]
     ebcw_qom = [row[1] for row in rows]

@@ -137,6 +137,7 @@ def _sweep(
     backend: str = "auto",
 ) -> tuple[Series, ...]:
     labels = ("M-FI", "M-PI", "pi_AG", "pi_PE")
+    points = list(points)  # materialize once: generators welcome
     xs = tuple(p[0] for p in points)
 
     def _one(job: tuple) -> list:

@@ -30,6 +30,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.devtools import telemetry
+
 _SOURCE = r"""
 #include <stdint.h>
 
@@ -383,10 +385,18 @@ def get_native_scan() -> Optional[NativeScan]:
     (checked on every call so tests can exercise both implementations).
     """
     if os.environ.get(_ENV_FLAG, "1").strip().lower() in ("0", "false", "no"):
+        telemetry.count("native.disabled_by_env")
         return None
     global _lib_cache, _lib_tried
     if not _lib_tried:
         _lib_tried = True
         lib = _compile()
         _lib_cache = NativeScan(lib) if lib is not None else None
+        telemetry.event(
+            "native_compile",
+            available=_lib_cache is not None,
+        )
+    telemetry.count(
+        "native.available" if _lib_cache is not None else "native.unavailable"
+    )
     return _lib_cache  # type: ignore[return-value]

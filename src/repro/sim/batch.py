@@ -16,6 +16,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 from scipy import stats as scipy_stats
 
+from repro.devtools import telemetry
 from repro.exceptions import SimulationError
 from repro.sim.metrics import SimulationResult
 from repro.sim.parallel import parallel_map
@@ -111,11 +112,18 @@ def replicate(
             f"n_replicates must be >= 1, got {n_replicates}"
         )
     seeds = spawn_seeds(base_seed, n_replicates)
+    telemetry.event(
+        "replicate",
+        n_replicates=int(n_replicates),
+        base_seed=int(base_seed),
+        n_jobs=n_jobs,
+    )
 
     def _one(seed: np.random.SeedSequence) -> float:
         return float(metric(run(seed)))
 
-    values = parallel_map(_one, seeds, n_jobs=n_jobs)
+    with telemetry.timed("sim.replicate"):
+        values = parallel_map(_one, seeds, n_jobs=n_jobs)
     return summarize(values, confidence=confidence)
 
 

@@ -43,6 +43,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core.policy import ActivationPolicy, InfoModel
+from repro.devtools import telemetry
 from repro.energy.recharge import RechargeProcess
 from repro.events.base import InterArrivalDistribution
 from repro.events.renewal import generate_event_flags
@@ -56,6 +57,32 @@ _TABLE_SLOTS = 1 << 16
 
 #: Valid values of the ``backend`` argument.
 BACKENDS = ("auto", "reference", "vectorized")
+
+
+def _record_run(
+    backend: str,
+    policy: ActivationPolicy,
+    capacity: float,
+    delta1: float,
+    delta2: float,
+    horizon: int,
+    seed: SeedLike,
+) -> None:
+    """Emit the run-manifest event for one simulate_single call."""
+    if not telemetry.enabled():
+        return
+    telemetry.count(f"sim.dispatch.{backend}")
+    telemetry.event(
+        "simulation_run",
+        entry="simulate_single",
+        backend=backend,
+        policy=type(policy).__name__,
+        capacity=float(capacity),
+        delta1=float(delta1),
+        delta2=float(delta2),
+        horizon=int(horizon),
+        seed=telemetry.describe_seed(seed),
+    )
 
 
 def simulate_single(
@@ -134,25 +161,34 @@ def simulate_single(
             recharge_amounts=recharge_amounts,
         )
         if reason is None:
-            return kernel.simulate_kernel(
-                events=events,
-                recharge_amounts=recharge_amounts,
-                coins=coins,
-                table=table,
-                tail=tail,
-                slot_probs=slot_probs,
-                full_info=full_info,
-                capacity=float(capacity),
-                delta1=float(delta1),
-                delta2=float(delta2),
-                horizon=horizon,
-                initial=initial,
+            _record_run(
+                "vectorized", policy, capacity, delta1, delta2, horizon, seed
             )
+            with telemetry.timed("sim.simulate_single.vectorized"):
+                return kernel.simulate_kernel(
+                    events=events,
+                    recharge_amounts=recharge_amounts,
+                    coins=coins,
+                    table=table,
+                    tail=tail,
+                    slot_probs=slot_probs,
+                    full_info=full_info,
+                    capacity=float(capacity),
+                    delta1=float(delta1),
+                    delta2=float(delta2),
+                    horizon=horizon,
+                    initial=initial,
+                )
         if backend == "vectorized":
             raise SimulationError(
                 f"vectorized backend unavailable: {reason}"
             )
+        telemetry.count("sim.fallback.reference")
+        telemetry.event(
+            "backend_fallback", entry="simulate_single", reason=reason
+        )
 
+    _record_run("reference", policy, capacity, delta1, delta2, horizon, seed)
     return _simulate_reference(
         policy=policy,
         events=events,

@@ -43,6 +43,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.devtools import telemetry
 from repro.sim._native import get_native_scan
 from repro.sim.metrics import SensorStats, SimulationResult
 
@@ -95,6 +96,7 @@ def simulate_kernel(
 
     native = get_native_scan()
     if native is not None:
+        telemetry.count("kernel.scan.native")
         if slot_probs is not None:
             probs, slot_mode = np.asarray(slot_probs, dtype=np.float64), True
         else:
@@ -127,10 +129,12 @@ def simulate_kernel(
             if tmin >= tmax and tail >= tmax and tail <= tmin:
                 desire = coins < tail
     if desire is not None:
+        telemetry.count("kernel.scan.numpy_upfront")
         activations, captures, blocked, neg, shave = _scan_upfront(
             desire, events, cs, capacity, delta1, delta2, initial,
         )
     else:
+        telemetry.count("kernel.scan.numpy_partial")
         activations, captures, blocked, neg, shave = _scan_partial(
             events, cs, coins, table, tail, capacity, delta1, delta2, initial,
         )
@@ -228,6 +232,7 @@ def _scan_upfront(
     shave_run = np.maximum(np.maximum.accumulate(over), 0.0)
     battery = pre - shave_run
     if not bool(np.any(desire & (battery < activation_cost))):
+        telemetry.count("kernel.upfront.speculation_ok")
         return (
             int(des_idx.size),
             int(np.count_nonzero(events[des_idx])),
@@ -235,6 +240,7 @@ def _scan_upfront(
             float(negs[-1]),
             float(shave_run[-1]),
         )
+    telemetry.count("kernel.upfront.sparse_scan")
 
     # Phase B: sparse scan over the desired slots only.  Between
     # activations ``neg`` is constant and ``cs`` is non-decreasing, so

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.core.multi import NO_SENSOR, Coordinator
 from repro.core.policy import InfoModel
+from repro.devtools import telemetry
 from repro.energy.recharge import RechargeProcess
 from repro.events.base import InterArrivalDistribution
 from repro.events.renewal import generate_event_flags
@@ -103,20 +104,32 @@ def simulate_network(
             coordinator, events, recharge_rows, horizon
         )
         if plan is not None:
-            return network_kernel.simulate_network_kernel(
-                events=events,
-                recharge_rows=recharge_rows,
-                coins=coins,
-                plan=plan,
-                capacity=float(capacity),
-                delta1=float(delta1),
-                delta2=float(delta2),
-                horizon=horizon,
-                initial=start,
+            _record_network_run(
+                "vectorized", coordinator, capacity, delta1, delta2,
+                horizon, seed,
             )
+            with telemetry.timed("sim.simulate_network.vectorized"):
+                return network_kernel.simulate_network_kernel(
+                    events=events,
+                    recharge_rows=recharge_rows,
+                    coins=coins,
+                    plan=plan,
+                    capacity=float(capacity),
+                    delta1=float(delta1),
+                    delta2=float(delta2),
+                    horizon=horizon,
+                    initial=start,
+                )
         if backend == "vectorized":
             raise SimulationError(f"vectorized backend unavailable: {reason}")
+        telemetry.count("network.fallback.reference")
+        telemetry.event(
+            "backend_fallback", entry="simulate_network", reason=reason
+        )
 
+    _record_network_run(
+        "reference", coordinator, capacity, delta1, delta2, horizon, seed
+    )
     return _simulate_network_reference(
         coordinator=coordinator,
         events=events,
@@ -127,6 +140,33 @@ def simulate_network(
         delta2=float(delta2),
         horizon=horizon,
         initial=start,
+    )
+
+
+def _record_network_run(
+    backend: str,
+    coordinator: Coordinator,
+    capacity: float,
+    delta1: float,
+    delta2: float,
+    horizon: int,
+    seed: SeedLike,
+) -> None:
+    """Emit the run-manifest event for one simulate_network call."""
+    if not telemetry.enabled():
+        return
+    telemetry.count(f"network.dispatch.{backend}")
+    telemetry.event(
+        "simulation_run",
+        entry="simulate_network",
+        backend=backend,
+        coordinator=type(coordinator).__name__,
+        n_sensors=int(coordinator.n_sensors),
+        capacity=float(capacity),
+        delta1=float(delta1),
+        delta2=float(delta2),
+        horizon=int(horizon),
+        seed=telemetry.describe_seed(seed),
     )
 
 

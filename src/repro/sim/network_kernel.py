@@ -60,6 +60,7 @@ from repro.core.multi import (
     RoundRobinCoordinator,
 )
 from repro.core.policy import InfoModel
+from repro.devtools import telemetry
 from repro.sim._native import get_native_scan
 from repro.sim.engine import _TABLE_SLOTS
 from repro.sim.kernel import _full_info_probs, _scan_upfront
@@ -262,6 +263,7 @@ def simulate_network_kernel(
 
     native = get_native_scan()
     if native is not None:
+        telemetry.count("network_kernel.scan.native")
         if plan.slot_probs is not None:
             probs, slot_mode = plan.slot_probs, True
         else:
@@ -291,6 +293,7 @@ def simulate_network_kernel(
     elif _constant_table_prob(plan.table, plan.tail) is not None:
         desire = coins < plan.tail
     if desire is not None:
+        telemetry.count("network_kernel.scan.numpy_upfront")
         activations, captures, blocked, negs, shaves = [], [], [], [], []
         for s in range(n):
             a, c, b, neg, shave = _scan_upfront(
@@ -303,6 +306,7 @@ def simulate_network_kernel(
             negs.append(neg)
             shaves.append(shave)
     else:
+        telemetry.count("network_kernel.scan.numpy_partial")
         activations, captures, blocked, negs, shaves = _scan_partial_network(
             events, cs, coins, plan.resp, plan.table, plan.tail, n,
             capacity, delta1, delta2, initial,

@@ -24,8 +24,22 @@ workloads that fixed cost dominates and "parallelism" is a slowdown
 ``parallel_map`` therefore times the first item serially and only forks
 when the *remaining* serial work (``first_seconds * (len(items) - 1)``)
 exceeds :data:`PARALLEL_MIN_FORK_SECONDS`; below the threshold it
-finishes serially.  The decision is observable through
-:func:`last_dispatch` and recorded by the benchmark harness.
+finishes serially.
+
+Dispatch telemetry
+------------------
+Every call reports how it executed through
+:func:`repro.devtools.telemetry.record_dispatch` — written when the
+call *completes* (success or failure), so nested or back-to-back calls
+each report their own execution and an exception can never leave a
+stale record from the previous run behind.  Read the calling context's
+most recent record with
+:func:`repro.devtools.telemetry.last_dispatch_record`; the module-level
+:func:`last_dispatch` remains as a deprecated shim.  When a telemetry
+collector is active, forked workers additionally capture per-item
+counters/timers/events in isolated frames and ship the snapshots back
+with the results, so serial and parallel runs of the same workload
+report identical telemetry totals.
 """
 
 from __future__ import annotations
@@ -33,9 +47,11 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
+from repro.devtools import telemetry
 from repro.exceptions import SimulationError
 
 T = TypeVar("T")
@@ -50,15 +66,20 @@ PARALLEL_MIN_FORK_SECONDS = 0.25
 #: The callable being mapped; inherited by forked workers.
 _WORKER_FN: Optional[Callable[[Any], Any]] = None
 
-#: Telemetry from the most recent parallel_map call (see last_dispatch).
-_last_dispatch: Dict[str, Any] = {"mode": "none"}
+#: Whether forked workers should capture per-item telemetry snapshots;
+#: inherited at fork time, mirrors telemetry.enabled() in the parent.
+_WORKER_COLLECT: bool = False
 
 
 def _call_worker(item: Any) -> Any:
     fn = _WORKER_FN
     if fn is None:  # pragma: no cover - defensive; set before forking
         raise SimulationError("parallel worker started without a callable")
-    return fn(item)
+    if not _WORKER_COLLECT:
+        return fn(item)
+    with telemetry.isolated_collect() as frame:
+        result = fn(item)
+    return result, frame.snapshot()
 
 
 def resolve_n_jobs(n_jobs: Optional[int]) -> int:
@@ -75,15 +96,23 @@ def resolve_n_jobs(n_jobs: Optional[int]) -> int:
 
 
 def last_dispatch() -> Dict[str, Any]:
-    """How the most recent :func:`parallel_map` call executed.
+    """Deprecated: how the most recent :func:`parallel_map` call executed.
 
-    Keys: ``mode`` (``"serial"`` — requested or single-item/no-fork
-    platform; ``"serial-auto"`` — parallel requested but the workload
-    could not amortise a fork; ``"parallel"`` — pool used), ``n_jobs``,
-    ``threshold_seconds``, and ``first_item_seconds`` (None unless the
-    auto decision ran).  Used by tests and the benchmark harness.
+    Use :func:`repro.devtools.telemetry.last_dispatch_record` instead —
+    same record, without the deprecation warning.  Keys: ``mode``
+    (``"serial"`` — requested or single-item/no-fork platform;
+    ``"serial-auto"`` — parallel requested but the workload could not
+    amortise a fork; ``"parallel"`` — pool used), ``n_jobs``,
+    ``threshold_seconds``, ``first_item_seconds`` (None unless the auto
+    decision ran), ``items``, and ``error``.
     """
-    return dict(_last_dispatch)
+    warnings.warn(
+        "repro.sim.parallel.last_dispatch() is deprecated; use "
+        "repro.devtools.telemetry.last_dispatch_record() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return telemetry.last_dispatch_record()
 
 
 def parallel_map(
@@ -103,7 +132,6 @@ def parallel_map(
     Items are chunked to amortise IPC; ``chunksize`` defaults to roughly
     four chunks per worker.
     """
-    global _last_dispatch
     work: Sequence[T] = list(items)
     jobs = min(resolve_n_jobs(n_jobs), len(work))
     threshold = (
@@ -111,45 +139,66 @@ def parallel_map(
         if min_fork_seconds is None
         else float(min_fork_seconds)
     )
+    record: Dict[str, Any] = {
+        "mode": "none",
+        "n_jobs": jobs,
+        "threshold_seconds": threshold,
+        "first_item_seconds": None,
+        "items": len(work),
+        "error": True,
+    }
+    try:
+        result = _execute(fn, work, jobs, threshold, chunksize, record)
+        record["error"] = False
+        return result
+    finally:
+        telemetry.record_dispatch(record)
+
+
+def _execute(
+    fn: Callable[[T], R],
+    work: Sequence[T],
+    jobs: int,
+    threshold: float,
+    chunksize: Optional[int],
+    record: Dict[str, Any],
+) -> List[R]:
+    """Run the map, updating ``record`` as dispatch decisions are made."""
     if jobs <= 1 or "fork" not in multiprocessing.get_all_start_methods():
-        _last_dispatch = {
-            "mode": "serial",
-            "n_jobs": jobs,
-            "threshold_seconds": threshold,
-            "first_item_seconds": None,
-        }
+        record["mode"] = "serial"
         return [fn(x) for x in work]
 
     start = time.perf_counter()
     first = fn(work[0])
-    first_seconds = time.perf_counter() - start
+    record["first_item_seconds"] = time.perf_counter() - start
     rest = work[1:]
-    if first_seconds * len(rest) < threshold:
-        _last_dispatch = {
-            "mode": "serial-auto",
-            "n_jobs": jobs,
-            "threshold_seconds": threshold,
-            "first_item_seconds": first_seconds,
-        }
+    if record["first_item_seconds"] * len(rest) < threshold:
+        record["mode"] = "serial-auto"
         return [first] + [fn(x) for x in rest]
 
-    _last_dispatch = {
-        "mode": "parallel",
-        "n_jobs": jobs,
-        "threshold_seconds": threshold,
-        "first_item_seconds": first_seconds,
-    }
+    record["mode"] = "parallel"
     jobs = min(jobs, len(rest))
     if chunksize is None:
         chunksize = max(1, len(rest) // (jobs * 4))
-    global _WORKER_FN
+    global _WORKER_FN, _WORKER_COLLECT
     previous = _WORKER_FN
+    previous_collect = _WORKER_COLLECT
+    collecting = telemetry.enabled()
     _WORKER_FN = fn
+    _WORKER_COLLECT = collecting
     try:
         context = multiprocessing.get_context("fork")
+        pool_start = time.perf_counter()
         with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
-            return [first] + list(
-                pool.map(_call_worker, rest, chunksize=chunksize)
-            )
+            shipped = list(pool.map(_call_worker, rest, chunksize=chunksize))
+        record["pool_seconds"] = time.perf_counter() - pool_start
     finally:
         _WORKER_FN = previous
+        _WORKER_COLLECT = previous_collect
+    if not collecting:
+        return [first] + shipped
+    results: List[R] = [first]
+    for result, snapshot in shipped:
+        telemetry.absorb(snapshot)
+        results.append(result)
+    return results

@@ -38,6 +38,30 @@ class TestCapacityProfile:
         )
         assert points[0].capacity == 25.0
 
+    def test_generator_capacities_not_silently_consumed(self):
+        """Regression: ``len(list(capacities))`` drained generator inputs.
+
+        The seed-spawning count consumed the generator, so the profile
+        loop saw an empty stream and returned ``[]`` without any error.
+        A generator must now produce exactly the same points as the
+        equivalent tuple.
+        """
+        solution = solve_greedy(EVENTS, 0.5, DELTA1, DELTA2)
+        policy = solution.as_policy()
+        capacities = (10, 50, 400)
+        from_generator = capacity_profile(
+            EVENTS, policy, BernoulliRecharge(0.5, 1.0),
+            bound=solution.qom, capacities=(c for c in capacities),
+            delta1=DELTA1, delta2=DELTA2, horizon=5_000, seed=2,
+        )
+        from_tuple = capacity_profile(
+            EVENTS, policy, BernoulliRecharge(0.5, 1.0),
+            bound=solution.qom, capacities=capacities,
+            delta1=DELTA1, delta2=DELTA2, horizon=5_000, seed=2,
+        )
+        assert [p.capacity for p in from_generator] == [10.0, 50.0, 400.0]
+        assert from_generator == from_tuple
+
 
 class TestFindSufficientCapacity:
     def test_finds_reasonable_capacity(self):

@@ -21,7 +21,7 @@ class TestLintConfig:
     def test_defaults_select_every_rule(self):
         config = LintConfig()
         assert config.enabled_codes() == tuple(
-            f"RL00{i}" for i in range(1, 10)
+            f"RL{i:03d}" for i in range(1, 11)
         )
         assert config.rng_modules == ("sim/rng.py",)
 

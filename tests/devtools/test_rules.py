@@ -25,9 +25,9 @@ def run_rule(code, source, path="pkg/module.py"):
 
 
 class TestRegistry:
-    def test_nine_rules_registered(self):
+    def test_ten_rules_registered(self):
         codes = [rule.code for rule in all_rules()]
-        assert codes == [f"RL00{i}" for i in range(1, 10)]
+        assert codes == [f"RL{i:03d}" for i in range(1, 11)]
 
     def test_rules_have_names_and_descriptions(self):
         for rule in all_rules():
@@ -402,6 +402,57 @@ class TestRL009SeedArithmetic:
     def test_suppressible(self):
         src = "simulate(point, seed=seed + idx)  # repro-lint: disable=RL009\n"
         assert run_rule("RL009", src) == []
+
+
+class TestRL010GeneratorExhaustion:
+    def test_flags_len_list_param_reiterated(self):
+        src = """
+            def profile(capacities):
+                seeds = spawn_seeds(0, len(list(capacities)))
+                return [run(c, s) for c, s in zip(capacities, seeds)]
+        """
+        assert run_rule("RL010", src) == ["RL010"]
+
+    def test_flags_reiteration_before_the_len(self):
+        src = """
+            def f(items):
+                first = max(items)
+                return first, len(list(items))
+        """
+        assert run_rule("RL010", src) == ["RL010"]
+
+    def test_silent_when_materialized_at_entry(self):
+        src = """
+            def profile(capacities):
+                capacities = list(capacities)
+                seeds = spawn_seeds(0, len(capacities))
+                return [run(c, s) for c, s in zip(capacities, seeds)]
+        """
+        assert run_rule("RL010", src) == []
+
+    def test_silent_without_reiteration(self):
+        src = """
+            def count_items(items):
+                return len(list(items))
+        """
+        assert run_rule("RL010", src) == []
+
+    def test_silent_on_non_parameter(self):
+        src = """
+            def f(n):
+                xs = range(n)
+                total = len(list(xs))
+                return total, [x for x in xs]
+        """
+        assert run_rule("RL010", src) == []
+
+    def test_suppressible(self):
+        src = """
+            def f(items):
+                n = len(list(items))  # repro-lint: disable=RL010
+                return n, [x for x in items]
+        """
+        assert run_rule("RL010", src) == []
 
 
 class TestSuppressions:

@@ -18,6 +18,7 @@ from repro.sim import (
 )
 from repro.sim import parallel as parallel_mod
 from repro.sim.parallel import last_dispatch
+from repro.devtools import telemetry
 from repro.core import MultiAggressiveCoordinator
 
 DELTA1, DELTA2 = 1.0, 6.0
@@ -94,18 +95,18 @@ class TestAutoSerialDispatch:
         )
         out = parallel_map(lambda x: x + 1, range(10), n_jobs=2)
         assert out == [x + 1 for x in range(10)]
-        assert last_dispatch()["mode"] == "serial-auto"
+        assert telemetry.last_dispatch_record()["mode"] == "serial-auto"
 
     def test_serial_mode_recorded(self):
         parallel_map(lambda x: x, [1, 2, 3])
-        assert last_dispatch()["mode"] == "serial"
+        assert telemetry.last_dispatch_record()["mode"] == "serial"
 
     def test_zero_threshold_forces_fork(self):
         out = parallel_map(
             lambda x: x * 2, range(6), n_jobs=2, min_fork_seconds=0.0
         )
         assert out == [x * 2 for x in range(6)]
-        dispatch = last_dispatch()
+        dispatch = telemetry.last_dispatch_record()
         assert dispatch["mode"] == "parallel"
         assert dispatch["first_item_seconds"] is not None
 
@@ -124,7 +125,25 @@ class TestAutoSerialDispatch:
 
         out = parallel_map(slow, range(8), n_jobs=2, min_fork_seconds=0.005)
         assert out == [-x for x in range(8)]
-        assert last_dispatch()["mode"] == "parallel"
+        assert telemetry.last_dispatch_record()["mode"] == "parallel"
+
+    def test_failed_call_records_its_own_failure(self):
+        """Regression: an exception used to leave the previous call's
+        record in place; now the failed call reports itself."""
+        parallel_map(lambda x: x, [1, 2, 3])  # leaves a clean record
+        with pytest.raises(ZeroDivisionError):
+            parallel_map(lambda x: 1 // x, [0, 1])
+        record = telemetry.last_dispatch_record()
+        assert record["error"] is True
+        assert record["items"] == 2
+
+    def test_last_dispatch_shim_warns_and_matches(self):
+        """The deprecated module-level accessor still returns the record."""
+        parallel_map(lambda x: x, [1, 2, 3])
+        with pytest.warns(DeprecationWarning, match="last_dispatch"):
+            record = last_dispatch()
+        assert record == telemetry.last_dispatch_record()
+        assert record["mode"] == "serial"
 
 
 class TestParallelMap:

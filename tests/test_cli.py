@@ -242,7 +242,7 @@ class TestBenchCommand:
         assert "identical=True" in text
         assert str(out) in text
         payload = json.loads(out.read_text())
-        assert payload["schema"] == 1
+        assert payload["schema_version"] == 2
         assert payload["horizon"] == 2000
         for row in payload["policies"].values():
             assert row["bit_identical"] is True
@@ -261,3 +261,10 @@ class TestBenchCommand:
             assert rep["speedup"] >= 1.0
         assert rep["pool_spinup_seconds"] > 0
         assert rep["threshold_seconds"] > 0
+        # The telemetry section reflects what actually executed.
+        tel = payload["telemetry"]
+        assert tel["backend_dispatch"], "no backend dispatch recorded"
+        assert tel["cache"]["memo_hits"] + tel["cache"]["memo_misses"] > 0
+        assert tel["parallel_dispatch"], "no parallel_map dispatch recorded"
+        assert sum(tel["parallel_dispatch"].values()) >= 2
+        assert tel["events_recorded"] > 0
