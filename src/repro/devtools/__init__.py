@@ -22,6 +22,8 @@ Public surface:
 from __future__ import annotations
 
 from repro.devtools import checks as _checks  # noqa: F401  (registers rules)
+from repro.devtools.analysis import flow_rules as _flow  # noqa: F401
+from repro.devtools.analysis.project import ProjectModel
 from repro.devtools.cli import main
 from repro.devtools.config import LintConfig, load_config
 from repro.devtools.rules import Finding, Rule, all_rules, get_rule
@@ -30,6 +32,7 @@ from repro.devtools.runner import lint_paths, lint_source
 __all__ = [
     "Finding",
     "LintConfig",
+    "ProjectModel",
     "Rule",
     "all_rules",
     "get_rule",

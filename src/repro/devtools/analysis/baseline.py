@@ -1,0 +1,100 @@
+"""Baseline files: fail only on findings that are *new*.
+
+A baseline is a JSON snapshot of known findings.  ``repro lint
+--baseline known.json`` subtracts the snapshot from the current run as
+a **multiset** keyed on ``(path, code, message)`` — deliberately *not*
+on line numbers, so unrelated edits that shift a known finding up or
+down the file do not resurrect it.  Line references embedded in flow
+rule messages ("created line 9") are masked for the same reason.  Two identical findings in one file
+need two baseline entries; fixing one of two duplicates surfaces the
+survivor.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.devtools.rules import Finding, LintError
+
+BASELINE_VERSION = 1
+
+_Key = Tuple[str, str, str]
+
+#: Flow-rule messages embed source coordinates ("created line 9",
+#: "defined on line 4"); mask them so the key stays line-insensitive.
+_LINE_REF = re.compile(r"\bline \d+\b")
+
+
+def _normalize(message: str) -> str:
+    return _LINE_REF.sub("line <n>", message)
+
+
+def _key(finding: Finding) -> _Key:
+    return (finding.path, finding.code, _normalize(finding.message))
+
+
+def write_baseline(
+    findings: Sequence[Finding], path: Union[str, Path]
+) -> None:
+    """Snapshot ``findings`` to a baseline file."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"path": f.path, "code": f.code, "message": f.message}
+            for f in sorted(
+                findings, key=lambda f: (f.path, f.code, f.message)
+            )
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_baseline(path: Union[str, Path]) -> Counter:
+    """Load a baseline into a multiset of finding keys."""
+    try:
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    except ValueError as exc:
+        raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+        raise LintError(
+            f"baseline {path} has unsupported structure or version"
+        )
+    entries = raw.get("findings")
+    if not isinstance(entries, list):
+        raise LintError(f"baseline {path}: 'findings' must be a list")
+    keys: Counter = Counter()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise LintError(f"baseline {path}: malformed entry {entry!r}")
+        try:
+            keys[(str(entry["path"]), str(entry["code"]),
+                  _normalize(str(entry["message"])))] += 1
+        except KeyError as exc:
+            raise LintError(
+                f"baseline {path}: entry missing field {exc}"
+            ) from exc
+    return keys
+
+
+def filter_new(
+    findings: Sequence[Finding], baseline: Counter
+) -> List[Finding]:
+    """Findings not accounted for by the baseline multiset."""
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    for finding in findings:
+        key = _key(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+        else:
+            new.append(finding)
+    return new

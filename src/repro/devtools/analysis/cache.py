@@ -1,0 +1,147 @@
+"""Content-hash incremental cache for lint findings.
+
+The cache is a single JSON file keyed on two digests:
+
+* a **config fingerprint** (:meth:`LintConfig.fingerprint`) — rules,
+  selections, path allowances and the registry itself; any change
+  invalidates everything;
+* a **project digest** — the SHA-256 over every collected file's
+  ``(display path, content hash)`` pair.
+
+When the project digest matches, *nothing* is re-parsed: the previous
+run's findings are replayed verbatim (this is the warm-cache path CI
+times).  When only some files changed, per-file **local** findings are
+replayed for unchanged files while **flow** findings (whose inputs span
+the whole tree) are recomputed — a flow finding in module A can be
+caused by an edit in module B, so they can never be replayed from a
+partially-matching cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.devtools.rules import Finding, LintError
+
+CACHE_VERSION = 1
+
+
+def file_digest(data: bytes) -> str:
+    """Content hash of one source file."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def project_digest(entries: Sequence[Tuple[str, str]]) -> str:
+    """Digest over ``(display path, file digest)`` pairs."""
+    h = hashlib.sha256()
+    for path, digest in sorted(entries):
+        h.update(path.encode("utf-8"))
+        h.update(b"\x00")
+        h.update(digest.encode("ascii"))
+        h.update(b"\x01")
+    return h.hexdigest()
+
+
+def _finding_from_dict(raw: Dict[str, object]) -> Finding:
+    return Finding(
+        code=str(raw["code"]),
+        message=str(raw["message"]),
+        path=str(raw["path"]),
+        line=int(raw["line"]),  # type: ignore[arg-type]
+        col=int(raw.get("col", 0)),  # type: ignore[arg-type]
+    )
+
+
+class FindingsCache:
+    """Load/store lint results keyed by config + content digests."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._data: Optional[Dict[str, object]] = None
+
+    def load(self, config_fingerprint: str) -> bool:
+        """Read the cache file; False when absent, stale or unusable."""
+        self._data = None
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return False
+        if not isinstance(raw, dict):
+            return False
+        if raw.get("version") != CACHE_VERSION:
+            return False
+        if raw.get("config") != config_fingerprint:
+            return False
+        self._data = raw
+        return True
+
+    # -- read side -------------------------------------------------------
+
+    def matches_project(self, digest: str) -> bool:
+        return bool(self._data) and self._data.get("project") == digest
+
+    def all_findings(self) -> List[Finding]:
+        """Every cached finding (only valid on a full project match)."""
+        if self._data is None:
+            raise LintError("findings cache read before a successful load")
+        findings = [
+            _finding_from_dict(raw)
+            for entry in self._files().values()
+            for raw in entry.get("local", [])
+        ]
+        findings.extend(
+            _finding_from_dict(raw)
+            for raw in self._data.get("flow", [])  # type: ignore[union-attr]
+        )
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+        return findings
+
+    def local_findings(
+        self, display_path: str, digest: str
+    ) -> Optional[List[Finding]]:
+        """Cached per-file findings when the file is unchanged."""
+        if self._data is None:
+            return None
+        entry = self._files().get(display_path)
+        if not isinstance(entry, dict) or entry.get("sha") != digest:
+            return None
+        return [_finding_from_dict(raw) for raw in entry.get("local", [])]
+
+    def _files(self) -> Dict[str, Dict[str, object]]:
+        if self._data is None:
+            raise LintError("findings cache read before a successful load")
+        files = self._data.get("files")
+        return files if isinstance(files, dict) else {}
+
+    # -- write side ------------------------------------------------------
+
+    def store(
+        self,
+        config_fingerprint: str,
+        digest: str,
+        per_file: Dict[str, Tuple[str, List[Finding]]],
+        flow: Sequence[Finding],
+    ) -> None:
+        """Persist one complete run's results."""
+        payload = {
+            "version": CACHE_VERSION,
+            "config": config_fingerprint,
+            "project": digest,
+            "files": {
+                path: {
+                    "sha": sha,
+                    "local": [f.to_dict() for f in findings],
+                }
+                for path, (sha, findings) in sorted(per_file.items())
+            },
+            "flow": [f.to_dict() for f in flow],
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(
+            json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8"
+        )
+        tmp.replace(self.path)

@@ -1,0 +1,166 @@
+"""Per-function control-flow graphs for the flow-sensitive lint pass.
+
+The taint engine (:mod:`repro.devtools.analysis.taint`) needs statement
+order *and* branch structure: ``g = make_rng(s)`` after
+``g = default_rng()`` kills the bad definition on that path, while an
+``if``/``else`` assigning different provenances must *join* at the merge
+point.  A full basic-block CFG at statement granularity provides exactly
+that; expression evaluation order inside a statement is handled by the
+engine itself.
+
+Compound statements are decomposed into *elements*: the header
+expression of an ``if``/``while`` becomes a ``test`` element in its own
+right, a ``for`` header an element that both reads the iterable and
+binds the loop target, and so on.  ``break``/``continue``/``return``/
+``raise`` terminate their block.  ``try`` is handled conservatively —
+handlers are reachable from the start *and* end of the protected body —
+which for a may-analysis only merges states, never hides a path.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Element roles: how the engine should interpret the carried node.
+STMT = "stmt"    # a simple statement, transferred whole
+TEST = "test"    # an expression evaluated for its uses only
+FOR = "for"      # a For node: evaluate .iter, bind .target
+WITH = "with"    # a With node: evaluate items, bind optional vars
+
+Element = Tuple[ast.AST, str]
+
+
+@dataclass
+class Block:
+    """One basic block: a run of elements with successor edges."""
+
+    index: int
+    elements: List[Element] = field(default_factory=list)
+    succ: List[int] = field(default_factory=list)
+
+
+class CFG:
+    """A function (or module) body as basic blocks.
+
+    ``blocks[0]`` is the entry; ``exit_index`` is a dedicated empty
+    block every completed path reaches (including ``return`` paths, so
+    the engine can read a single merged exit state).
+    """
+
+    def __init__(self) -> None:
+        self.blocks: List[Block] = []
+        self.entry_index = self._new()
+        self.exit_index = self._new()
+
+    def _new(self) -> int:
+        block = Block(index=len(self.blocks))
+        self.blocks.append(block)
+        return block.index
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succ:
+            self.blocks[src].succ.append(dst)
+
+    def predecessors(self, index: int) -> List[int]:
+        """Indices of blocks with an edge into ``index``."""
+        return [b.index for b in self.blocks if index in b.succ]
+
+
+class _Builder:
+    """Recursive-descent CFG construction over a statement list."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self._loops: List[Tuple[int, int]] = []  # (continue_to, break_to)
+
+    def build(self, body: List[ast.stmt]) -> CFG:
+        end = self._sequence(body, self.cfg.entry_index)
+        self.cfg._edge(end, self.cfg.exit_index)
+        return self.cfg
+
+    def _sequence(self, body: List[ast.stmt], current: int) -> int:
+        for stmt in body:
+            current = self._statement(stmt, current)
+        return current
+
+    def _statement(self, stmt: ast.stmt, current: int) -> int:
+        cfg = self.cfg
+        if isinstance(stmt, ast.If):
+            cfg.blocks[current].elements.append((stmt.test, TEST))
+            join = cfg._new()
+            then_entry = cfg._new()
+            cfg._edge(current, then_entry)
+            cfg._edge(self._sequence(stmt.body, then_entry), join)
+            if stmt.orelse:
+                else_entry = cfg._new()
+                cfg._edge(current, else_entry)
+                cfg._edge(self._sequence(stmt.orelse, else_entry), join)
+            else:
+                cfg._edge(current, join)
+            return join
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = cfg._new()
+            cfg._edge(current, header)
+            if isinstance(stmt, ast.While):
+                cfg.blocks[header].elements.append((stmt.test, TEST))
+            else:
+                cfg.blocks[header].elements.append((stmt, FOR))
+            exit_block = cfg._new()
+            body_entry = cfg._new()
+            cfg._edge(header, body_entry)
+            cfg._edge(header, exit_block)  # zero-iteration / condition false
+            self._loops.append((header, exit_block))
+            body_end = self._sequence(stmt.body, body_entry)
+            self._loops.pop()
+            cfg._edge(body_end, header)  # back edge
+            if stmt.orelse:
+                else_entry = cfg._new()
+                cfg._edge(header, else_entry)
+                cfg._edge(self._sequence(stmt.orelse, else_entry), exit_block)
+            return exit_block
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            cfg.blocks[current].elements.append((stmt, WITH))
+            return self._sequence(stmt.body, current)
+        if isinstance(stmt, ast.Try):
+            body_entry = cfg._new()
+            cfg._edge(current, body_entry)
+            body_end = self._sequence(stmt.body, body_entry)
+            after = cfg._new()
+            else_end = (
+                self._sequence(stmt.orelse, body_end) if stmt.orelse
+                else body_end
+            )
+            cfg._edge(else_end, after)
+            for handler in stmt.handlers:
+                h_entry = cfg._new()
+                # Conservative: an exception may fire before or after any
+                # statement of the protected body.
+                cfg._edge(body_entry, h_entry)
+                cfg._edge(body_end, h_entry)
+                cfg._edge(self._sequence(handler.body, h_entry), after)
+            if stmt.finalbody:
+                return self._sequence(stmt.finalbody, after)
+            return after
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            if self._loops:
+                header, exit_block = self._loops[-1]
+                target = exit_block if isinstance(stmt, ast.Break) else header
+                cfg._edge(current, target)
+            return cfg._new()  # unreachable continuation
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            cfg.blocks[current].elements.append((stmt, STMT))
+            cfg._edge(current, cfg.exit_index)
+            return cfg._new()  # unreachable continuation
+        # Simple statement (including nested def/class, which the engine
+        # treats as an opaque binding of the name).
+        cfg.blocks[current].elements.append((stmt, STMT))
+        return current
+
+
+def build_cfg(body: List[ast.stmt]) -> CFG:
+    """Build the statement-level CFG of a function or module body."""
+    return _Builder().build(body)

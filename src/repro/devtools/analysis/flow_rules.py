@@ -1,0 +1,418 @@
+"""Flow-sensitive lint rules RL011–RL015.
+
+These rules run on the whole-tree :class:`ProjectModel` (they set
+``requires_project``), combining the taint engine, the call graph and
+the symbol graph:
+
+* **RL011** — RNG provenance: every generator that is *used* (drawn
+  from, passed on, stored, returned) must originate from ``make_rng`` /
+  ``spawn_seeds`` / ``SeedSequence.spawn`` through assignments, returns
+  and call arguments.  Flow-sensitive: re-binding a name to a trusted
+  generator clears it from that point on.
+* **RL012** — generators crossing the fork boundary: a generator
+  captured by a worker closure handed to ``parallel_map``, or passed as
+  its items, silently forks the *same* stream into every worker.  Seeds
+  (``spawn_seeds`` results) cross safely and do not fire.
+* **RL013** — module-level state written from worker-executed code:
+  fork workers mutate a copy-on-write snapshot, so the parent never
+  sees the write (the ``_last_dispatch`` bug class).
+* **RL014** — export drift: ``__all__`` names that resolve to nothing,
+  and imports of project symbols the source module neither defines nor
+  re-exports.
+* **RL015** — kernel eligibility drift: a policy/coordinator attribute
+  read inside a kernel scan path that no eligibility gate
+  (``ineligibility_reason`` / ``plan_or_reason``) ever checks means the
+  gate can admit configurations the scan silently mishandles.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.devtools.analysis import taint as taint_mod
+from repro.devtools.analysis.project import (
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+)
+from repro.devtools.context import ModuleContext
+from repro.devtools.rules import Finding, Rule, register
+
+#: Parameter names treated as policy-bearing in kernel modules (RL015).
+_POLICY_PARAMS = frozenset({"policy", "coordinator", "config"})
+
+
+def _module_info(
+    module: ModuleContext, project: ProjectModel
+) -> Optional[ModuleInfo]:
+    return project.modules_by_path.get(module.display_path)
+
+
+@register
+class RngProvenanceRule(Rule):
+    """RL011: generators must come from the seeding discipline."""
+
+    code = "RL011"
+    name = "rng-provenance"
+    description = (
+        "generator values must originate from make_rng/spawn_seeds/"
+        "SeedSequence.spawn (flow-sensitive, cross-module)"
+    )
+    requires_project = True
+
+    def check_project(
+        self, module: ModuleContext, project: ProjectModel
+    ) -> Iterator[Finding]:
+        info = _module_info(module, project)
+        if info is None:
+            return
+        analyses = [project.module_taint(info)]
+        analyses.extend(project.taint_of(fn) for fn in info.functions.values())
+        for result in analyses:
+            for use in result.uses:
+                origin = use.taint.desc or "an unknown constructor"
+                where = (
+                    f" (created line {use.taint.line})"
+                    if use.taint.line else ""
+                )
+                yield self.finding(
+                    module,
+                    use.node,
+                    f"generator from {origin}{where} {use.how}; derive "
+                    "generators from make_rng()/spawn_seeds() so streams "
+                    "are reproducible",
+                )
+
+
+@register
+class ParallelBoundaryRule(Rule):
+    """RL012: no live generator may cross the fork boundary."""
+
+    code = "RL012"
+    name = "rng-across-fork"
+    description = (
+        "generators captured by parallel_map workers or passed as its "
+        "items duplicate streams across forked processes"
+    )
+    requires_project = True
+
+    def check_project(
+        self, module: ModuleContext, project: ProjectModel
+    ) -> Iterator[Finding]:
+        info = _module_info(module, project)
+        if info is None:
+            return
+        scopes: List["taint_mod.FunctionTaint"] = [project.module_taint(info)]
+        scopes.extend(project.taint_of(fn) for fn in info.functions.values())
+        for result in scopes:
+            yield from self._check_scope(module, project, info, result)
+
+    def _check_scope(
+        self,
+        module: ModuleContext,
+        project: ProjectModel,
+        info: ModuleInfo,
+        result: "taint_mod.FunctionTaint",
+    ) -> Iterator[Finding]:
+        for call, env in result.calls:
+            if not project.is_parallel_entry(project.resolve_call(info, call)):
+                continue
+            if not call.args:
+                continue
+            yield from self._check_worker(
+                module, info, result, call.args[0], env
+            )
+            for arg in call.args[1:]:
+                taint = taint_mod.evaluate_expression(arg, env, info, project)
+                if taint.is_generator:
+                    yield self.finding(
+                        module,
+                        arg,
+                        f"generator value from {taint.desc or 'unknown'} "
+                        "passed into parallel_map crosses the fork "
+                        "boundary; pass seeds (spawn_seeds) and build "
+                        "generators inside the worker with make_rng",
+                    )
+
+    def _check_worker(
+        self,
+        module: ModuleContext,
+        info: ModuleInfo,
+        result: "taint_mod.FunctionTaint",
+        fn_arg: ast.AST,
+        env: Dict[str, "taint_mod.Taint"],
+    ) -> Iterator[Finding]:
+        worker: Optional[ast.AST] = None
+        if isinstance(fn_arg, ast.Lambda):
+            worker = fn_arg
+        elif isinstance(fn_arg, ast.Name):
+            worker = result.nested_defs.get(fn_arg.id)
+        if worker is None:
+            return
+        for name in sorted(taint_mod.free_variables(worker)):
+            taint = env.get(name)
+            if taint is not None and taint.is_generator:
+                yield self.finding(
+                    module,
+                    fn_arg,
+                    f"worker closure captures generator {name!r} (from "
+                    f"{taint.desc or 'unknown'}); every forked worker "
+                    "would draw the same stream — capture seeds and call "
+                    "make_rng inside the worker instead",
+                )
+
+
+@register
+class WorkerStateWriteRule(Rule):
+    """RL013: worker-reachable code must not write module-level state."""
+
+    code = "RL013"
+    name = "worker-state-write"
+    description = (
+        "module-level mutable state written from functions reachable "
+        "from parallel_map workers is lost in forked children"
+    )
+    requires_project = True
+
+    def check_project(
+        self, module: ModuleContext, project: ProjectModel
+    ) -> Iterator[Finding]:
+        info = _module_info(module, project)
+        if info is None:
+            return
+        workers = project.worker_reachable()
+        for local_name, fn in sorted(info.functions.items()):
+            entry = workers.get(fn.qualname)
+            if entry is not None:
+                yield from self._report_writes(module, fn, entry)
+        # Closures handed to parallel_map never appear in the module
+        # function index; scan them at each call site.
+        yield from self._check_closures(module, project, info)
+
+    def _report_writes(
+        self, module: ModuleContext, fn: FunctionInfo, entry: str
+    ) -> Iterator[Finding]:
+        entry_name = entry.rsplit(".", 1)[-1]
+        for state_name, node, kind in fn.state_writes:
+            yield self.finding(
+                module,
+                node,
+                f"{kind} to module-level state {state_name!r} in "
+                f"{fn.local_name!r}, which runs in parallel_map workers "
+                f"(reached from {entry_name!r}); forked workers mutate a "
+                "copy, so the parent never observes the write — return "
+                "the value instead",
+            )
+
+    def _check_closures(
+        self, module: ModuleContext, project: ProjectModel, info: ModuleInfo
+    ) -> Iterator[Finding]:
+        scopes: List["taint_mod.FunctionTaint"] = [project.module_taint(info)]
+        scopes.extend(project.taint_of(fn) for fn in info.functions.values())
+        for result in scopes:
+            for call, _env in result.calls:
+                if not call.args:
+                    continue
+                if not project.is_parallel_entry(
+                    project.resolve_call(info, call)
+                ):
+                    continue
+                fn_arg = call.args[0]
+                worker: Optional[ast.AST] = None
+                worker_name = "<lambda>"
+                if isinstance(fn_arg, ast.Lambda):
+                    worker = fn_arg
+                elif isinstance(fn_arg, ast.Name):
+                    worker = result.nested_defs.get(fn_arg.id)
+                    worker_name = fn_arg.id
+                if worker is None or isinstance(worker, ast.Lambda):
+                    continue
+                facts = project.closure_facts(info, worker, worker_name)
+                for state_name, node, kind in facts.state_writes:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{kind} to module-level state {state_name!r} in "
+                        f"worker closure {worker_name!r}; forked workers "
+                        "mutate a copy, so the parent never observes the "
+                        "write — return the value instead",
+                    )
+
+
+@register
+class ExportDriftRule(Rule):
+    """RL014: ``__all__`` and cross-module imports must resolve."""
+
+    code = "RL014"
+    name = "export-drift"
+    description = (
+        "__all__ names and project-internal imports must resolve to a "
+        "definition or re-export"
+    )
+    requires_project = True
+
+    def check_project(
+        self, module: ModuleContext, project: ProjectModel
+    ) -> Iterator[Finding]:
+        info = _module_info(module, project)
+        if info is None:
+            return
+        if info.dunder_all is not None:
+            for symbol, node in info.dunder_all:
+                if project.resolve_export(info.name, symbol) is None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"__all__ lists {symbol!r} but {info.name} neither "
+                        "defines nor imports it (export drift)",
+                    )
+        package = info.name.rsplit(".", 1)[0] if "." in info.name else ""
+        if info.path.replace("\\", "/").endswith("__init__.py"):
+            package = info.name
+        for node in module.walk():
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            from repro.devtools.analysis.project import _import_base
+
+            base = _import_base(node, package)
+            if base is None or base not in project.modules_by_name:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                if f"{base}.{alias.name}" in project.modules_by_name:
+                    continue  # importing a submodule, always fine
+                if project.resolve_export(base, alias.name) is None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"imports {alias.name!r} from {base}, which neither "
+                        "defines nor re-exports it (export drift)",
+                    )
+
+
+@register
+class KernelEligibilityDriftRule(Rule):
+    """RL015: kernel scans must not read policy attrs the gates skip."""
+
+    code = "RL015"
+    name = "kernel-eligibility-drift"
+    description = (
+        "policy/coordinator attributes read in kernel scan paths must "
+        "be checked by an eligibility gate"
+    )
+    requires_project = True
+
+    def check_project(
+        self, module: ModuleContext, project: ProjectModel
+    ) -> Iterator[Finding]:
+        info = _module_info(module, project)
+        if info is None:
+            return
+        if not module.path_matches(project.config.kernel_modules):
+            return
+        checked = _gate_checked_attrs(project)
+        gates = set(project.config.kernel_gates)
+        gate_list = ", ".join(sorted(gates)) or "<none>"
+        for local_name, fn in sorted(info.functions.items()):
+            if fn.local_name.rsplit(".", 1)[-1] in gates:
+                continue
+            for param, attr, node in _policy_attr_reads(fn.node):
+                if attr in checked:
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"kernel scan path {fn.local_name!r} reads "
+                    f"{param}.{attr}, which no eligibility gate "
+                    f"({gate_list}) checks; the gate can admit "
+                    "configurations this scan silently mishandles",
+                )
+
+
+def _gate_checked_attrs(project: ProjectModel) -> Set[str]:
+    """Union of policy attrs every eligibility gate inspects."""
+    checked: Set[str] = set()
+    gates = set(project.config.kernel_gates)
+    for info in project.modules_by_path.values():
+        if not info.context.path_matches(project.config.kernel_modules):
+            continue
+        for fn in info.functions.values():
+            if fn.local_name.rsplit(".", 1)[-1] not in gates:
+                continue
+            for _, attr, _node in _policy_attr_reads(fn.node):
+                checked.add(attr)
+    return checked
+
+
+def _policy_attr_reads(
+    fn_node: ast.AST,
+) -> List[Tuple[str, str, ast.AST]]:
+    """``(root param, attribute, node)`` for each policy attr access.
+
+    Roots are parameters named in :data:`_POLICY_PARAMS`; locals
+    assigned from a rooted attribute chain (``policy =
+    coordinator.policy``) become rooted themselves, so aliased reads
+    are still attributed.  ``getattr(root, "attr", ...)`` with a
+    constant name counts as a read of that attribute.
+    """
+    args = getattr(fn_node, "args", None)
+    if args is None:
+        return []
+    rooted: Set[str] = {
+        a.arg
+        for a in list(args.posonlyargs) + list(args.args)
+        + list(args.kwonlyargs)
+        if a.arg in _POLICY_PARAMS
+    }
+    if not rooted:
+        return []
+    reads: List[Tuple[str, str, ast.AST]] = []
+    body = list(getattr(fn_node, "body", []))
+    # One forward pass to pick up aliases, then a full read collection
+    # (aliases are rare enough that order subtleties don't matter).
+    for _ in range(2):
+        for node in ast.walk(fn_node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                root = _rooted_source(node.value, rooted)
+                if isinstance(target, ast.Name) and root is not None:
+                    rooted.add(target.id)
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Attribute):
+            root = _rooted_source(node.value, rooted, direct=True)
+            if root is not None:
+                reads.append((root, node.attr, node))
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "getattr"
+            and len(node.args) >= 2
+            and isinstance(node.args[0], ast.Name)
+            and node.args[0].id in rooted
+            and isinstance(node.args[1], ast.Constant)
+            and isinstance(node.args[1].value, str)
+        ):
+            reads.append((node.args[0].id, node.args[1].value, node))
+    return reads
+
+
+def _rooted_source(
+    node: ast.AST, rooted: Set[str], direct: bool = False
+) -> Optional[str]:
+    """Root name when ``node`` is a rooted Name or attr chain on one."""
+    if isinstance(node, ast.Name):
+        return node.id if node.id in rooted else None
+    if not direct and isinstance(node, ast.Attribute):
+        return _rooted_source(node.value, rooted)
+    return None
+
+
+ALL_FLOW_RULES = (
+    RngProvenanceRule,
+    ParallelBoundaryRule,
+    WorkerStateWriteRule,
+    ExportDriftRule,
+    KernelEligibilityDriftRule,
+)

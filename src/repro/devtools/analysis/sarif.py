@@ -1,0 +1,98 @@
+"""SARIF 2.1.0 emission for lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard GitHub code scanning ingests; emitting it lets CI surface
+``repro lint`` findings as pull-request annotations via
+``github/codeql-action/upload-sarif``.  Only the small required core of
+the format is produced — one run, one driver, one result per finding,
+with physical locations in repository-relative URIs — which keeps the
+document trivially valid against the 2.1.0 schema (asserted by
+``tests/devtools/test_sarif.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.devtools.rules import Finding, Rule, all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_TOOL_NAME = "repro-lint"
+_TOOL_URI = "https://github.com/repro/repro"
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, object]:
+    return {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.description or rule.name},
+        "defaultConfiguration": {"level": "warning"},
+    }
+
+
+def to_sarif(
+    findings: Sequence[Finding],
+    rules: Optional[Sequence[Rule]] = None,
+) -> Dict[str, object]:
+    """Build the SARIF 2.1.0 document for a findings list.
+
+    ``rules`` defaults to the full registry, so the document's rule
+    index is stable regardless of which rules fired.
+    """
+    rule_list = list(rules) if rules is not None else all_rules()
+    rule_index = {rule.code: i for i, rule in enumerate(rule_list)}
+    results: List[Dict[str, object]] = []
+    for finding in findings:
+        result: Dict[str, object] = {
+            "ruleId": finding.code,
+            "level": "warning",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.code in rule_index:
+            result["ruleIndex"] = rule_index[finding.code]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _TOOL_URI,
+                        "rules": [_rule_descriptor(r) for r in rule_list],
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def format_sarif(
+    findings: Sequence[Finding],
+    rules: Optional[Sequence[Rule]] = None,
+) -> str:
+    """The SARIF document serialised as stable, indented JSON."""
+    return json.dumps(
+        to_sarif(findings, rules), indent=2, sort_keys=True
+    )

@@ -1,0 +1,588 @@
+"""Reaching-definitions RNG-provenance taint over per-function CFGs.
+
+The engine answers one question flow-sensitively: *where did this
+generator value come from?*  Every value carries a :class:`Taint`:
+
+* ``KIND_NONE`` — not an RNG-bearing value (the default);
+* ``KIND_SEED`` — a ``SeedSequence`` (or ``spawn_seeds`` child): safe to
+  store, pass across process boundaries, and turn into a generator with
+  ``make_rng``;
+* ``KIND_TRUSTED`` — a ``numpy.random.Generator`` whose provenance is
+  the project's stream discipline (``make_rng`` / ``spawn`` /
+  ``Generator.spawn`` / an ``rng``-typed parameter);
+* ``KIND_UNTRUSTED`` — a generator constructed outside that discipline
+  (``numpy.random.Generator(...)``, ``default_rng`` or ``RandomState``
+  outside the designated RNG module, or a call to a function whose
+  summary says it returns such a value).
+
+Transfer functions propagate taint through assignments, tuple
+unpacking, containers, ``for`` targets, conditional expressions and
+``.spawn()`` derivation; joins at CFG merge points take the worst kind
+(a may-analysis).  Re-assignment kills the old definition, which is the
+flow-sensitivity RL011 needs: ``g = default_rng(); g = make_rng(s)``
+is clean below the second line.
+
+Interprocedural flow uses *summaries*: :func:`compute_summaries`
+iterates the engine over every project function until the map
+``qualname -> returned Taint`` stabilises, so wrapper chains and
+cross-module provenance resolve without inlining.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.devtools.analysis.cfg import FOR, STMT, TEST, WITH, build_cfg
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.devtools.analysis.project import ModuleInfo, ProjectModel
+
+KIND_NONE = 0
+KIND_SEED = 1
+KIND_TRUSTED = 2
+KIND_UNTRUSTED = 3
+
+_KIND_LABEL = {
+    KIND_NONE: "non-RNG",
+    KIND_SEED: "seed",
+    KIND_TRUSTED: "trusted generator",
+    KIND_UNTRUSTED: "untrusted generator",
+}
+
+#: Direct generator constructors; untrusted outside the RNG module(s).
+_RAW_CONSTRUCTORS = frozenset({
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.RandomState",
+})
+
+#: Parameter names assumed to carry caller-controlled generators.
+_GEN_PARAM_NAMES = frozenset({
+    "rng", "rngs", "gen", "gens", "generator", "generators",
+    "random_state",
+})
+
+#: Builtins that return their (first) argument's elements unchanged, so
+#: taint flows straight through them.
+_PASSTHROUGH_BUILTINS = frozenset({"list", "tuple", "sorted", "reversed"})
+#: Parameter names assumed to carry seeds / seed sequences.
+_SEED_PARAM_NAMES = frozenset({
+    "seed", "seeds", "base_seed", "seed_seq", "seed_sequence",
+})
+
+
+@dataclass(frozen=True)
+class Taint:
+    """Provenance of one value; ``container`` marks list-of-values."""
+
+    kind: int = KIND_NONE
+    container: bool = False
+    line: int = 0
+    desc: str = ""
+
+    @property
+    def is_generator(self) -> bool:
+        return self.kind in (KIND_TRUSTED, KIND_UNTRUSTED)
+
+    def element(self) -> "Taint":
+        """The taint of one element drawn from a container value."""
+        if not self.container:
+            return NONE
+        return Taint(self.kind, False, self.line, self.desc)
+
+    def as_container(self) -> "Taint":
+        return Taint(self.kind, True, self.line, self.desc)
+
+
+NONE = Taint()
+
+
+def join(a: Taint, b: Taint) -> Taint:
+    """Least upper bound: the worse kind wins; ties keep the earlier
+    source line so messages are deterministic."""
+    if a.kind == b.kind:
+        winner = a if (a.line, a.desc) <= (b.line, b.desc) else b
+        if (a.container or b.container) != winner.container:
+            return Taint(winner.kind, True, winner.line, winner.desc)
+        return winner
+    return a if a.kind > b.kind else b
+
+
+Env = Dict[str, Taint]
+
+
+def _join_env(a: Env, b: Env) -> Env:
+    out = dict(a)
+    for name, taint in b.items():
+        if name in out:
+            out[name] = join(out[name], taint)
+        else:
+            out[name] = taint
+    # Names present in only one branch keep their taint: a may-analysis
+    # must not forget a definition that reaches along one path.
+    return out
+
+
+@dataclass
+class Use:
+    """One consumption of an untrusted generator value."""
+
+    node: ast.AST
+    how: str
+    taint: Taint
+
+
+@dataclass
+class FunctionTaint:
+    """Everything the flow rules need from one analyzed body."""
+
+    returns: Taint = NONE
+    uses: List[Use] = field(default_factory=list)
+    #: ``(call node, IN environment)`` for every Call in the body, in
+    #: recording order; the parallel rules look up fork call sites here.
+    calls: List[Tuple[ast.Call, Env]] = field(default_factory=list)
+    #: Nested function definitions by name (for closure analysis).
+    nested_defs: Dict[str, ast.AST] = field(default_factory=dict)
+    exit_env: Env = field(default_factory=dict)
+
+
+def parameter_env(node: ast.AST) -> Env:
+    """Initial environment from parameter names and annotations."""
+    env: Env = {}
+    args = getattr(node, "args", None)
+    if args is None:
+        return env
+    for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+        taint = _param_taint(arg)
+        if taint.kind != KIND_NONE:
+            env[arg.arg] = taint
+    return env
+
+
+def _param_taint(arg: ast.arg) -> Taint:
+    name = arg.arg
+    annotation = ""
+    if arg.annotation is not None:
+        try:
+            annotation = ast.unparse(arg.annotation)
+        except ValueError:  # pragma: no cover - unparse is total on valid AST
+            annotation = ""
+    container = (
+        name.endswith("s") and name in _GEN_PARAM_NAMES | _SEED_PARAM_NAMES
+    ) or any(tok in annotation for tok in ("List", "Sequence", "list", "tuple"))
+    line = getattr(arg, "lineno", 0)
+    if name in _GEN_PARAM_NAMES or "Generator" in annotation:
+        return Taint(KIND_TRUSTED, container, line, f"parameter {name!r}")
+    if name in _SEED_PARAM_NAMES or "SeedSequence" in annotation:
+        return Taint(KIND_SEED, container, line, f"parameter {name!r}")
+    return NONE
+
+
+class _Engine:
+    """One taint run over a statement body (function or module)."""
+
+    def __init__(
+        self,
+        body: Sequence[ast.stmt],
+        module: "ModuleInfo",
+        project: "ProjectModel",
+        summaries: Dict[str, Taint],
+        initial_env: Optional[Env] = None,
+    ) -> None:
+        self.module = module
+        self.project = project
+        self.summaries = summaries
+        self.cfg = build_cfg(list(body))
+        self.initial_env: Env = dict(initial_env or {})
+        self.result = FunctionTaint()
+        self.recording = False
+        self._in_rng_module = module.context.path_matches(
+            project.config.rng_modules
+        )
+
+    # -- driver ----------------------------------------------------------
+
+    def run(self) -> FunctionTaint:
+        blocks = self.cfg.blocks
+        n = len(blocks)
+        ins: List[Optional[Env]] = [None] * n
+        outs: List[Optional[Env]] = [None] * n
+        ins[self.cfg.entry_index] = dict(self.initial_env)
+        preds: List[List[int]] = [[] for _ in range(n)]
+        for block in blocks:
+            for succ in block.succ:
+                preds[succ].append(block.index)
+        worklist = [self.cfg.entry_index]
+        iterations = 0
+        limit = 50 * (n + 1)
+        while worklist and iterations < limit:
+            iterations += 1
+            index = worklist.pop(0)
+            in_env = ins[index]
+            if in_env is None:
+                continue
+            out_env = self._transfer_block(blocks[index], dict(in_env))
+            if outs[index] is not None and outs[index] == out_env:
+                continue
+            outs[index] = out_env
+            for succ in blocks[index].succ:
+                merged = (
+                    dict(out_env) if ins[succ] is None
+                    else _join_env(ins[succ], out_env)
+                )
+                if ins[succ] != merged:
+                    ins[succ] = merged
+                    if succ not in worklist:
+                        worklist.append(succ)
+        # Final recording sweep with the converged IN states.
+        self.recording = True
+        for block in blocks:
+            if ins[block.index] is not None:
+                self._transfer_block(block, dict(ins[block.index]))
+        exit_env = ins[self.cfg.exit_index]
+        self.result.exit_env = dict(exit_env) if exit_env else {}
+        return self.result
+
+    # -- transfer --------------------------------------------------------
+
+    def _transfer_block(self, block: "object", env: Env) -> Env:
+        for node, role in block.elements:  # type: ignore[attr-defined]
+            if role == TEST:
+                self._eval(node, env)
+            elif role == FOR:
+                iter_taint = self._eval(node.iter, env)
+                self._bind_target(node.target, iter_taint.element(), env)
+            elif role == WITH:
+                for item in node.items:
+                    self._eval(item.context_expr, env)
+                    if item.optional_vars is not None:
+                        self._bind_target(item.optional_vars, NONE, env)
+            else:
+                self._transfer_stmt(node, env)
+        return env
+
+    def _transfer_stmt(self, stmt: ast.stmt, env: Env) -> None:
+        if isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env)
+        elif isinstance(stmt, ast.Assign):
+            taint = self._eval(stmt.value, env)
+            for target in stmt.targets:
+                self._bind_target(target, taint, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                taint = self._eval(stmt.value, env)
+                self._bind_target(stmt.target, taint, env)
+        elif isinstance(stmt, ast.AugAssign):
+            self._eval(stmt.value, env)
+        elif isinstance(stmt, ast.Return):
+            taint = NONE
+            if stmt.value is not None:
+                taint = self._eval(stmt.value, env)
+            self.result.returns = join(self.result.returns, taint)
+            if self.recording and taint.kind == KIND_UNTRUSTED:
+                self._use(stmt, "returned to the caller", taint)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if self.recording:
+                self.result.nested_defs[stmt.name] = stmt
+            env.pop(stmt.name, None)
+        elif isinstance(stmt, ast.Assert):
+            self._eval(stmt.test, env)
+            if stmt.msg is not None:
+                self._eval(stmt.msg, env)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc, env)
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                if alias.name != "*":
+                    env.pop(alias.asname or alias.name.split(".")[0], None)
+        # Global/Nonlocal/Pass/ClassDef: no taint effect.
+
+    def _bind_target(self, target: ast.AST, taint: Taint, env: Env) -> None:
+        if isinstance(target, ast.Name):
+            if taint.kind == KIND_NONE:
+                env.pop(target.id, None)
+            else:
+                env[target.id] = taint
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                if isinstance(elt, ast.Starred):
+                    self._bind_target(elt.value, taint, env)
+                else:
+                    # Unpacking a container of generators gives each
+                    # target one generator; unpacking anything else
+                    # yields unknown values.
+                    elem = (
+                        taint.element() if taint.container
+                        else Taint(taint.kind, False, taint.line, taint.desc)
+                    )
+                    self._bind_target(elt, elem, env)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            self._eval(target.value, env)
+            if self.recording and taint.kind == KIND_UNTRUSTED:
+                self._use(
+                    target, "stored into an attribute/container", taint
+                )
+
+    # -- expression evaluation -------------------------------------------
+
+    def _eval(self, node: ast.AST, env: Env) -> Taint:
+        if isinstance(node, ast.Name):
+            return env.get(node.id, NONE)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.Attribute):
+            value = self._eval(node.value, env)
+            if self.recording and value.kind == KIND_UNTRUSTED:
+                self._use(node, f"attribute access .{node.attr}", value)
+            return NONE
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            taint = NONE
+            for elt in node.elts:
+                taint = join(taint, self._eval(elt, env))
+            if taint.kind == KIND_NONE:
+                return NONE
+            return taint.as_container()
+        if isinstance(node, ast.Dict):
+            taint = NONE
+            for value in node.values:
+                if value is not None:
+                    taint = join(taint, self._eval(value, env))
+            return taint.as_container() if taint.kind else NONE
+        if isinstance(node, ast.Subscript):
+            value = self._eval(node.value, env)
+            self._eval(node.slice, env)
+            return value.element()
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env)
+            return join(self._eval(node.body, env), self._eval(node.orelse, env))
+        if isinstance(node, ast.BoolOp):
+            taint = NONE
+            for value in node.values:
+                taint = join(taint, self._eval(value, env))
+            return taint
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.NamedExpr):
+            taint = self._eval(node.value, env)
+            self._bind_target(node.target, taint, env)
+            return taint
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            comp_env = dict(env)
+            for gen in node.generators:
+                iter_taint = self._eval(gen.iter, comp_env)
+                self._bind_target(gen.target, iter_taint.element(), comp_env)
+                for cond in gen.ifs:
+                    self._eval(cond, comp_env)
+            elt = self._eval(node.elt, comp_env)
+            return elt.as_container() if elt.kind else NONE
+        if isinstance(node, ast.Lambda):
+            return NONE  # closures are analyzed by the parallel rule
+        if isinstance(node, (ast.BinOp, ast.UnaryOp, ast.Compare,
+                             ast.Await, ast.FormattedValue, ast.JoinedStr)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.expr,)):
+                    self._eval(child, env)
+            return NONE
+        return NONE
+
+    def _eval_call(self, node: ast.Call, env: Env) -> Taint:
+        func = node.func
+        value_taint = NONE
+        if isinstance(func, ast.Attribute):
+            value_taint = self._eval(func.value, env)
+            if self.recording and value_taint.kind == KIND_UNTRUSTED:
+                self._use(
+                    node,
+                    f"draws via .{func.attr}() from an untrusted generator",
+                    value_taint,
+                )
+        arg_taints: List[Taint] = []
+        for arg in node.args:
+            taint = self._eval(arg, env)
+            arg_taints.append(taint)
+            if self.recording and taint.kind == KIND_UNTRUSTED:
+                self._use(arg, "passed as a call argument", taint)
+        for kw in node.keywords:
+            taint = self._eval(kw.value, env)
+            arg_taints.append(taint)
+            if self.recording and taint.kind == KIND_UNTRUSTED:
+                self._use(kw.value, "passed as a call argument", taint)
+        if self.recording:
+            self.result.calls.append((node, dict(env)))
+
+        # .spawn() derivation keeps the parent's provenance.
+        if isinstance(func, ast.Attribute) and func.attr == "spawn":
+            if value_taint.is_generator or value_taint.kind == KIND_SEED:
+                return value_taint.as_container()
+
+        resolved = self.project.resolve_call(self.module, node)
+
+        # list(gens) / sorted(gens) re-package the same elements; only
+        # the genuine builtins (no project definition shadows the name).
+        if (
+            resolved is None
+            and isinstance(func, ast.Name)
+            and func.id in _PASSTHROUGH_BUILTINS
+            and arg_taints
+            and arg_taints[0].kind != KIND_NONE
+        ):
+            return arg_taints[0].as_container()
+
+        last = (
+            resolved.rsplit(".", 1)[-1] if resolved
+            else (func.id if isinstance(func, ast.Name) else
+                  func.attr if isinstance(func, ast.Attribute) else "")
+        )
+        line = getattr(node, "lineno", 0)
+
+        if resolved in _RAW_CONSTRUCTORS:
+            if self._in_rng_module:
+                return Taint(KIND_TRUSTED, False, line, f"{resolved}(...)")
+            return Taint(KIND_UNTRUSTED, False, line, f"{resolved}(...)")
+        if last == "make_rng":
+            for taint in arg_taints:
+                if taint.is_generator:
+                    return taint  # make_rng passes generators through
+            return Taint(KIND_TRUSTED, False, line, "make_rng(...)")
+        if last == "spawn_seeds":
+            return Taint(KIND_SEED, True, line, "spawn_seeds(...)")
+        if last == "SeedSequence":
+            return Taint(KIND_SEED, False, line, "SeedSequence(...)")
+        if last == "spawn" and isinstance(func, ast.Name):
+            parent = arg_taints[0] if arg_taints else NONE
+            if parent.kind == KIND_SEED:
+                return Taint(KIND_SEED, True, line, parent.desc)
+            if parent.kind == KIND_UNTRUSTED:
+                return Taint(KIND_UNTRUSTED, True, parent.line, parent.desc)
+            return Taint(KIND_TRUSTED, True, line, "spawn(...)")
+        if resolved is not None:
+            summary = self.summaries.get(resolved)
+            if summary is not None and summary.kind != KIND_NONE:
+                if summary.kind == KIND_UNTRUSTED:
+                    return Taint(
+                        KIND_UNTRUSTED, summary.container, line,
+                        f"call to {last}() ({summary.desc})",
+                    )
+                return Taint(summary.kind, summary.container, line,
+                             summary.desc)
+        return NONE
+
+    def _use(self, node: ast.AST, how: str, taint: Taint) -> None:
+        self.result.uses.append(Use(node=node, how=how, taint=taint))
+
+
+def _analyze(
+    body: Sequence[ast.stmt],
+    module: "ModuleInfo",
+    project: "ProjectModel",
+    summaries: Dict[str, Taint],
+    initial_env: Optional[Env] = None,
+) -> FunctionTaint:
+    engine = _Engine(body, module, project, summaries, initial_env)
+    return engine.run()
+
+
+def analyze_function(
+    node: ast.AST, module: "ModuleInfo", project: "ProjectModel"
+) -> FunctionTaint:
+    """Analyze one function body with converged project summaries."""
+    summaries = project.summaries()
+    return _analyze(
+        list(node.body), module, project, summaries, parameter_env(node)
+    )
+
+
+def analyze_module(
+    module: "ModuleInfo", project: "ProjectModel"
+) -> FunctionTaint:
+    """Analyze a module's top-level statements."""
+    summaries = project.summaries()
+    return _analyze(list(module.context.tree.body), module, project, summaries)
+
+
+def compute_summaries(project: "ProjectModel") -> Dict[str, Taint]:
+    """Iterate per-function taint to a fixpoint of return summaries."""
+    summaries: Dict[str, Taint] = {}
+    functions = [
+        fn
+        for path in sorted(project.modules_by_path)
+        for _, fn in sorted(project.modules_by_path[path].functions.items())
+    ]
+    # Cheap pre-filter: only functions that syntactically return a
+    # non-trivial expression can contribute a summary.
+    candidates = [
+        fn for fn in functions
+        if any(
+            isinstance(n, ast.Return) and n.value is not None
+            and not isinstance(n.value, ast.Constant)
+            for n in ast.walk(fn.node)
+        )
+    ]
+    for _ in range(4):
+        changed = False
+        for fn in candidates:
+            result = _analyze(
+                list(fn.node.body), fn.module, project, summaries,
+                parameter_env(fn.node),
+            )
+            taint = result.returns
+            previous = summaries.get(fn.qualname, NONE)
+            if taint != previous:
+                summaries[fn.qualname] = taint
+                changed = True
+        if not changed:
+            break
+    return summaries
+
+
+def evaluate_expression(
+    expr: ast.AST,
+    env: Env,
+    module: "ModuleInfo",
+    project: "ProjectModel",
+) -> Taint:
+    """Taint of one expression under a given environment.
+
+    Used by the parallel-boundary rule to classify the *items* argument
+    of a ``parallel_map`` call with the environment that reached it.
+    Never records uses.
+    """
+    engine = _Engine([], module, project, project.summaries(), env)
+    return engine._eval(expr, dict(env))
+
+
+def free_variables(node: ast.AST) -> Set[str]:
+    """Names a nested function/lambda reads from enclosing scopes."""
+    from repro.devtools.analysis.project import _local_bindings
+
+    if isinstance(node, ast.Lambda):
+        bound: Set[str] = set()
+        args = node.args
+        for a in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+            bound.add(a.arg)
+        if args.vararg:
+            bound.add(args.vararg.arg)
+        if args.kwarg:
+            bound.add(args.kwarg.arg)
+        body: List[ast.AST] = [node.body]
+    else:
+        bound = _local_bindings(node)  # type: ignore[arg-type]
+        body = list(node.body)  # type: ignore[attr-defined]
+    loads: Set[str] = set()
+    for item in body:
+        for sub in ast.walk(item):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                loads.add(sub.id)
+    return loads - bound
+
+
+def kind_label(kind: int) -> str:
+    """Human-readable label of a taint kind (for messages)."""
+    return _KIND_LABEL.get(kind, "unknown")

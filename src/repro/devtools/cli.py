@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.devtools.config import LintConfig, load_config
@@ -27,8 +28,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description=(
-            "AST-based reproducibility linter for the repro codebase "
-            "(rules RL001-RL008)."
+            "AST- and dataflow-based reproducibility linter for the "
+            "repro codebase (per-file rules RL001+ and flow-sensitive "
+            "rules RL011+)."
         ),
     )
     parser.add_argument(
@@ -36,7 +38,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src/repro)",
     )
     parser.add_argument(
-        "--format", dest="output_format", choices=("text", "json"),
+        "--format", dest="output_format",
+        choices=("text", "json", "sarif"),
         default="text", help="output format (default: text)",
     )
     parser.add_argument(
@@ -54,6 +57,36 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-config", action="store_true",
         help="ignore pyproject.toml and use built-in defaults",
+    )
+    parser.add_argument(
+        "--jobs", type=int, metavar="N", default=None,
+        help=(
+            "lint per-file rules across N worker processes "
+            "(-1: all cores; default: serial); output is byte-identical "
+            "to a serial run"
+        ),
+    )
+    parser.add_argument(
+        "--cache", metavar="FILE", default=None,
+        help=(
+            "incremental findings cache file; unchanged trees replay "
+            "the previous run without re-parsing"
+        ),
+    )
+    parser.add_argument(
+        "--sarif", metavar="FILE", default=None,
+        help="additionally write findings as SARIF 2.1.0 to FILE",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help=(
+            "subtract the findings recorded in FILE; only new findings "
+            "are reported and affect the exit code"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE", default=None,
+        help="snapshot the current findings to FILE and exit 0",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -82,6 +115,8 @@ def _resolve_config(args: argparse.Namespace) -> LintConfig:
         ignore=ignore if ignore is not None else base.ignore,
         exclude=base.exclude,
         rng_modules=base.rng_modules,
+        kernel_modules=base.kernel_modules,
+        kernel_gates=base.kernel_gates,
     )
 
 
@@ -95,9 +130,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     try:
         config = _resolve_config(args)
-        findings = lint_paths(args.paths, config)
+        findings = lint_paths(
+            args.paths, config, n_jobs=args.jobs, cache_path=args.cache
+        )
+        if args.write_baseline is not None:
+            from repro.devtools.analysis.baseline import write_baseline
+
+            write_baseline(findings, args.write_baseline)
+            print(
+                f"repro lint: wrote baseline with {len(findings)} "
+                f"finding(s) to {args.write_baseline}"
+            )
+            return 0
+        if args.baseline is not None:
+            from repro.devtools.analysis.baseline import (
+                filter_new,
+                load_baseline,
+            )
+
+            findings = filter_new(findings, load_baseline(args.baseline))
     except LintError as exc:
         print(f"repro lint: error: {exc}", file=sys.stderr)
         return EXIT_ERROR
+    if args.sarif is not None:
+        from repro.devtools.analysis.sarif import format_sarif
+
+        Path(args.sarif).write_text(
+            format_sarif(findings) + "\n", encoding="utf-8"
+        )
     print(format_findings(findings, args.output_format))
     return EXIT_FINDINGS if findings else 0

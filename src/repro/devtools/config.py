@@ -34,6 +34,19 @@ _SECTION = "repro-lint"
 #: ``numpy.random.default_rng`` directly.
 DEFAULT_RNG_MODULES: Tuple[str, ...] = ("sim/rng.py",)
 
+#: Kernel scan modules whose policy/config attribute reads RL015 audits
+#: against their eligibility gates.
+DEFAULT_KERNEL_MODULES: Tuple[str, ...] = (
+    "sim/kernel.py",
+    "sim/network_kernel.py",
+)
+
+#: Function names treated as eligibility gates inside kernel modules.
+DEFAULT_KERNEL_GATES: Tuple[str, ...] = (
+    "ineligibility_reason",
+    "plan_or_reason",
+)
+
 
 class LintConfig:
     """Resolved lint configuration (defaults merged with pyproject)."""
@@ -44,6 +57,8 @@ class LintConfig:
         ignore: Optional[Iterable[str]] = None,
         exclude: Optional[Iterable[str]] = None,
         rng_modules: Optional[Iterable[str]] = None,
+        kernel_modules: Optional[Iterable[str]] = None,
+        kernel_gates: Optional[Iterable[str]] = None,
     ) -> None:
         known = rule_codes()
         self.select: Tuple[str, ...] = self._codes(select, known) or known
@@ -52,6 +67,29 @@ class LintConfig:
         self.rng_modules: Tuple[str, ...] = tuple(
             rng_modules if rng_modules is not None else DEFAULT_RNG_MODULES
         )
+        self.kernel_modules: Tuple[str, ...] = tuple(
+            kernel_modules if kernel_modules is not None
+            else DEFAULT_KERNEL_MODULES
+        )
+        self.kernel_gates: Tuple[str, ...] = tuple(
+            kernel_gates if kernel_gates is not None
+            else DEFAULT_KERNEL_GATES
+        )
+
+    def fingerprint(self) -> str:
+        """Stable digest of everything that can change lint results.
+
+        Used by the incremental findings cache: a cache written under
+        one configuration (or rule registry) is never replayed under
+        another.
+        """
+        import hashlib
+
+        payload = repr((
+            self.select, self.ignore, self.exclude, self.rng_modules,
+            self.kernel_modules, self.kernel_gates, rule_codes(),
+        ))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     @staticmethod
     def _codes(
@@ -219,4 +257,6 @@ def load_config(
         ignore=strings("ignore"),
         exclude=strings("exclude"),
         rng_modules=strings("rng-modules"),
+        kernel_modules=strings("kernel-modules"),
+        kernel_gates=strings("kernel-gates"),
     )

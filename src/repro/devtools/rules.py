@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterator, List, Tuple, Type
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.devtools.analysis.project import ProjectModel
     from repro.devtools.context import ModuleContext
 
 from repro.exceptions import ReproError
@@ -63,10 +64,26 @@ class Rule:
     name: str = ""
     #: One-line description shown by ``--list-rules``.
     description: str = ""
+    #: Flow-sensitive rules set this to True and override
+    #: :meth:`check_project`; the runner then hands them the whole-tree
+    #: :class:`~repro.devtools.analysis.project.ProjectModel` so taint
+    #: and reachability can cross module boundaries.  Their findings are
+    #: cached per *project* digest, not per file.
+    requires_project: bool = False
 
     def check(self, module: "ModuleContext") -> Iterator[Finding]:
         """Yield findings for one module; the base implementation is empty."""
         return iter(())
+
+    def check_project(
+        self, module: "ModuleContext", project: "ProjectModel"
+    ) -> Iterator[Finding]:
+        """Yield findings for one module given whole-project context.
+
+        The default delegates to :meth:`check` so per-file rules work
+        unchanged whichever entry point the runner uses.
+        """
+        return self.check(module)
 
     def finding(
         self, module: "ModuleContext", node: object, message: str

@@ -21,9 +21,15 @@ class TestLintConfig:
     def test_defaults_select_every_rule(self):
         config = LintConfig()
         assert config.enabled_codes() == tuple(
-            f"RL{i:03d}" for i in range(1, 11)
+            f"RL{i:03d}" for i in range(1, 16)
         )
         assert config.rng_modules == ("sim/rng.py",)
+        assert config.kernel_modules == (
+            "sim/kernel.py", "sim/network_kernel.py",
+        )
+        assert config.kernel_gates == (
+            "ineligibility_reason", "plan_or_reason",
+        )
 
     def test_ignore_removes_from_selection(self):
         config = LintConfig(ignore=["RL007"])

@@ -1,0 +1,266 @@
+"""Incremental cache, baseline subtraction and parallel lint paths."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from collections import Counter
+
+import pytest
+
+from repro.devtools import LintConfig, lint_paths
+from repro.devtools.analysis.baseline import (
+    filter_new,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.analysis.cache import (
+    FindingsCache,
+    file_digest,
+    project_digest,
+)
+from repro.devtools.cli import main
+from repro.devtools.rules import LintError
+
+CLEAN = textwrap.dedent("""
+    \"\"\"A module that satisfies every rule.\"\"\"
+
+    from __future__ import annotations
+
+
+    def double(x):
+        \"\"\"Return twice the input.\"\"\"
+        return 2 * x
+""")
+
+DIRTY = textwrap.dedent("""
+    from __future__ import annotations
+
+    import numpy as np
+
+
+    def sample(n):
+        rng = np.random.default_rng()
+        return rng.random(n)
+""")
+
+
+def make_tree(tmp_path):
+    (tmp_path / "good.py").write_text(CLEAN)
+    (tmp_path / "bad.py").write_text(DIRTY)
+    return tmp_path
+
+
+class TestDigests:
+    def test_file_digest_is_content_hash(self):
+        assert file_digest(b"abc") == file_digest(b"abc")
+        assert file_digest(b"abc") != file_digest(b"abd")
+
+    def test_project_digest_order_insensitive(self):
+        entries = [("a.py", "1" * 64), ("b.py", "2" * 64)]
+        assert project_digest(entries) == project_digest(entries[::-1])
+        assert project_digest(entries) != project_digest(entries[:1])
+
+
+class TestCacheRoundTrip:
+    def test_warm_run_replays_identical_findings(self, tmp_path):
+        tree = tmp_path / "proj"
+        tree.mkdir()
+        make_tree(tree)
+        cache = tmp_path / "cache.json"
+        config = LintConfig()
+        cold = lint_paths([tree], config, cache_path=cache)
+        assert cache.exists()
+        warm = lint_paths([tree], config, cache_path=cache)
+        assert warm == cold
+        assert {f.code for f in cold} == {"RL001", "RL011"}
+
+    def test_editing_a_file_invalidates_it(self, tmp_path):
+        tree = make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        config = LintConfig()
+        cold = lint_paths([tree], config, cache_path=cache)
+        # Fix the dirty module: the stale cached findings must not
+        # survive into the next run.
+        (tree / "bad.py").write_text(CLEAN.replace("double", "triple"))
+        after = lint_paths([tree], config, cache_path=cache)
+        assert cold and after == []
+
+    def test_config_change_invalidates_cache(self, tmp_path):
+        tree = make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        lint_paths([tree], LintConfig(), cache_path=cache)
+        narrowed = lint_paths(
+            [tree], LintConfig(select=["RL002"]), cache_path=cache
+        )
+        assert narrowed == []
+        # And the cache now belongs to the narrowed fingerprint.
+        stored = FindingsCache(cache)
+        assert stored.load(LintConfig(select=["RL002"]).fingerprint())
+        assert not stored.load(LintConfig().fingerprint())
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        tree = make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json", encoding="utf-8")
+        findings = lint_paths([tree], LintConfig(), cache_path=cache)
+        assert {f.code for f in findings} == {"RL001", "RL011"}
+        # The bad file was overwritten with a valid cache.
+        assert json.loads(cache.read_text())["version"] == 1
+
+    def test_read_before_load_raises(self, tmp_path):
+        cache = FindingsCache(tmp_path / "cache.json")
+        with pytest.raises(LintError):
+            cache.all_findings()
+
+
+class TestParallelIdentity:
+    def test_jobs_match_serial_byte_for_byte(self, tmp_path):
+        tree = make_tree(tmp_path)
+        for i in range(4):
+            (tree / f"extra_{i}.py").write_text(CLEAN)
+        config = LintConfig()
+        serial = lint_paths([tree], config)
+        parallel = lint_paths(
+            [tree], config, n_jobs=4, min_fork_seconds=0.0
+        )
+        assert parallel == serial
+
+    def test_jobs_with_cache_still_identical(self, tmp_path):
+        tree = make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        config = LintConfig()
+        serial = lint_paths([tree], config)
+        cached = lint_paths(
+            [tree], config, n_jobs=2, min_fork_seconds=0.0,
+            cache_path=cache,
+        )
+        assert cached == serial
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        tree = make_tree(tmp_path)
+        findings = lint_paths([tree], LintConfig())
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(findings, baseline_file)
+        baseline = load_baseline(baseline_file)
+        assert sum(baseline.values()) == len(findings)
+        assert filter_new(findings, baseline) == []
+
+    def test_new_findings_survive_subtraction(self, tmp_path):
+        tree = make_tree(tmp_path)
+        first = lint_paths([tree / "good.py"], LintConfig())
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(first, baseline_file)
+        both = lint_paths([tree], LintConfig())
+        new = filter_new(both, load_baseline(baseline_file))
+        assert new == both  # good.py contributed nothing to baseline
+        assert all(f.path.endswith("bad.py") for f in new)
+
+    def test_baseline_ignores_line_numbers(self, tmp_path):
+        tree = make_tree(tmp_path)
+        findings = lint_paths([tree], LintConfig())
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(findings, baseline_file)
+        # Shift every finding down two lines: still baselined.
+        (tree / "bad.py").write_text("\n\n" + DIRTY.lstrip("\n"))
+        moved = lint_paths([tree], LintConfig())
+        assert {f.line for f in moved} != {f.line for f in findings}
+        assert filter_new(moved, load_baseline(baseline_file)) == []
+
+    def test_duplicate_findings_need_duplicate_entries(self, tmp_path):
+        double_dirty = DIRTY + textwrap.dedent("""
+
+        def sample_again(n):
+            rng = np.random.default_rng()
+            return rng.random(n)
+        """)
+        (tmp_path / "bad.py").write_text(double_dirty)
+        findings = lint_paths(
+            [tmp_path], LintConfig(select=["RL001"])
+        )
+        unseeded = [
+            f for f in findings if "default_rng" in f.message
+        ] or findings
+        baseline = Counter(
+            {(unseeded[0].path, unseeded[0].code, unseeded[0].message): 1}
+        )
+        survivors = filter_new(findings, baseline)
+        assert len(survivors) == len(findings) - 1
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(LintError):
+            load_baseline(bad)
+        bad.write_text("not json")
+        with pytest.raises(LintError):
+            load_baseline(bad)
+        with pytest.raises(LintError):
+            load_baseline(tmp_path / "ghost.json")
+
+
+class TestCliIntegration:
+    def test_write_baseline_then_lint_clean(self, capsys, tmp_path):
+        tree = make_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        rc = main([
+            str(tree), "--no-config",
+            "--write-baseline", str(baseline),
+        ])
+        assert rc == 0
+        assert "wrote baseline" in capsys.readouterr().out
+        rc = main([
+            str(tree), "--no-config", "--baseline", str(baseline),
+        ])
+        assert rc == 0
+
+    def test_baseline_still_fails_on_new_finding(self, capsys, tmp_path):
+        tree = make_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        main([str(tree), "--no-config", "--write-baseline", str(baseline)])
+        capsys.readouterr()
+        (tree / "worse.py").write_text(DIRTY)
+        rc = main([
+            str(tree), "--no-config", "--baseline", str(baseline),
+        ])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "worse.py" in out and "bad.py" not in out
+
+    def test_missing_baseline_is_config_error(self, capsys, tmp_path):
+        tree = make_tree(tmp_path)
+        rc = main([
+            str(tree), "--no-config",
+            "--baseline", str(tmp_path / "ghost.json"),
+        ])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_cache_and_sarif_flags(self, capsys, tmp_path):
+        tree = make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        sarif = tmp_path / "out.sarif"
+        argv = [
+            str(tree), "--no-config",
+            "--cache", str(cache), "--sarif", str(sarif),
+        ]
+        assert main(argv) == 1
+        capsys.readouterr()
+        assert main(argv) == 1  # warm run: same findings, same exit
+        doc = json.loads(sarif.read_text(encoding="utf-8"))
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"]
+
+    def test_jobs_flag_matches_serial_output(self, capsys, tmp_path):
+        tree = make_tree(tmp_path)
+        rc = main([str(tree), "--no-config", "--format", "json"])
+        serial_out = capsys.readouterr().out
+        assert rc == 1
+        rc = main([
+            str(tree), "--no-config", "--format", "json", "--jobs", "2",
+        ])
+        parallel_out = capsys.readouterr().out
+        assert rc == 1
+        assert parallel_out == serial_out

@@ -53,7 +53,9 @@ class TestEngine:
         (tmp_path / "good.py").write_text(CLEAN_MODULE)
         (tmp_path / "bad.py").write_text(DIRTY_MODULE)
         findings = lint_paths([tmp_path], LintConfig())
-        assert {f.code for f in findings} == {"RL001"}
+        # RL001 flags the unseeded construction; RL011 the flow-tracked
+        # draw from the untrusted generator.
+        assert {f.code for f in findings} == {"RL001", "RL011"}
         assert all(f.path.endswith("bad.py") for f in findings)
 
     def test_exclude_glob_skips_file(self, tmp_path):
@@ -124,12 +126,17 @@ class TestCliMain:
 
     def test_ignore_flag(self, tmp_path, capsys):
         (tmp_path / "bad.py").write_text(DIRTY_MODULE)
-        rc = main([str(tmp_path), "--no-config", "--ignore", "RL001"])
+        rc = main([
+            str(tmp_path), "--no-config", "--ignore", "RL001,RL011",
+        ])
         assert rc == 0
 
     def test_json_format(self, capsys, tmp_path):
         (tmp_path / "bad.py").write_text(DIRTY_MODULE)
-        rc = main([str(tmp_path), "--no-config", "--format", "json"])
+        rc = main([
+            str(tmp_path), "--no-config", "--format", "json",
+            "--select", "RL001",
+        ])
         assert rc == 1
         payload = json.loads(capsys.readouterr().out)
         assert payload["count"] == 2
@@ -144,7 +151,9 @@ class TestCliMain:
     def test_config_file_respected(self, capsys, tmp_path):
         (tmp_path / "bad.py").write_text(DIRTY_MODULE)
         pyproject = tmp_path / "pyproject.toml"
-        pyproject.write_text("[tool.repro-lint]\nignore = [\"RL001\"]\n")
+        pyproject.write_text(
+            "[tool.repro-lint]\nignore = [\"RL001\", \"RL011\"]\n"
+        )
         rc = main([str(tmp_path), "--config", str(pyproject)])
         assert rc == 0
 

@@ -25,9 +25,9 @@ def run_rule(code, source, path="pkg/module.py"):
 
 
 class TestRegistry:
-    def test_ten_rules_registered(self):
+    def test_fifteen_rules_registered(self):
         codes = [rule.code for rule in all_rules()]
-        assert codes == [f"RL{i:03d}" for i in range(1, 11)]
+        assert codes == [f"RL{i:03d}" for i in range(1, 16)]
 
     def test_rules_have_names_and_descriptions(self):
         for rule in all_rules():
