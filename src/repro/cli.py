@@ -147,6 +147,11 @@ def _build_parser() -> argparse.ArgumentParser:
                           choices=("auto", "reference", "vectorized"),
                           default="auto",
                           help="simulation engine (all are bit-identical)")
+    simulate.add_argument("--replicates", type=int, default=None,
+                          help="run this many independent replicates "
+                               "(seeds spawned from --seed) through one "
+                               "batched scan call and report the mean QoM "
+                               "with a 95%% confidence interval")
     add_telemetry_flag(simulate)
 
     experiment = sub.add_parser(
@@ -253,6 +258,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
     else:
         recharge = ConstantRecharge(args.rate)
+    if args.replicates is not None:
+        from repro.sim.batch import replicate
+        from repro.sim.batch_kernel import RunSpec
+
+        summary = replicate(
+            RunSpec(
+                distribution=events, policy=policy, recharge=recharge,
+                capacity=args.capacity, delta1=args.delta1,
+                delta2=args.delta2, horizon=args.horizon,
+            ),
+            n_replicates=args.replicates,
+            base_seed=args.seed,
+            backend=args.backend,
+        )
+        print(f"QoM over {summary.n} replicates: {summary}")
+        return 0
     result = simulate_single(
         events, policy, recharge,
         capacity=args.capacity, delta1=args.delta1, delta2=args.delta2,

@@ -42,9 +42,11 @@ from repro.devtools import telemetry
 from repro.experiments.config import DELTA1, DELTA2
 from repro.sim import parallel_map, replicate, simulate_single
 from repro.sim._native import get_native_scan
+from repro.sim.batch_kernel import RunSpec, simulate_batch
 from repro.sim.metrics import SimulationResult
 from repro.sim.network import simulate_network
 from repro.sim.parallel import PARALLEL_MIN_FORK_SECONDS
+from repro.sim.rng import spawn_seeds
 
 #: Default full-size horizon (matches benchmarks/bench_simulator_throughput).
 DEFAULT_HORIZON = 100_000
@@ -54,6 +56,17 @@ QUICK_HORIZON = 20_000
 
 _SEED = 1
 _CAPACITY = 1000.0
+
+#: Per-run horizon for the ``batch`` section.  Short runs are the
+#: regime the batched entry targets: per-call dispatch (sub-stream
+#: derivation, eligibility resolution, ctypes marshalling, result
+#: assembly) dominates once the scan itself is this cheap.
+BATCH_HORIZON = 512
+
+#: Batch sizes timed in the ``batch`` section (quick mode drops the
+#: largest).
+BATCH_M_VALUES = (16, 256, 4096)
+BATCH_M_VALUES_QUICK = (16, 256)
 
 #: Pre-checkpointing ``optimize_clustering`` timings (seconds per cold
 #: serial call at e=0.5, delta1=1, delta2=6) measured on the 1-core
@@ -77,10 +90,10 @@ def _policy_cases() -> List[Tuple[str, ActivationPolicy]]:
     ]
 
 
-def _best_of(fn: Callable[[], SimulationResult], rounds: int) -> Tuple[SimulationResult, float]:
+def _best_of(fn: Callable[[], Any], rounds: int) -> Tuple[Any, float]:
     """Run ``fn`` ``rounds`` times; return (last result, best seconds)."""
     best = float("inf")
-    result: Optional[SimulationResult] = None
+    result: Optional[Any] = None
     for _ in range(max(rounds, 1)):
         start = time.perf_counter()
         result = fn()
@@ -200,6 +213,75 @@ def _bench_network(
     return {"e": e, "n_values": n_values, "cells": cells}
 
 
+def _bench_batch(rounds: int, quick: bool) -> Dict[str, Any]:
+    """Per-run vectorized dispatch vs one batched scan call at M runs.
+
+    Times ``M`` independent ``simulate_single`` calls against a single
+    :func:`repro.sim.batch_kernel.simulate_batch` call over the same M
+    specs.  Every cell checks the batched results against the per-run
+    ones bit-for-bit on both dispatch tiers — the default one (native
+    OpenMP batch scan when compiled, else numpy) and the forced
+    pure-numpy path — so the section doubles as an end-to-end
+    consistency check of the mega-kernel.  The per-run baseline itself
+    runs the serial native single scan when available, making the
+    serial / threaded / numpy agreement explicit in the two flags.
+    """
+    events = WeibullInterArrival(40, 3)
+    recharge = BernoulliRecharge(0.5, 1.0)
+    policy = AggressivePolicy()
+    horizon = BATCH_HORIZON
+    m_values = list(BATCH_M_VALUES_QUICK if quick else BATCH_M_VALUES)
+    cells: Dict[str, Any] = {}
+    for m in m_values:
+        seeds = spawn_seeds(_SEED, m)
+        specs = [
+            RunSpec(
+                distribution=events, policy=policy, recharge=recharge,
+                capacity=_CAPACITY, delta1=DELTA1, delta2=DELTA2,
+                horizon=horizon, seed=seed,
+            )
+            for seed in seeds
+        ]
+
+        def _per_run() -> List[SimulationResult]:
+            return [
+                simulate_single(
+                    events, policy, recharge,
+                    capacity=_CAPACITY, delta1=DELTA1, delta2=DELTA2,
+                    horizon=horizon, seed=seed,
+                )
+                for seed in seeds
+            ]
+
+        per_results, per_s = _best_of(_per_run, rounds)
+        batch_results, batch_s = _best_of(
+            lambda: simulate_batch(specs), rounds
+        )
+        saved = os.environ.get("REPRO_NATIVE_SCAN")
+        os.environ["REPRO_NATIVE_SCAN"] = "0"
+        try:
+            numpy_results = simulate_batch(specs)
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_NATIVE_SCAN", None)
+            else:
+                os.environ["REPRO_NATIVE_SCAN"] = saved
+        slots = m * horizon
+        cells[f"m{m}"] = {
+            "runs": m,
+            "per_run_seconds": per_s,
+            "batched_seconds": batch_s,
+            "speedup": per_s / batch_s if batch_s > 0 else None,
+            "slots_per_second": {
+                "per_run": slots / per_s if per_s > 0 else None,
+                "batched": slots / batch_s if batch_s > 0 else None,
+            },
+            "bit_identical": batch_results == per_results,
+            "numpy_identical": numpy_results == per_results,
+        }
+    return {"horizon": horizon, "m_values": m_values, "cells": cells}
+
+
 def run_bench(
     horizon: int = DEFAULT_HORIZON,
     n_replicates: int = 8,
@@ -234,6 +316,7 @@ def _run_bench_timed(
 ) -> Dict[str, Any]:
     events = WeibullInterArrival(40, 3)
     recharge = BernoulliRecharge(0.5, 1.0)
+    native = get_native_scan()
 
     policies: Dict[str, Any] = {}
     for name, policy in _policy_cases():
@@ -289,9 +372,11 @@ def _run_bench_timed(
             "python": platform.python_version(),
             "machine": platform.machine(),
             "cpu_count": os.cpu_count(),
-            "native_scan": get_native_scan() is not None,
+            "native_scan": native is not None,
+            "native_openmp": native.openmp if native is not None else False,
         },
         "policies": policies,
+        "batch": _bench_batch(rounds, quick),
         "network": _bench_network(horizon, rounds, quick),
         "optimizer": _bench_optimizer(quick, n_jobs),
         "replicate": {
@@ -372,6 +457,14 @@ def format_bench(payload: Dict[str, Any]) -> str:
             f"  {name:20s} ref {row['reference_seconds'] * 1e3:8.2f} ms   "
             f"vec {row['vectorized_seconds'] * 1e3:7.2f} ms   "
             f"{speedup:6.1f}x   bit_identical={row['bit_identical']}"
+        )
+    for name, row in payload.get("batch", {}).get("cells", {}).items():
+        lines.append(
+            f"  batch:{name:18s} per-run {row['per_run_seconds'] * 1e3:8.1f} ms   "
+            f"batched {row['batched_seconds'] * 1e3:7.2f} ms   "
+            f"{row['speedup']:6.1f}x   "
+            f"bit_identical={row['bit_identical']}   "
+            f"numpy_identical={row['numpy_identical']}"
         )
     for name, row in payload.get("network", {}).get("cells", {}).items():
         lines.append(

@@ -39,12 +39,14 @@ DEFAULT_RNG_MODULES: Tuple[str, ...] = ("sim/rng.py",)
 DEFAULT_KERNEL_MODULES: Tuple[str, ...] = (
     "sim/kernel.py",
     "sim/network_kernel.py",
+    "sim/batch_kernel.py",
 )
 
 #: Function names treated as eligibility gates inside kernel modules.
 DEFAULT_KERNEL_GATES: Tuple[str, ...] = (
     "ineligibility_reason",
     "plan_or_reason",
+    "policy_fast_paths",
 )
 
 

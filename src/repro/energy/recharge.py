@@ -38,6 +38,23 @@ class RechargeProcess(abc.ABC):
     def sequence(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
         """Harvest amounts for slots ``1..horizon`` as a float array."""
 
+    def sequence_bulk(
+        self, horizon: int, rngs: list[np.random.Generator]
+    ) -> np.ndarray:
+        """``np.stack([self.sequence(horizon, r) for r in rngs])``.
+
+        Each run keeps its own stream; subclasses whose draw is a fixed
+        per-stream uniform block may override this to share the
+        elementwise tail across the whole ``(runs, horizon)`` matrix.
+        Rows must stay bit-identical to per-run :meth:`sequence` calls.
+        """
+        if not rngs:
+            return np.zeros((0, horizon), dtype=np.float64)
+        return np.stack([
+            np.asarray(self.sequence(horizon, rng), dtype=np.float64)
+            for rng in rngs
+        ])
+
     def _check_horizon(self, horizon: int) -> None:
         if horizon < 0:
             raise EnergyError(f"horizon must be >= 0, got {horizon}")
@@ -61,6 +78,18 @@ class BernoulliRecharge(RechargeProcess):
     def sequence(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
         self._check_horizon(horizon)
         return np.where(rng.random(horizon) < self.q, self.c, 0.0)
+
+    def sequence_bulk(
+        self, horizon: int, rngs: list[np.random.Generator]
+    ) -> np.ndarray:
+        # One uniform block per stream (the per-run draw, verbatim), one
+        # elementwise threshold for the whole batch: rows bit-identical
+        # to per-run sequence() because np.where is elementwise.
+        self._check_horizon(horizon)
+        uniforms = np.empty((len(rngs), horizon), dtype=np.float64)
+        for j, rng in enumerate(rngs):
+            rng.random(out=uniforms[j])
+        return np.where(uniforms < self.q, self.c, 0.0)
 
     def __repr__(self) -> str:
         return f"BernoulliRecharge(q={self.q}, c={self.c})"

@@ -210,7 +210,7 @@ class InterArrivalDistribution(abc.ABC):
         if size < 0:
             raise DistributionError(f"sample size must be >= 0, got {size}")
         uniforms = rng.random(size)
-        idx = np.searchsorted(self.cdf_values, uniforms, side="right")
+        idx = self.cdf_values.searchsorted(uniforms, side="right")
         idx = np.minimum(idx, self.support_max - 1)
         return idx + 1
 

@@ -3,13 +3,22 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, TypeVar, Union
 
 from repro.devtools import telemetry
-from repro.sim.parallel import parallel_map
+from repro.sim.batch_kernel import (
+    NetworkRunSpec,
+    RunSpec,
+    simulate_batch,
+    simulate_network_runs,
+)
+from repro.sim.metrics import SimulationResult
+from repro.sim.parallel import parallel_map, resolve_n_jobs
 
 _P = TypeVar("_P")
 _R = TypeVar("_R")
+
+AnyRunSpec = Union[RunSpec, NetworkRunSpec]
 
 
 def compute_points(
@@ -28,6 +37,75 @@ def compute_points(
     telemetry.event("experiment_sweep", n_points=len(work), n_jobs=n_jobs)
     with telemetry.timed("experiments.compute_points"):
         return parallel_map(point_fn, work, n_jobs=n_jobs)
+
+
+def _run_specs(
+    specs: Sequence[AnyRunSpec], backend: str
+) -> List[SimulationResult]:
+    """Run a mixed spec list batched, preserving input order."""
+    single_idx = [
+        i for i, s in enumerate(specs) if isinstance(s, RunSpec)
+    ]
+    network_idx = [
+        i for i, s in enumerate(specs) if not isinstance(s, RunSpec)
+    ]
+    results: List[Optional[SimulationResult]] = [None] * len(specs)
+    if single_idx:
+        for i, r in zip(
+            single_idx,
+            simulate_batch([specs[i] for i in single_idx], backend=backend),
+        ):
+            results[i] = r
+    if network_idx:
+        for i, r in zip(
+            network_idx,
+            simulate_network_runs(
+                [specs[i] for i in network_idx],  # type: ignore[misc]
+                backend=backend,
+            ),
+        ):
+            results[i] = r
+    return results  # type: ignore[return-value]
+
+
+def compute_spec_points(
+    point_specs: Callable[[_P], Sequence[AnyRunSpec]],
+    points: Sequence[_P],
+    n_jobs: Optional[int] = None,
+    backend: str = "auto",
+) -> List[List[SimulationResult]]:
+    """Evaluate figure points that decompose into simulation run specs.
+
+    ``point_specs(point)`` returns the point's
+    :class:`~repro.sim.batch_kernel.RunSpec` /
+    :class:`~repro.sim.batch_kernel.NetworkRunSpec` list; any per-point
+    solving happens inside it.  A serial sweep (``n_jobs`` of ``None``
+    or 1) flattens every point's specs into one batched scan call
+    (:mod:`repro.sim.batch_kernel`); ``n_jobs > 1`` keeps the per-point
+    process fan-out.  Results are bit-identical either way and come
+    back as one ``SimulationResult`` list per point, in point order.
+    """
+    work = list(points)
+    telemetry.event(
+        "experiment_sweep", n_points=len(work), n_jobs=n_jobs, batched=True
+    )
+    if resolve_n_jobs(n_jobs) == 1:
+        with telemetry.timed("experiments.compute_points"):
+            spec_lists = [list(point_specs(p)) for p in work]
+            flat = [spec for specs in spec_lists for spec in specs]
+            results = _run_specs(flat, backend)
+        out: List[List[SimulationResult]] = []
+        cursor = 0
+        for specs in spec_lists:
+            out.append(results[cursor:cursor + len(specs)])
+            cursor += len(specs)
+        return out
+
+    def _one(point: _P) -> List[SimulationResult]:
+        return _run_specs(list(point_specs(point)), backend)
+
+    with telemetry.timed("experiments.compute_points"):
+        return parallel_map(_one, work, n_jobs=n_jobs)
 
 
 @dataclass(frozen=True)

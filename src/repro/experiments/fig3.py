@@ -25,9 +25,9 @@ from repro.energy.recharge import (
 )
 from repro.events.base import InterArrivalDistribution
 from repro.events.weibull import WeibullInterArrival
-from repro.experiments.common import FigureResult, Series, compute_points
+from repro.experiments.common import FigureResult, Series, compute_spec_points
 from repro.experiments.config import DEFAULT_SEED, DELTA1, DELTA2, bench_horizon
-from repro.sim.engine import simulate_single
+from repro.sim.batch_kernel import RunSpec
 from repro.sim.rng import spawn_seeds
 
 #: Paper's three recharge models for Fig. 3 (the figure legend labels the
@@ -80,21 +80,25 @@ def run_fig3(
     ]
     points = list(zip(grid, spawn_seeds(seed, len(grid))))
 
-    def _point(job: tuple) -> float:
+    def _point_specs(job: tuple) -> list[RunSpec]:
         (recharge, capacity), child_seed = job
-        result = simulate_single(
-            distribution,
-            policy,
-            recharge,
-            capacity=capacity,
-            delta1=DELTA1,
-            delta2=DELTA2,
-            horizon=horizon,
-            seed=child_seed,
-        )
-        return result.qom
+        return [
+            RunSpec(
+                distribution=distribution,
+                policy=policy,
+                recharge=recharge,
+                capacity=capacity,
+                delta1=DELTA1,
+                delta2=DELTA2,
+                horizon=horizon,
+                seed=child_seed,
+            )
+        ]
 
-    qoms = compute_points(_point, points, n_jobs=n_jobs)
+    qoms = [
+        row[0].qom
+        for row in compute_spec_points(_point_specs, points, n_jobs=n_jobs)
+    ]
     per_recharge = len(capacities)
     for idx, (label, _) in enumerate(recharges):
         series.append(

@@ -18,9 +18,9 @@ from repro.energy.recharge import BernoulliRecharge
 from repro.events.base import InterArrivalDistribution
 from repro.events.pareto import ParetoInterArrival
 from repro.events.weibull import WeibullInterArrival
-from repro.experiments.common import FigureResult, Series, compute_points
+from repro.experiments.common import FigureResult, Series, compute_spec_points
 from repro.experiments.config import DEFAULT_SEED, DELTA1, DELTA2, bench_horizon
-from repro.sim.engine import simulate_single
+from repro.sim.batch_kernel import RunSpec
 from repro.sim.rng import spawn_seeds
 
 #: Per-recharge amounts swept in Fig. 4(a); e = q*c with q = 0.5.
@@ -60,34 +60,33 @@ def run_fig4(
     if horizon is None:
         horizon = bench_horizon()
 
-    def _point(job: tuple) -> tuple:
+    def _point_specs(job: tuple) -> list[RunSpec]:
         c, child_seed = job
         e = q * c
         recharge = BernoulliRecharge(q=q, c=c)
         clustering = optimize_clustering(distribution, e, DELTA1, DELTA2)
         periodic = energy_balanced_period(distribution, e, DELTA1, DELTA2)
-        qoms = []
-        for policy in (clustering.policy, AggressivePolicy(), periodic):
-            result = simulate_single(
-                distribution,
-                policy,
-                recharge,
+        return [
+            RunSpec(
+                distribution=distribution,
+                policy=policy,
+                recharge=recharge,
                 capacity=capacity,
                 delta1=DELTA1,
                 delta2=DELTA2,
                 horizon=horizon,
                 seed=child_seed,
             )
-            qoms.append(result.qom)
-        return tuple(qoms)
+            for policy in (clustering.policy, AggressivePolicy(), periodic)
+        ]
 
     # Collision-free per-point seeds (was seed + idx, which overlaps
     # between runs whose base seeds differ by less than the point count).
     points = list(zip(c_values, spawn_seeds(seed, len(c_values))))
-    rows = compute_points(_point, points, n_jobs=n_jobs)
-    clustering_qom = [row[0] for row in rows]
-    aggressive_qom = [row[1] for row in rows]
-    periodic_qom = [row[2] for row in rows]
+    rows = compute_spec_points(_point_specs, points, n_jobs=n_jobs)
+    clustering_qom = [row[0].qom for row in rows]
+    aggressive_qom = [row[1].qom for row in rows]
+    periodic_qom = [row[2].qom for row in rows]
 
     xs = tuple(float(c) for c in c_values)
     return FigureResult(

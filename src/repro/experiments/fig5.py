@@ -17,9 +17,9 @@ from repro.core.baselines import solve_ebcw
 from repro.core.clustering import optimize_clustering
 from repro.energy.recharge import BernoulliRecharge
 from repro.events.markov import MarkovInterArrival
-from repro.experiments.common import FigureResult, Series, compute_points
+from repro.experiments.common import FigureResult, Series, compute_spec_points
 from repro.experiments.config import DEFAULT_SEED, DELTA1, DELTA2, bench_horizon
-from repro.sim.engine import simulate_single
+from repro.sim.batch_kernel import RunSpec
 from repro.sim.rng import spawn_seeds
 
 #: ``a`` sweep used in both panels of Fig. 5.
@@ -43,31 +43,30 @@ def run_fig5(
     e = q * c
     recharge = BernoulliRecharge(q=q, c=c)
 
-    def _point(job: tuple) -> tuple:
+    def _point_specs(job: tuple) -> list[RunSpec]:
         a, child_seed = job
         distribution = MarkovInterArrival(a=a, b=b)
         clustering = optimize_clustering(distribution, e, DELTA1, DELTA2)
         ebcw = solve_ebcw(distribution, e, DELTA1, DELTA2)
-        qoms = []
-        for policy in (clustering.policy, ebcw.policy):
-            result = simulate_single(
-                distribution,
-                policy,
-                recharge,
+        return [
+            RunSpec(
+                distribution=distribution,
+                policy=policy,
+                recharge=recharge,
                 capacity=capacity,
                 delta1=DELTA1,
                 delta2=DELTA2,
                 horizon=horizon,
                 seed=child_seed,
             )
-            qoms.append(result.qom)
-        return tuple(qoms)
+            for policy in (clustering.policy, ebcw.policy)
+        ]
 
     # Collision-free per-point seeds (was the arithmetic seed + idx).
     points = list(zip(a_values, spawn_seeds(seed, len(a_values))))
-    rows = compute_points(_point, points, n_jobs=n_jobs)
-    clustering_qom = [row[0] for row in rows]
-    ebcw_qom = [row[1] for row in rows]
+    rows = compute_spec_points(_point_specs, points, n_jobs=n_jobs)
+    clustering_qom = [row[0].qom for row in rows]
+    ebcw_qom = [row[1].qom for row in rows]
 
     xs = tuple(float(a) for a in a_values)
     return FigureResult(

@@ -23,9 +23,9 @@ from repro.core.multi import (
 from repro.energy.recharge import BernoulliRecharge
 from repro.events.base import InterArrivalDistribution
 from repro.events.weibull import WeibullInterArrival
-from repro.experiments.common import FigureResult, Series, compute_points
+from repro.experiments.common import FigureResult, Series, compute_spec_points
 from repro.experiments.config import DEFAULT_SEED, DELTA1, DELTA2, bench_horizon
-from repro.sim.network import simulate_network
+from repro.sim.batch_kernel import NetworkRunSpec
 from repro.sim.rng import SeedLike, spawn_seeds
 
 DEFAULT_N_VALUES: tuple[int, ...] = (1, 2, 3, 4, 6, 8, 10, 12)
@@ -95,22 +95,23 @@ def run_fig6b(
 
     labels = ("M-FI", "M-PI", "pi_AG", "pi_PE")
 
-    def _one(job: tuple) -> list:
+    def _one_specs(job: tuple) -> list[NetworkRunSpec]:
         (c, n), child_seed = job
         e = q * c
         recharge = BernoulliRecharge(q=q, c=c)
-        return _point(
-            distribution, recharge, e, n, capacity, horizon, child_seed,
-            backend=backend,
+        return _point_specs(
+            distribution, recharge, e, n, capacity, horizon, child_seed
         )
 
     # Collision-free per-point seeds (was the arithmetic seed + idx).
     jobs = list(zip(points, spawn_seeds(seed, len(points))))
-    rows = compute_points(_one, jobs, n_jobs=n_jobs)
+    rows = compute_spec_points(
+        _one_specs, jobs, n_jobs=n_jobs, backend=backend
+    )
     buckets: dict[str, list[float]] = {label: [] for label in labels}
     for row in rows:
-        for label, qom in row:
-            buckets[label].append(qom)
+        for label, result in zip(labels, row):
+            buckets[label].append(result.qom)
     series = tuple(
         Series(label, clustering_x, tuple(buckets[label])) for label in labels
     )
@@ -140,24 +141,25 @@ def _sweep(
     points = list(points)  # materialize once: generators welcome
     xs = tuple(p[0] for p in points)
 
-    def _one(job: tuple) -> list:
+    def _one_specs(job: tuple) -> list[NetworkRunSpec]:
         (_, n), child_seed = job
-        return _point(
-            distribution, recharge, e, n, capacity, horizon, child_seed,
-            backend=backend,
+        return _point_specs(
+            distribution, recharge, e, n, capacity, horizon, child_seed
         )
 
     # Collision-free per-point seeds (was the arithmetic seed + idx).
     jobs = list(zip(points, spawn_seeds(seed, len(points))))
-    rows = compute_points(_one, jobs, n_jobs=n_jobs)
+    rows = compute_spec_points(
+        _one_specs, jobs, n_jobs=n_jobs, backend=backend
+    )
     buckets: dict[str, list[float]] = {label: [] for label in labels}
     for row in rows:
-        for label, qom in row:
-            buckets[label].append(qom)
+        for label, result in zip(labels, row):
+            buckets[label].append(result.qom)
     return tuple(Series(label, xs, tuple(buckets[label])) for label in labels)
 
 
-def _point(
+def _point_specs(
     distribution: InterArrivalDistribution,
     recharge: BernoulliRecharge,
     e: float,
@@ -165,30 +167,25 @@ def _point(
     capacity: float,
     horizon: int,
     seed: SeedLike,
-    backend: str = "auto",
-) -> list[tuple[str, float]]:
-    """QoM of the four multi-sensor strategies at one sweep point."""
+) -> list[NetworkRunSpec]:
+    """Run specs for the four multi-sensor strategies at one sweep point.
+
+    Order matches the figure legend: M-FI, M-PI, pi_AG, pi_PE.
+    """
     mfi, _ = make_mfi(distribution, e, n_sensors, DELTA1, DELTA2)
     mpi, _ = make_mpi(distribution, e, n_sensors, DELTA1, DELTA2)
     aggressive = MultiAggressiveCoordinator(n_sensors)
     periodic = make_multi_periodic(distribution, e, n_sensors, DELTA1, DELTA2)
-    out = []
-    for label, coordinator in (
-        ("M-FI", mfi),
-        ("M-PI", mpi),
-        ("pi_AG", aggressive),
-        ("pi_PE", periodic),
-    ):
-        result = simulate_network(
-            distribution,
-            coordinator,
-            recharge,
+    return [
+        NetworkRunSpec(
+            distribution=distribution,
+            coordinator=coordinator,
+            recharge=recharge,
             capacity=capacity,
             delta1=DELTA1,
             delta2=DELTA2,
             horizon=horizon,
             seed=seed,
-            backend=backend,
         )
-        out.append((label, result.qom))
-    return out
+        for coordinator in (mfi, mpi, aggressive, periodic)
+    ]

@@ -2,21 +2,36 @@
 
 from __future__ import annotations
 
+from repro.sim.batch_kernel import (
+    NetworkRunSpec,
+    RunSpec,
+    simulate_batch,
+    simulate_network_runs,
+)
 from repro.sim.engine import simulate_single
 from repro.sim.metrics import SensorStats, SimulationResult
 from repro.sim.network import simulate_network, simulate_network_batch
 from repro.sim.parallel import parallel_map, resolve_n_jobs
-from repro.sim.rng import make_rng, spawn, spawn_seeds
+from repro.sim.rng import (
+    bulk_substreams,
+    make_rng,
+    spawn,
+    spawn_seeds,
+    spawn_substreams,
+)
 from repro.sim.batch import ReplicationSummary, compare, replicate, summarize
 from repro.sim.lifetime import OutageStats, outage_capacity_curve, outage_stats
 from repro.sim.trace import SlotRecord, summarize_trace, trace_single
 
 __all__ = [
+    "NetworkRunSpec",
     "OutageStats",
     "ReplicationSummary",
+    "RunSpec",
     "SensorStats",
     "SlotRecord",
     "SimulationResult",
+    "bulk_substreams",
     "compare",
     "make_rng",
     "parallel_map",
@@ -24,11 +39,14 @@ __all__ = [
     "resolve_n_jobs",
     "outage_capacity_curve",
     "outage_stats",
+    "simulate_batch",
     "simulate_network",
     "simulate_network_batch",
+    "simulate_network_runs",
     "simulate_single",
     "spawn",
     "spawn_seeds",
+    "spawn_substreams",
     "summarize",
     "summarize_trace",
     "trace_single",

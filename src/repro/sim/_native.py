@@ -12,6 +12,14 @@ operation is a plain IEEE-754 double add/subtract/compare in program
 order and the source is compiled with ``-ffp-contract=off`` and without
 any fast-math flags, so the compiler cannot fuse or reorder them.
 
+Batch entry points: ``repro_batch_scan`` / ``repro_network_batch_scan``
+run many independent configurations over padded ``(runs, slots)``
+arrays in one call, dispatching each run to the same ``static`` per-run
+scan the single-run symbols use — so batching cannot change a single
+run's arithmetic.  When the compiler supports ``-fopenmp`` the batch
+loops run ``parallel for`` over runs; since runs share no mutable
+state, threading changes scheduling only, never results.
+
 The accelerator is best-effort: if ``gcc`` is missing, compilation
 fails, or ``REPRO_NATIVE_SCAN=0`` is set, callers get ``None`` and fall
 back to the pure-numpy kernel paths.
@@ -37,8 +45,9 @@ _SOURCE = r"""
 
 /* One sensor, `horizon` slots, reflected-battery arithmetic: the level
  * before each decision is (neg + cs[t]) - shave.  Must mirror
- * repro.sim.engine._simulate_reference operation-for-operation. */
-void repro_scan(
+ * repro.sim.engine._simulate_reference operation-for-operation.  Shared
+ * verbatim by the single-run and batch entry points below. */
+static void scan_one(
     int64_t horizon,
     const double *cs,        /* cumulative recharge, cs[t] = sum a_1..a_{t+1} */
     const uint8_t *events,   /* event flag per slot */
@@ -104,6 +113,82 @@ void repro_scan(
     out_state[1] = shave;
 }
 
+void repro_scan(
+    int64_t horizon,
+    const double *cs,
+    const uint8_t *events,
+    const double *coins,
+    const double *table,
+    int64_t table_size,
+    double tail,
+    int32_t slot_mode,
+    int32_t full_info,
+    double capacity,
+    double delta1,
+    double delta2,
+    double initial,
+    int64_t *out_counts,
+    double *out_state)
+{
+    scan_one(horizon, cs, events, coins, table, table_size, tail,
+             slot_mode, full_info, capacity, delta1, delta2, initial,
+             out_counts, out_state);
+}
+
+/* Batched single-sensor scan: `n_runs` independent configurations over
+ * padded (n_runs, stride) row-major arrays; run r uses the first
+ * lengths[r] slots of its row.  Per-run parameters arrive as parallel
+ * vectors; recency/slot tables are concatenated into `tables` and
+ * addressed via table_offsets.  Padding beyond lengths[r] is never
+ * read.  `parallel` gates the OpenMP team (0 forces the serial loop so
+ * serial==OpenMP exactness is directly testable); either way each run
+ * executes scan_one verbatim, so results are independent of
+ * scheduling. */
+void repro_batch_scan(
+    int64_t n_runs,
+    int64_t stride,
+    const int64_t *lengths,
+    const double *cs,            /* (n_runs, stride) */
+    const uint8_t *events,       /* (n_runs, stride) */
+    const double *coins,         /* (n_runs, stride) */
+    const double *tables,        /* concatenated table storage */
+    const int64_t *table_offsets,
+    const int64_t *table_sizes,
+    const double *tails,
+    const int32_t *slot_modes,
+    const int32_t *full_infos,
+    const double *capacities,
+    const double *delta1s,
+    const double *delta2s,
+    const double *initials,
+    int32_t parallel,
+    int64_t *out_counts,         /* (n_runs, 3) */
+    double *out_state)           /* (n_runs, 2) */
+{
+    int64_t r;
+    (void)parallel;
+#ifdef _OPENMP
+    #pragma omp parallel for schedule(static) if(parallel)
+#endif
+    for (r = 0; r < n_runs; r++) {
+        scan_one(lengths[r],
+                 cs + r * stride,
+                 events + r * stride,
+                 coins + r * stride,
+                 tables + table_offsets[r],
+                 table_sizes[r],
+                 tails[r],
+                 slot_modes[r],
+                 full_infos[r],
+                 capacities[r],
+                 delta1s[r],
+                 delta2s[r],
+                 initials[r],
+                 out_counts + r * 3,
+                 out_state + r * 2);
+    }
+}
+
 /* N sensors sharing one event stream and one coin stream under a
  * precomputed responsibility assignment (resp[t] = sensor index or -1).
  * Must mirror repro.sim.network._simulate_network_reference
@@ -112,18 +197,21 @@ void repro_scan(
  * recency advances on events (full information) or network captures
  * (partial information).  Per-sensor reflected state lives directly in
  * the output buffers: out_state[s*2] = neg_s, out_state[s*2+1] =
- * shave_s; out_counts[s*3 + {0,1,2}] = activations, captures, blocked. */
-void repro_network_scan(
+ * shave_s; out_counts[s*3 + {0,1,2}] = activations, captures, blocked.
+ * `row_stride` is the allocated slot count per cs row (== horizon for
+ * the single-run entry, the padded batch stride otherwise). */
+static void scan_network_one(
     int64_t horizon,
     int64_t n_sensors,
-    const double *cs,        /* (n_sensors, horizon) row-major cumulative recharge */
-    const uint8_t *events,   /* shared event flag per slot */
-    const double *coins,     /* shared activation coin per slot */
-    const int64_t *resp,     /* responsible sensor per slot, -1 for none */
-    const double *table,     /* recency table, or per-slot probs (slot_mode) */
+    int64_t row_stride,
+    const double *cs,        /* (n_sensors, row_stride) row-major */
+    const uint8_t *events,
+    const double *coins,
+    const int64_t *resp,
+    const double *table,
     int64_t table_size,
     double tail,
-    int32_t slot_mode,       /* 1: table is indexed by slot, not recency */
+    int32_t slot_mode,
     int32_t full_info,
     double capacity,
     double delta1,
@@ -148,7 +236,8 @@ void repro_network_scan(
         double prob;
         int event, captured;
         for (s = 0; s < n_sensors; s++) {
-            double over = (out_state[s * 2] + cs[s * horizon + t]) - capacity;
+            double over = (out_state[s * 2] + cs[s * row_stride + t])
+                          - capacity;
             if (over > out_state[s * 2 + 1]) out_state[s * 2 + 1] = over;
         }
         if (slot_mode) {
@@ -159,8 +248,9 @@ void repro_network_scan(
         event = events[t];
         captured = 0;
         if (sensor >= 0 && coins[t] < prob) {
-            double battery = (out_state[sensor * 2] + cs[sensor * horizon + t])
-                             - out_state[sensor * 2 + 1];
+            double battery =
+                (out_state[sensor * 2] + cs[sensor * row_stride + t])
+                - out_state[sensor * 2 + 1];
             if (battery < activation_cost) {
                 out_counts[sensor * 3 + 2]++;
             } else {
@@ -168,7 +258,8 @@ void repro_network_scan(
                 if (event) {
                     captured = 1;
                     out_counts[sensor * 3 + 1]++;
-                    out_state[sensor * 2] = out_state[sensor * 2] - cost_capture;
+                    out_state[sensor * 2] =
+                        out_state[sensor * 2] - cost_capture;
                 } else {
                     out_state[sensor * 2] = out_state[sensor * 2] - delta1;
                 }
@@ -181,17 +272,121 @@ void repro_network_scan(
         }
     }
 }
+
+void repro_network_scan(
+    int64_t horizon,
+    int64_t n_sensors,
+    const double *cs,
+    const uint8_t *events,
+    const double *coins,
+    const int64_t *resp,
+    const double *table,
+    int64_t table_size,
+    double tail,
+    int32_t slot_mode,
+    int32_t full_info,
+    double capacity,
+    double delta1,
+    double delta2,
+    double initial,
+    int64_t *out_counts,
+    double *out_state)
+{
+    scan_network_one(horizon, n_sensors, horizon, cs, events, coins, resp,
+                     table, table_size, tail, slot_mode, full_info,
+                     capacity, delta1, delta2, initial,
+                     out_counts, out_state);
+}
+
+/* Batched network scan.  Runs may have different sensor counts: run r
+ * owns sensor rows [sensor_offsets[r], sensor_offsets[r] +
+ * n_sensors[r]) of the (total_rows, stride) cs array and the matching
+ * rows of out_counts/out_state; its event/coin/resp row is row r of
+ * the (n_runs, stride) arrays. */
+void repro_network_batch_scan(
+    int64_t n_runs,
+    int64_t stride,
+    const int64_t *lengths,
+    const int64_t *n_sensors,
+    const int64_t *sensor_offsets,
+    const double *cs,            /* (total_rows, stride) */
+    const uint8_t *events,       /* (n_runs, stride) */
+    const double *coins,         /* (n_runs, stride) */
+    const int64_t *resp,         /* (n_runs, stride) */
+    const double *tables,
+    const int64_t *table_offsets,
+    const int64_t *table_sizes,
+    const double *tails,
+    const int32_t *slot_modes,
+    const int32_t *full_infos,
+    const double *capacities,
+    const double *delta1s,
+    const double *delta2s,
+    const double *initials,
+    int32_t parallel,
+    int64_t *out_counts,         /* (total_rows, 3) */
+    double *out_state)           /* (total_rows, 2) */
+{
+    int64_t r;
+    (void)parallel;
+#ifdef _OPENMP
+    #pragma omp parallel for schedule(static) if(parallel)
+#endif
+    for (r = 0; r < n_runs; r++) {
+        scan_network_one(lengths[r],
+                         n_sensors[r],
+                         stride,
+                         cs + sensor_offsets[r] * stride,
+                         events + r * stride,
+                         coins + r * stride,
+                         resp + r * stride,
+                         tables + table_offsets[r],
+                         table_sizes[r],
+                         tails[r],
+                         slot_modes[r],
+                         full_infos[r],
+                         capacities[r],
+                         delta1s[r],
+                         delta2s[r],
+                         initials[r],
+                         out_counts + sensor_offsets[r] * 3,
+                         out_state + sensor_offsets[r] * 2);
+    }
+}
+
+int32_t repro_openmp_enabled(void)
+{
+#ifdef _OPENMP
+    return 1;
+#else
+    return 0;
+#endif
+}
 """
 
 #: Flags chosen for IEEE-strict doubles: no contraction (no FMA fusing
 #: of a+b-c chains), no fast-math, plain -O2.
 _CFLAGS = ("-O2", "-fPIC", "-shared", "-ffp-contract=off")
 
+#: Preferred variant: the batch loops thread over runs.  OpenMP cannot
+#: affect results — each run is an independent scan_one call — so a
+#: fallback compile without it differs only in batch wall-clock.
+_OMP_FLAG = "-fopenmp"
+
 _ENV_FLAG = "REPRO_NATIVE_SCAN"
+
+_I64P = ctypes.POINTER(ctypes.c_int64)
+_F64P = ctypes.POINTER(ctypes.c_double)
+_U8P = ctypes.POINTER(ctypes.c_uint8)
+_I32P = ctypes.POINTER(ctypes.c_int32)
 
 # Module-level compile cache: None = not tried yet, False = unavailable.
 _lib_cache: Optional[object] = None
 _lib_tried = False
+
+
+def _c(arr: np.ndarray, dtype: type) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=dtype)
 
 
 class NativeScan:
@@ -202,10 +397,10 @@ class NativeScan:
         self._fn.restype = None
         self._fn.argtypes = [
             ctypes.c_int64,
-            ctypes.POINTER(ctypes.c_double),
-            ctypes.POINTER(ctypes.c_uint8),
-            ctypes.POINTER(ctypes.c_double),
-            ctypes.POINTER(ctypes.c_double),
+            _F64P,
+            _U8P,
+            _F64P,
+            _F64P,
             ctypes.c_int64,
             ctypes.c_double,
             ctypes.c_int32,
@@ -214,19 +409,19 @@ class NativeScan:
             ctypes.c_double,
             ctypes.c_double,
             ctypes.c_double,
-            ctypes.POINTER(ctypes.c_int64),
-            ctypes.POINTER(ctypes.c_double),
+            _I64P,
+            _F64P,
         ]
         self._net_fn = lib.repro_network_scan
         self._net_fn.restype = None
         self._net_fn.argtypes = [
             ctypes.c_int64,
             ctypes.c_int64,
-            ctypes.POINTER(ctypes.c_double),
-            ctypes.POINTER(ctypes.c_uint8),
-            ctypes.POINTER(ctypes.c_double),
-            ctypes.POINTER(ctypes.c_int64),
-            ctypes.POINTER(ctypes.c_double),
+            _F64P,
+            _U8P,
+            _F64P,
+            _I64P,
+            _F64P,
             ctypes.c_int64,
             ctypes.c_double,
             ctypes.c_int32,
@@ -235,9 +430,64 @@ class NativeScan:
             ctypes.c_double,
             ctypes.c_double,
             ctypes.c_double,
-            ctypes.POINTER(ctypes.c_int64),
-            ctypes.POINTER(ctypes.c_double),
+            _I64P,
+            _F64P,
         ]
+        self._batch_fn = lib.repro_batch_scan
+        self._batch_fn.restype = None
+        self._batch_fn.argtypes = [
+            ctypes.c_int64,
+            ctypes.c_int64,
+            _I64P,
+            _F64P,
+            _U8P,
+            _F64P,
+            _F64P,
+            _I64P,
+            _I64P,
+            _F64P,
+            _I32P,
+            _I32P,
+            _F64P,
+            _F64P,
+            _F64P,
+            _F64P,
+            ctypes.c_int32,
+            _I64P,
+            _F64P,
+        ]
+        self._net_batch_fn = lib.repro_network_batch_scan
+        self._net_batch_fn.restype = None
+        self._net_batch_fn.argtypes = [
+            ctypes.c_int64,
+            ctypes.c_int64,
+            _I64P,
+            _I64P,
+            _I64P,
+            _F64P,
+            _U8P,
+            _F64P,
+            _I64P,
+            _F64P,
+            _I64P,
+            _I64P,
+            _F64P,
+            _I32P,
+            _I32P,
+            _F64P,
+            _F64P,
+            _F64P,
+            _F64P,
+            ctypes.c_int32,
+            _I64P,
+            _F64P,
+        ]
+        omp_fn = lib.repro_openmp_enabled
+        omp_fn.restype = ctypes.c_int32
+        omp_fn.argtypes = []
+        #: True when the library was compiled with OpenMP, i.e. batch
+        #: calls with ``parallel=True`` actually thread over runs.
+        self.openmp: bool = bool(omp_fn())
 
     def scan(
         self,
@@ -255,22 +505,21 @@ class NativeScan:
     ) -> Tuple[int, int, int, float, float]:
         """Run the scan; returns (activations, captures, blocked, neg, shave)."""
         horizon = cs.shape[0]
-        cs_c = np.ascontiguousarray(cs, dtype=np.float64)
-        ev_c = np.ascontiguousarray(events, dtype=np.uint8)
-        coin_c = np.ascontiguousarray(coins, dtype=np.float64)
-        table_c = np.ascontiguousarray(table, dtype=np.float64)
+        cs_c = _c(cs, np.float64)
+        ev_c = _c(events, np.uint8)
+        coin_c = _c(coins, np.float64)
+        table_c = _c(table, np.float64)
         table_size = table_c.shape[0]
         if table_size == 0:  # keep the pointer valid; never dereferenced
             table_c = np.zeros(1, dtype=np.float64)
         counts = np.zeros(3, dtype=np.int64)
         state = np.zeros(2, dtype=np.float64)
-        as_f64 = ctypes.POINTER(ctypes.c_double)
         self._fn(
             ctypes.c_int64(horizon),
-            cs_c.ctypes.data_as(as_f64),
-            ev_c.ctypes.data_as(ctypes.POINTER(ctypes.c_uint8)),
-            coin_c.ctypes.data_as(as_f64),
-            table_c.ctypes.data_as(as_f64),
+            cs_c.ctypes.data_as(_F64P),
+            ev_c.ctypes.data_as(_U8P),
+            coin_c.ctypes.data_as(_F64P),
+            table_c.ctypes.data_as(_F64P),
             ctypes.c_int64(table_size),
             ctypes.c_double(tail),
             ctypes.c_int32(1 if slot_mode else 0),
@@ -279,8 +528,8 @@ class NativeScan:
             ctypes.c_double(delta1),
             ctypes.c_double(delta2),
             ctypes.c_double(initial),
-            counts.ctypes.data_as(ctypes.POINTER(ctypes.c_int64)),
-            state.ctypes.data_as(as_f64),
+            counts.ctypes.data_as(_I64P),
+            state.ctypes.data_as(_F64P),
         )
         return (
             int(counts[0]),
@@ -289,6 +538,65 @@ class NativeScan:
             float(state[0]),
             float(state[1]),
         )
+
+    def scan_batch(
+        self,
+        cs: np.ndarray,
+        events: np.ndarray,
+        coins: np.ndarray,
+        lengths: np.ndarray,
+        tables: np.ndarray,
+        table_offsets: np.ndarray,
+        table_sizes: np.ndarray,
+        tails: np.ndarray,
+        slot_modes: np.ndarray,
+        full_infos: np.ndarray,
+        capacities: np.ndarray,
+        delta1s: np.ndarray,
+        delta2s: np.ndarray,
+        initials: np.ndarray,
+        parallel: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Run ``n_runs`` independent scans over padded batch arrays.
+
+        ``cs``/``events``/``coins`` are ``(n_runs, stride)``; run ``r``
+        occupies the first ``lengths[r]`` columns of its row.  Returns
+        ``(counts, state)``: ``counts[r] = (activations, captures,
+        blocked)``, ``state[r] = (neg, shave)``.  ``parallel=False``
+        forces the serial loop even in an OpenMP build (for exactness
+        tests and single-run-comparable timings).
+        """
+        n_runs, stride = cs.shape
+        cs_c = _c(cs, np.float64)
+        ev_c = _c(events, np.uint8)
+        coin_c = _c(coins, np.float64)
+        tables_c = _c(tables, np.float64)
+        if tables_c.size == 0:  # keep the pointer valid; never dereferenced
+            tables_c = np.zeros(1, dtype=np.float64)
+        counts = np.zeros((n_runs, 3), dtype=np.int64)
+        state = np.zeros((n_runs, 2), dtype=np.float64)
+        self._batch_fn(
+            ctypes.c_int64(n_runs),
+            ctypes.c_int64(stride),
+            _c(lengths, np.int64).ctypes.data_as(_I64P),
+            cs_c.ctypes.data_as(_F64P),
+            ev_c.ctypes.data_as(_U8P),
+            coin_c.ctypes.data_as(_F64P),
+            tables_c.ctypes.data_as(_F64P),
+            _c(table_offsets, np.int64).ctypes.data_as(_I64P),
+            _c(table_sizes, np.int64).ctypes.data_as(_I64P),
+            _c(tails, np.float64).ctypes.data_as(_F64P),
+            _c(slot_modes, np.int32).ctypes.data_as(_I32P),
+            _c(full_infos, np.int32).ctypes.data_as(_I32P),
+            _c(capacities, np.float64).ctypes.data_as(_F64P),
+            _c(delta1s, np.float64).ctypes.data_as(_F64P),
+            _c(delta2s, np.float64).ctypes.data_as(_F64P),
+            _c(initials, np.float64).ctypes.data_as(_F64P),
+            ctypes.c_int32(1 if parallel else 0),
+            counts.ctypes.data_as(_I64P),
+            state.ctypes.data_as(_F64P),
+        )
+        return counts, state
 
     def scan_network(
         self,
@@ -313,26 +621,24 @@ class NativeScan:
         captures, blocked)`` and ``state[s] = (neg, shave)``.
         """
         n_sensors, horizon = cs.shape
-        cs_c = np.ascontiguousarray(cs, dtype=np.float64)
-        ev_c = np.ascontiguousarray(events, dtype=np.uint8)
-        coin_c = np.ascontiguousarray(coins, dtype=np.float64)
-        resp_c = np.ascontiguousarray(resp, dtype=np.int64)
-        table_c = np.ascontiguousarray(table, dtype=np.float64)
+        cs_c = _c(cs, np.float64)
+        ev_c = _c(events, np.uint8)
+        coin_c = _c(coins, np.float64)
+        resp_c = _c(resp, np.int64)
+        table_c = _c(table, np.float64)
         table_size = table_c.shape[0]
         if table_size == 0:  # keep the pointer valid; never dereferenced
             table_c = np.zeros(1, dtype=np.float64)
         counts = np.zeros((n_sensors, 3), dtype=np.int64)
         state = np.zeros((n_sensors, 2), dtype=np.float64)
-        as_f64 = ctypes.POINTER(ctypes.c_double)
-        as_i64 = ctypes.POINTER(ctypes.c_int64)
         self._net_fn(
             ctypes.c_int64(horizon),
             ctypes.c_int64(n_sensors),
-            cs_c.ctypes.data_as(as_f64),
-            ev_c.ctypes.data_as(ctypes.POINTER(ctypes.c_uint8)),
-            coin_c.ctypes.data_as(as_f64),
-            resp_c.ctypes.data_as(as_i64),
-            table_c.ctypes.data_as(as_f64),
+            cs_c.ctypes.data_as(_F64P),
+            ev_c.ctypes.data_as(_U8P),
+            coin_c.ctypes.data_as(_F64P),
+            resp_c.ctypes.data_as(_I64P),
+            table_c.ctypes.data_as(_F64P),
             ctypes.c_int64(table_size),
             ctypes.c_double(tail),
             ctypes.c_int32(1 if slot_mode else 0),
@@ -341,41 +647,113 @@ class NativeScan:
             ctypes.c_double(delta1),
             ctypes.c_double(delta2),
             ctypes.c_double(initial),
-            counts.ctypes.data_as(as_i64),
-            state.ctypes.data_as(as_f64),
+            counts.ctypes.data_as(_I64P),
+            state.ctypes.data_as(_F64P),
+        )
+        return counts, state
+
+    def scan_network_batch(
+        self,
+        cs: np.ndarray,
+        events: np.ndarray,
+        coins: np.ndarray,
+        resp: np.ndarray,
+        lengths: np.ndarray,
+        n_sensors: np.ndarray,
+        sensor_offsets: np.ndarray,
+        tables: np.ndarray,
+        table_offsets: np.ndarray,
+        table_sizes: np.ndarray,
+        tails: np.ndarray,
+        slot_modes: np.ndarray,
+        full_infos: np.ndarray,
+        capacities: np.ndarray,
+        delta1s: np.ndarray,
+        delta2s: np.ndarray,
+        initials: np.ndarray,
+        parallel: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Run ``n_runs`` independent network scans in one call.
+
+        ``cs`` is ``(total_sensor_rows, stride)``; run ``r`` owns rows
+        ``sensor_offsets[r] : sensor_offsets[r] + n_sensors[r]`` and
+        row ``r`` of the ``(n_runs, stride)`` ``events``/``coins``/
+        ``resp`` arrays.  Returns per-sensor-row ``(counts, state)``
+        shaped ``(total_sensor_rows, 3)`` / ``(total_sensor_rows, 2)``.
+        """
+        n_runs, stride = events.shape
+        total_rows = cs.shape[0]
+        cs_c = _c(cs, np.float64)
+        ev_c = _c(events, np.uint8)
+        coin_c = _c(coins, np.float64)
+        resp_c = _c(resp, np.int64)
+        tables_c = _c(tables, np.float64)
+        if tables_c.size == 0:  # keep the pointer valid; never dereferenced
+            tables_c = np.zeros(1, dtype=np.float64)
+        counts = np.zeros((total_rows, 3), dtype=np.int64)
+        state = np.zeros((total_rows, 2), dtype=np.float64)
+        self._net_batch_fn(
+            ctypes.c_int64(n_runs),
+            ctypes.c_int64(stride),
+            _c(lengths, np.int64).ctypes.data_as(_I64P),
+            _c(n_sensors, np.int64).ctypes.data_as(_I64P),
+            _c(sensor_offsets, np.int64).ctypes.data_as(_I64P),
+            cs_c.ctypes.data_as(_F64P),
+            ev_c.ctypes.data_as(_U8P),
+            coin_c.ctypes.data_as(_F64P),
+            resp_c.ctypes.data_as(_I64P),
+            tables_c.ctypes.data_as(_F64P),
+            _c(table_offsets, np.int64).ctypes.data_as(_I64P),
+            _c(table_sizes, np.int64).ctypes.data_as(_I64P),
+            _c(tails, np.float64).ctypes.data_as(_F64P),
+            _c(slot_modes, np.int32).ctypes.data_as(_I32P),
+            _c(full_infos, np.int32).ctypes.data_as(_I32P),
+            _c(capacities, np.float64).ctypes.data_as(_F64P),
+            _c(delta1s, np.float64).ctypes.data_as(_F64P),
+            _c(delta2s, np.float64).ctypes.data_as(_F64P),
+            _c(initials, np.float64).ctypes.data_as(_F64P),
+            ctypes.c_int32(1 if parallel else 0),
+            counts.ctypes.data_as(_I64P),
+            state.ctypes.data_as(_F64P),
         )
         return counts, state
 
 
 def _compile() -> Optional[ctypes.CDLL]:
-    """Compile the scan into a cached shared object; None on any failure."""
+    """Compile the scan into a cached shared object; None on any failure.
+
+    Tries ``-fopenmp`` first (threads the batch entries over runs) and
+    falls back to a serial build when the toolchain lacks it.
+    """
     gcc = shutil.which("gcc") or shutil.which("cc")
     if gcc is None:
         return None
-    digest = hashlib.sha256(
-        _SOURCE.encode() + " ".join(_CFLAGS).encode()
-    ).hexdigest()[:16]
-    uid = os.getuid() if hasattr(os, "getuid") else 0
-    cache = pathlib.Path(tempfile.gettempdir()) / f"repro-native-{uid}"
-    so_path = cache / f"repro_scan-{digest}.so"
-    try:
-        if not so_path.exists():
-            cache.mkdir(parents=True, exist_ok=True)
-            src_path = cache / f"repro_scan-{digest}.c"
-            src_path.write_text(_SOURCE)
-            with tempfile.NamedTemporaryFile(
-                dir=str(cache), suffix=".so", delete=False
-            ) as tmp:
-                tmp_name = tmp.name
-            subprocess.run(
-                [gcc, *_CFLAGS, "-o", tmp_name, str(src_path)],
-                check=True,
-                capture_output=True,
-            )
-            os.replace(tmp_name, so_path)  # atomic vs concurrent compiles
-        return ctypes.CDLL(str(so_path))
-    except (OSError, subprocess.SubprocessError):
-        return None
+    for flags in ((*_CFLAGS, _OMP_FLAG), _CFLAGS):
+        digest = hashlib.sha256(
+            _SOURCE.encode() + " ".join(flags).encode()
+        ).hexdigest()[:16]
+        uid = os.getuid() if hasattr(os, "getuid") else 0
+        cache = pathlib.Path(tempfile.gettempdir()) / f"repro-native-{uid}"
+        so_path = cache / f"repro_scan-{digest}.so"
+        try:
+            if not so_path.exists():
+                cache.mkdir(parents=True, exist_ok=True)
+                src_path = cache / f"repro_scan-{digest}.c"
+                src_path.write_text(_SOURCE)
+                with tempfile.NamedTemporaryFile(
+                    dir=str(cache), suffix=".so", delete=False
+                ) as tmp:
+                    tmp_name = tmp.name
+                subprocess.run(
+                    [gcc, *flags, "-o", tmp_name, str(src_path)],
+                    check=True,
+                    capture_output=True,
+                )
+                os.replace(tmp_name, so_path)  # atomic vs concurrent compiles
+            return ctypes.CDLL(str(so_path))
+        except (OSError, subprocess.SubprocessError):
+            continue
+    return None
 
 
 def get_native_scan() -> Optional[NativeScan]:
@@ -395,6 +773,7 @@ def get_native_scan() -> Optional[NativeScan]:
         telemetry.event(
             "native_compile",
             available=_lib_cache is not None,
+            openmp=getattr(_lib_cache, "openmp", False),
         )
     telemetry.count(
         "native.available" if _lib_cache is not None else "native.unavailable"

@@ -1,0 +1,104 @@
+"""Array-API namespace indirection for the batched kernel.
+
+The batched numpy path in :mod:`repro.sim.batch_kernel` is written
+against the `array API standard <https://data-apis.org/array-api/>`_
+rather than against ``numpy`` directly, so a GPU namespace (CuPy, or a
+``torch`` shim) can later drop in behind ``backend="auto"`` without
+touching the scan arithmetic.  This module is the single boundary:
+
+* :func:`array_namespace` resolves the namespace owning a set of
+  arrays.  When ``array_api_compat`` is installed it defers to it
+  (which handles CuPy/torch/dask wrappers); otherwise it falls back to
+  a hand-rolled numpy wrapper providing the few standard names the
+  kernel uses that plain ``numpy`` spells differently
+  (``cumulative_sum``, ``concat``).
+* :func:`cumulative_max` papers over the one reduction the standard
+  lacks entirely; per-namespace implementations register here.
+
+Bit-identity contract: whatever namespace is resolved, the batch scan
+performs the same FP operations in the same per-run order, so adding a
+backend means adding a ``cumulative_max`` implementation and proving
+bit-identity through the existing golden/hypothesis suite — not
+re-deriving the kernel.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+from typing import Any
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where the package exists
+    import array_api_compat as _compat
+except ImportError:  # pragma: no cover - the common case in this image
+    _compat = None
+
+
+def _np_cumulative_sum(x: Any, axis: int = -1, dtype: Any = None) -> Any:
+    return np.cumsum(x, axis=axis, dtype=dtype)
+
+
+def _np_concat(arrays: Any, axis: int = 0) -> Any:
+    return np.concatenate(arrays, axis=axis)
+
+
+#: Numpy dressed up with the array-API spellings the kernel relies on.
+#: ``SimpleNamespace`` delegation is deliberate: attribute access falls
+#: back to the wrapped module for everything not overridden.
+class _NumpyNamespace(SimpleNamespace):
+    def __getattr__(self, name: str) -> Any:
+        return getattr(np, name)
+
+
+_NUMPY_XP = _NumpyNamespace(
+    cumulative_sum=_np_cumulative_sum,
+    concat=_np_concat,
+)
+
+
+def array_namespace(*arrays: Any) -> Any:
+    """Return the array-API namespace owning ``arrays``.
+
+    With ``array_api_compat`` available this supports any wrapped
+    library; without it only numpy arrays are accepted, which is the
+    only backend shipped today.
+    """
+    if _compat is not None:
+        try:
+            return _compat.array_namespace(*arrays)
+        except TypeError:
+            pass
+    for a in arrays:
+        if not isinstance(a, np.ndarray):
+            raise TypeError(
+                "batched kernel received a non-numpy array and "
+                "array_api_compat is not installed: "
+                f"{type(a).__name__}"
+            )
+    return _NUMPY_XP
+
+
+def cumulative_max(xp: Any, x: Any, axis: int = -1) -> Any:
+    """Running maximum along ``axis`` — absent from the array API.
+
+    Registered per backend; numpy uses the exact (no-rounding)
+    ``np.maximum.accumulate`` ufunc reduction.
+    """
+    if xp is _NUMPY_XP or xp is np or getattr(xp, "__name__", "") in (
+        "numpy",
+        "array_api_compat.numpy",
+    ):
+        return np.maximum.accumulate(x, axis=axis)
+    raise NotImplementedError(  # pragma: no cover - future GPU backends
+        "cumulative_max has no registered implementation for "
+        f"namespace {xp!r}"
+    )
+
+
+def is_numpy_namespace(xp: Any) -> bool:
+    """True when ``xp`` executes on host numpy arrays."""
+    return xp is _NUMPY_XP or xp is np or getattr(xp, "__name__", "") in (
+        "numpy",
+        "array_api_compat.numpy",
+    )

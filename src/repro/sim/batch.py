@@ -10,16 +10,18 @@ interval for the QoM (or any scalar metric).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 from scipy import stats as scipy_stats
 
 from repro.devtools import telemetry
 from repro.exceptions import SimulationError
+from repro.sim.batch_kernel import RunSpec, simulate_batch
 from repro.sim.metrics import SimulationResult
-from repro.sim.parallel import parallel_map
+from repro.sim.parallel import parallel_map, resolve_n_jobs
 from repro.sim.rng import spawn_seeds
 
 
@@ -50,10 +52,19 @@ class ReplicationSummary:
 
 
 def summarize(
-    values: Sequence[float], confidence: float = 0.95
+    values: Iterable[float], confidence: float = 0.95
 ) -> ReplicationSummary:
-    """Mean and Student-t confidence interval of scalar observations."""
-    arr = np.asarray(list(values), dtype=float)
+    """Mean and Student-t confidence interval of scalar observations.
+
+    Array-likes (ndarrays, lists, tuples) convert directly — a float
+    ndarray is *not* re-copied through a Python list, which matters on
+    the batched replicate hot path; other iterables (generators) are
+    materialised first.
+    """
+    if isinstance(values, (np.ndarray, list, tuple)):
+        arr = np.asarray(values, dtype=float)
+    else:
+        arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
         raise SimulationError("need at least one replicate")
     if not 0 < confidence < 1:
@@ -87,12 +98,13 @@ def summarize(
 
 
 def replicate(
-    run: Callable[[np.random.SeedSequence], SimulationResult],
+    run: Union[Callable[[np.random.SeedSequence], SimulationResult], RunSpec],
     n_replicates: int,
     base_seed: int = 0,
     metric: Callable[[SimulationResult], float] = lambda r: r.qom,
     confidence: float = 0.95,
     n_jobs: Optional[int] = None,
+    backend: str = "auto",
 ) -> ReplicationSummary:
     """Run ``run(seed)`` for ``n_replicates`` derived seeds.
 
@@ -102,6 +114,12 @@ def replicate(
     return a :class:`SimulationResult`; ``metric`` extracts the scalar
     to aggregate (default: QoM).  Every simulation entry point accepts
     the seed object directly.
+
+    ``run`` may instead be a :class:`~repro.sim.batch_kernel.RunSpec`
+    template (its ``seed`` field is ignored): serial execution then
+    packs all replicates into one batched scan call
+    (:func:`~repro.sim.batch_kernel.simulate_batch`), bit-identical to
+    the per-seed loop; ``backend`` applies only to this form.
 
     ``n_jobs`` fans replicates out across processes
     (:func:`repro.sim.parallel.parallel_map`); results are identical to
@@ -118,6 +136,29 @@ def replicate(
         base_seed=int(base_seed),
         n_jobs=n_jobs,
     )
+
+    if isinstance(run, RunSpec):
+        spec = run
+        if resolve_n_jobs(n_jobs) == 1:
+            with telemetry.timed("sim.replicate"):
+                results = simulate_batch(
+                    [dataclasses.replace(spec, seed=s) for s in seeds],
+                    backend=backend,
+                )
+            return summarize(
+                np.array([float(metric(r)) for r in results]),
+                confidence=confidence,
+            )
+
+        def _one_spec(seed: np.random.SeedSequence) -> float:
+            [result] = simulate_batch(
+                [dataclasses.replace(spec, seed=seed)], backend=backend
+            )
+            return float(metric(result))
+
+        with telemetry.timed("sim.replicate"):
+            values = parallel_map(_one_spec, seeds, n_jobs=n_jobs)
+        return summarize(values, confidence=confidence)
 
     def _one(seed: np.random.SeedSequence) -> float:
         return float(metric(run(seed)))

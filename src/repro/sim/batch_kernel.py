@@ -1,0 +1,920 @@
+"""Batched mega-simulation kernel: many (policy, seed) runs per scan call.
+
+The figure sweeps and any serious policy comparison run M replicates x
+P configurations; executed one :func:`repro.sim.simulate_single` call
+at a time, per-call dispatch (sub-stream derivation, eligibility
+resolution, ctypes marshalling, result assembly) dominates once the
+per-run scan itself is fast.  This module packs many runs into
+contiguous ``(runs, slots)`` arrays and executes the whole batch in one
+scan call:
+
+* **packing** — ragged horizons pad to the longest run; a per-run
+  length vector bounds every scan, so padding is arithmetic-inert (it
+  is never read by the native scan, and the numpy reductions below are
+  constructed so padded columns cannot change any per-run value).
+* **native batch scan** — one ``repro_batch_scan`` call dispatches
+  every packed run to the same ``static`` C routine the single-run
+  symbol uses (OpenMP ``parallel for`` over runs when compiled in;
+  threading reorders scheduling only, never arithmetic).
+* **numpy batch scan** — phase-A speculation runs across the whole
+  batch with axis-1 reductions, written against the array-API
+  namespace (:mod:`repro.sim._xp`) so a GPU array library can drop in
+  behind ``backend="auto"`` later; rows that fail speculation peel off
+  to the proven per-run sparse scans.
+
+Results split back into per-run :class:`SimulationResult` objects
+**bit-identical** to ``simulate_single`` — per run, the same FP ops in
+the same order.  The padded reductions preserve this exactly:
+
+* recharge rows pad with ``0.0`` and the axis-1 ``cumulative_sum`` adds
+  them sequentially, and IEEE ``x + 0.0 == x`` (bitwise; ``-0.0`` needs
+  a negative recharge, which eligibility excludes), so each padded
+  cumulative-recharge row replicates its last valid value;
+* activation costs pad with ``0.0`` inside a running difference, and
+  ``x - y == x + (-y)`` exactly, so per-run partial sums match the
+  reference's gathered ``subtract.accumulate`` bitwise;
+* the overflow running ``max`` is exact and the padded overshoot never
+  exceeds the last valid one, so the final column reads back each
+  run's true shave.
+
+Dispatch mirrors ``simulate_single`` exactly: the shared gates
+(:func:`repro.sim.kernel.policy_fast_paths`,
+:func:`repro.sim.kernel.ineligibility_reason`,
+:func:`repro.sim.network_kernel.plan_or_reason`) decide eligibility,
+ineligible runs peel off to the reference loop with the already-drawn
+arrays, and mixed batches return results in input order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.multi import Coordinator
+from repro.core.policy import ActivationPolicy
+from repro.devtools import telemetry
+from repro.energy.recharge import RechargeProcess
+from repro.events.base import InterArrivalDistribution
+from repro.events.renewal import generate_event_flags_bulk
+from repro.exceptions import SimulationError
+from repro.sim import engine, kernel, network_kernel
+from repro.sim._native import get_native_scan
+from repro.sim._xp import array_namespace, cumulative_max
+from repro.sim.metrics import SimulationResult
+from repro.sim.rng import SeedLike, bulk_substreams
+
+__all__ = [
+    "NetworkRunSpec",
+    "RunSpec",
+    "simulate_batch",
+    "simulate_network_runs",
+]
+
+
+@dataclass(frozen=True, eq=False)
+class RunSpec:
+    """One ``simulate_single`` configuration, ready for batching.
+
+    Field-for-field the arguments of :func:`repro.sim.simulate_single`;
+    ``simulate_batch(specs)[i]`` equals ``simulate_single(**specs[i])``
+    bit-for-bit.  Specs in one batch may differ in every field,
+    including horizon.
+    """
+
+    distribution: InterArrivalDistribution
+    policy: ActivationPolicy
+    recharge: RechargeProcess
+    capacity: float
+    delta1: float
+    delta2: float
+    horizon: int
+    seed: SeedLike = None
+    initial_energy: Optional[float] = None
+    collect_battery_trace: bool = False
+
+
+@dataclass(frozen=True, eq=False)
+class NetworkRunSpec:
+    """One ``simulate_network`` configuration, ready for batching."""
+
+    distribution: InterArrivalDistribution
+    coordinator: Coordinator
+    recharge: RechargeProcess
+    capacity: float
+    delta1: float
+    delta2: float
+    horizon: int
+    seed: SeedLike = None
+    initial_energy: Optional[float] = None
+
+
+@dataclass
+class _Drawn:
+    """One run's drawn arrays plus its resolved dispatch decision."""
+
+    events: np.ndarray
+    recharge: np.ndarray
+    coins: np.ndarray
+    fast: kernel.PolicyFastPaths
+    reason: Optional[str]
+    initial: float
+
+
+def _validate_common(
+    i: int, capacity: float, delta1: float, delta2: float, horizon: int
+) -> None:
+    if horizon < 0:
+        raise SimulationError(f"spec {i}: horizon must be >= 0, got {horizon}")
+    if capacity < 0:
+        raise SimulationError(
+            f"spec {i}: capacity must be >= 0, got {capacity}"
+        )
+    if delta1 < 0 or delta2 < 0:
+        raise SimulationError(
+            f"spec {i}: delta1/delta2 must be >= 0, got {delta1}, {delta2}"
+        )
+
+
+def _resolve_initial(
+    i: int, capacity: float, initial_energy: Optional[float]
+) -> float:
+    initial = (
+        capacity / 2.0 if initial_energy is None else float(initial_energy)
+    )
+    if not 0 <= initial <= capacity:
+        raise SimulationError(
+            f"spec {i}: initial energy {initial} outside [0, {capacity}]"
+        )
+    return initial
+
+
+def _draw_single(
+    i: int,
+    spec: RunSpec,
+    fast_cache: Dict[Tuple[int, int], kernel.PolicyFastPaths],
+    coin_rng: np.random.Generator,
+    events: np.ndarray,
+    recharge_amounts: np.ndarray,
+    initial: float,
+) -> _Drawn:
+    """Resolve one run's dispatch decision from its pre-drawn arrays.
+
+    Events and recharge rows arrive from the grouped bulk draws in
+    :func:`simulate_batch`; ``coin_rng`` is the run's third sub-stream,
+    all bit-identical to the engine's ``make_rng`` + ``spawn`` — the
+    whole point of batching would be lost if seeds replayed differently.
+    """
+    coins = coin_rng.random(spec.horizon)
+    key = (id(spec.policy), spec.horizon)
+    fast = fast_cache.get(key)
+    if fast is None:
+        fast = kernel.policy_fast_paths(spec.policy, spec.horizon)
+        fast_cache[key] = fast
+    reason = kernel.ineligibility_reason(
+        battery_aware=fast.battery_aware,
+        collect_battery_trace=spec.collect_battery_trace,
+        has_table=fast.table is not None,
+        has_slot_probs=fast.slot_probs is not None,
+        recharge_amounts=recharge_amounts,
+    )
+    return _Drawn(
+        events=events,
+        recharge=recharge_amounts,
+        coins=coins,
+        fast=fast,
+        reason=reason,
+        initial=initial,
+    )
+
+
+def _bulk_event_rows(
+    specs: Sequence[object],
+    event_rngs: Sequence[np.random.Generator],
+) -> List[np.ndarray]:
+    """Event-flag rows for every spec, grouped by (distribution, horizon).
+
+    Batches typically replicate one event model across many seeds; each
+    group costs one :func:`generate_event_flags_bulk` call.  Rows are
+    bit-identical to per-run ``generate_event_flags`` with the same
+    streams.
+    """
+    rows: List[Optional[np.ndarray]] = [None] * len(specs)
+    groups: Dict[Tuple[int, int], List[int]] = {}
+    for i, spec in enumerate(specs):
+        groups.setdefault((id(spec.distribution), spec.horizon), []).append(i)
+    for (_, horizon), idxs in groups.items():
+        mat = generate_event_flags_bulk(
+            specs[idxs[0]].distribution,
+            horizon,
+            [event_rngs[i] for i in idxs],
+        )
+        for j, i in enumerate(idxs):
+            rows[i] = mat[j]
+    return rows  # type: ignore[return-value]
+
+
+def _bulk_recharge_rows(
+    specs: Sequence[object],
+    rngs_per_spec: Sequence[List[np.random.Generator]],
+) -> List[np.ndarray]:
+    """Recharge rows for every spec, grouped by (process, horizon).
+
+    ``rngs_per_spec[i]`` holds spec ``i``'s recharge streams (one for a
+    single sensor, ``n_sensors`` for a fleet); the returned entry is the
+    matching ``(len(rngs), horizon)`` block, bit-identical to per-run
+    ``sequence`` calls.
+    """
+    rows: List[Optional[np.ndarray]] = [None] * len(specs)
+    groups: Dict[Tuple[int, int], List[int]] = {}
+    for i, spec in enumerate(specs):
+        groups.setdefault((id(spec.recharge), spec.horizon), []).append(i)
+    for (_, horizon), idxs in groups.items():
+        flat = [rng for i in idxs for rng in rngs_per_spec[i]]
+        mat = np.asarray(
+            specs[idxs[0]].recharge.sequence_bulk(horizon, flat),
+            dtype=np.float64,
+        )
+        offset = 0
+        for i in idxs:
+            width = len(rngs_per_spec[i])
+            rows[i] = mat[offset:offset + width]
+            offset += width
+    return rows  # type: ignore[return-value]
+
+
+def _record_runs(
+    entry: str,
+    specs: Sequence[Any],
+    policy_names: Sequence[str],
+    vectorized: Sequence[bool],
+) -> None:
+    """Emit one run-manifest event per spec.
+
+    Mirrors ``engine._record_run`` so ``--telemetry`` manifests list
+    every simulation a batched call performed, with seed provenance —
+    a batch must not be less auditable than the per-run loop it
+    replaces.
+    """
+    if not telemetry.enabled():
+        return
+    for spec, name, is_vec in zip(specs, policy_names, vectorized):
+        telemetry.event(
+            "simulation_run",
+            entry=entry,
+            backend="vectorized" if is_vec else "reference",
+            policy=name,
+            capacity=float(spec.capacity),
+            delta1=float(spec.delta1),
+            delta2=float(spec.delta2),
+            horizon=int(spec.horizon),
+            seed=telemetry.describe_seed(spec.seed),
+        )
+
+
+def _count_fallbacks(entry: str, reasons: List[str]) -> None:
+    if not reasons or not telemetry.enabled():
+        return
+    by_reason: Dict[str, int] = {}
+    for reason in reasons:
+        by_reason[reason] = by_reason.get(reason, 0) + 1
+    for reason, n in sorted(by_reason.items()):
+        telemetry.event(
+            "backend_fallback", entry=entry, reason=reason, runs=n
+        )
+
+
+def _pack_tables(
+    probs_arrays: Sequence[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate per-run prob tables, deduplicating shared ones.
+
+    Batches typically replicate a handful of policies across many
+    seeds; keying on the array's ``id`` keeps the flat buffer at one
+    copy per distinct table instead of one per run.
+    """
+    offsets = np.empty(len(probs_arrays), dtype=np.int64)
+    sizes = np.empty(len(probs_arrays), dtype=np.int64)
+    unique: List[np.ndarray] = []
+    offset_by_id: Dict[int, int] = {}
+    total = 0
+    for j, arr in enumerate(probs_arrays):
+        off = offset_by_id.get(id(arr))
+        if off is None:
+            off = total
+            offset_by_id[id(arr)] = off
+            unique.append(arr)
+            total += arr.size
+        offsets[j] = off
+        sizes[j] = arr.size
+    flat = (
+        np.concatenate(unique)
+        if unique
+        else np.empty(0, dtype=np.float64)
+    )
+    return flat, offsets, sizes
+
+
+_EMPTY_TABLE = np.empty(0, dtype=np.float64)
+
+
+def _run_probs(fast: kernel.PolicyFastPaths) -> Tuple[np.ndarray, bool]:
+    """The (table, slot_mode) pair a run's scan reads probabilities from."""
+    if fast.slot_probs is not None:
+        return np.asarray(fast.slot_probs, dtype=np.float64), True
+    if fast.table is not None:
+        return np.asarray(fast.table, dtype=np.float64), False
+    return _EMPTY_TABLE, False
+
+
+def simulate_batch(
+    specs: Iterable[RunSpec],
+    backend: str = "auto",
+) -> List[SimulationResult]:
+    """Run every spec and return results in input order.
+
+    ``backend`` has the ``simulate_single`` contract: ``"reference"``
+    forces the per-slot loop for every run, ``"vectorized"`` raises
+    when any run is ineligible, ``"auto"`` batches the eligible runs
+    and peels ineligible ones off to the reference loop.  All backends
+    are bit-identical to per-run ``simulate_single`` calls.
+    """
+    specs = list(specs)
+    if backend not in engine.BACKENDS:
+        raise SimulationError(
+            f"backend must be one of {engine.BACKENDS}, got {backend!r}"
+        )
+    n_specs = len(specs)
+    results: List[Optional[SimulationResult]] = [None] * n_specs
+    if n_specs == 0:
+        return []
+    telemetry.count("batch.runs", n_specs)
+
+    for i, s in enumerate(specs):
+        _validate_common(i, s.capacity, s.delta1, s.delta2, s.horizon)
+    initials = [
+        _resolve_initial(i, s.capacity, s.initial_energy)
+        for i, s in enumerate(specs)
+    ]
+    fast_cache: Dict[Tuple[int, int], kernel.PolicyFastPaths] = {}
+    all_streams = bulk_substreams([s.seed for s in specs], 3)
+    event_rows = _bulk_event_rows(specs, [st[0] for st in all_streams])
+    recharge_rows = _bulk_recharge_rows(
+        specs, [[st[1]] for st in all_streams]
+    )
+    drawn = [
+        _draw_single(
+            i, s, fast_cache, all_streams[i][2],
+            event_rows[i], recharge_rows[i][0], initials[i],
+        )
+        for i, s in enumerate(specs)
+    ]
+
+    eligible: List[int] = []
+    fallback_reasons: List[str] = []
+    for i, d in enumerate(drawn):
+        if backend != "reference" and d.reason is None:
+            if specs[i].horizon == 0:
+                # The kernel's horizon-0 early return, inlined.
+                results[i] = kernel._result(
+                    0, 0, 0, 0, d.initial, 0.0, 0.0,
+                    specs[i].delta1, specs[i].delta2, 0,
+                )
+            else:
+                eligible.append(i)
+            continue
+        if backend == "vectorized":
+            raise SimulationError(
+                f"vectorized backend unavailable for spec {i}: {d.reason}"
+            )
+        if backend != "reference":
+            fallback_reasons.append(d.reason or "")
+        spec = specs[i]
+        results[i] = engine._simulate_reference(
+            policy=spec.policy,
+            events=d.events,
+            recharge_amounts=d.recharge,
+            coins=d.coins,
+            table=d.fast.table,
+            tail=d.fast.tail,
+            slot_probs=d.fast.slot_probs,
+            battery_aware=d.fast.battery_aware,
+            full_info=d.fast.full_info,
+            capacity=float(spec.capacity),
+            delta1=float(spec.delta1),
+            delta2=float(spec.delta2),
+            horizon=spec.horizon,
+            initial=d.initial,
+            collect_battery_trace=spec.collect_battery_trace,
+        )
+    telemetry.count("batch.dispatch.reference", n_specs - len(eligible))
+    _count_fallbacks("simulate_batch", fallback_reasons)
+    _record_runs(
+        "simulate_batch",
+        specs,
+        [type(s.policy).__name__ for s in specs],
+        [backend != "reference" and d.reason is None for d in drawn],
+    )
+
+    if eligible:
+        _scan_batch_packed(specs, drawn, eligible, results)
+
+    return results  # type: ignore[return-value]
+
+
+def _scan_batch_packed(
+    specs: Sequence[RunSpec],
+    drawn: Sequence[_Drawn],
+    eligible: Sequence[int],
+    results: List[Optional[SimulationResult]],
+) -> None:
+    """Pack the eligible runs, scan them in one batch, split results."""
+    n_runs = len(eligible)
+    lengths = np.array(
+        [specs[i].horizon for i in eligible], dtype=np.int64
+    )
+    stride = int(lengths.max())
+    telemetry.count(
+        "batch.padding_waste_slots",
+        int(n_runs * stride - int(lengths.sum())),
+    )
+
+    events2 = np.zeros((n_runs, stride), dtype=np.uint8)
+    recharge2 = np.zeros((n_runs, stride), dtype=np.float64)
+    coins2 = np.zeros((n_runs, stride), dtype=np.float64)
+    for j, i in enumerate(eligible):
+        horizon = specs[i].horizon
+        events2[j, :horizon] = drawn[i].events
+        recharge2[j, :horizon] = drawn[i].recharge
+        coins2[j, :horizon] = drawn[i].coins
+    # Row-wise sequential adds; zero padding replicates each row's last
+    # valid cumulative value exactly (x + 0.0 == x).
+    cs2 = np.cumsum(recharge2, axis=1)
+
+    capacities = np.array([specs[i].capacity for i in eligible], dtype=float)
+    delta1s = np.array([specs[i].delta1 for i in eligible], dtype=float)
+    delta2s = np.array([specs[i].delta2 for i in eligible], dtype=float)
+    initials = np.array([drawn[i].initial for i in eligible], dtype=float)
+    run_probs = [_run_probs(drawn[i].fast) for i in eligible]
+
+    native = get_native_scan()
+    if native is not None:
+        telemetry.count("batch.dispatch.native", n_runs)
+        tables, offsets, sizes = _pack_tables([p for p, _ in run_probs])
+        counts, state = native.scan_batch(
+            cs2,
+            events2,
+            coins2,
+            lengths,
+            tables,
+            offsets,
+            sizes,
+            np.array([drawn[i].fast.tail for i in eligible], dtype=float),
+            np.array([m for _, m in run_probs], dtype=np.int32),
+            np.array(
+                [drawn[i].fast.full_info for i in eligible], dtype=np.int32
+            ),
+            capacities,
+            delta1s,
+            delta2s,
+            initials,
+            parallel=True,
+        )
+        scanned = [
+            (
+                int(counts[j, 0]),
+                int(counts[j, 1]),
+                int(counts[j, 2]),
+                float(state[j, 0]),
+                float(state[j, 1]),
+            )
+            for j in range(n_runs)
+        ]
+    else:
+        telemetry.count("batch.dispatch.numpy", n_runs)
+        scanned = _numpy_batch_scan(
+            specs, drawn, eligible, events2, cs2, coins2, lengths,
+            capacities, delta1s, delta2s, initials,
+        )
+
+    # Zero padding keeps each row's event count equal to its own horizon's.
+    n_events_all = np.count_nonzero(events2, axis=1)
+    for j, i in enumerate(eligible):
+        horizon = specs[i].horizon
+        activations, captures, blocked, neg, shave = scanned[j]
+        results[i] = kernel._result(
+            activations,
+            captures,
+            blocked,
+            int(n_events_all[j]),
+            neg,
+            shave,
+            float(cs2[j, horizon - 1]),
+            float(specs[i].delta1),
+            float(specs[i].delta2),
+            horizon,
+        )
+
+
+def _numpy_batch_scan(
+    specs: Sequence[RunSpec],
+    drawn: Sequence[_Drawn],
+    eligible: Sequence[int],
+    events2: np.ndarray,
+    cs2: np.ndarray,
+    coins2: np.ndarray,
+    lengths: np.ndarray,
+    capacities: np.ndarray,
+    delta1s: np.ndarray,
+    delta2s: np.ndarray,
+    initials: np.ndarray,
+) -> List[Tuple[int, int, int, float, float]]:
+    """Batched phase-A speculation; peel failures to the per-run scans.
+
+    Returns per packed run ``(activations, captures, blocked, neg,
+    shave)`` exactly as :func:`repro.sim.kernel._scan_upfront` /
+    ``_scan_partial`` would per run.
+    """
+    n_runs = len(eligible)
+    stride = events2.shape[1]
+    events_bool = events2.view(np.bool_)
+    scanned: List[Optional[Tuple[int, int, int, float, float]]] = (
+        [None] * n_runs
+    )
+
+    # Desire is precomputable per slot except for non-constant
+    # partial-information recency tables — same rule as the per-run
+    # kernel, evaluated from the same gate outputs.
+    desire2 = np.zeros((n_runs, stride), dtype=bool)
+    upfront: List[int] = []
+    for j, i in enumerate(eligible):
+        fast = drawn[i].fast
+        horizon = specs[i].horizon
+        if fast.slot_probs is not None:
+            probs: Optional[np.ndarray] = np.asarray(
+                fast.slot_probs, dtype=np.float64
+            )
+        elif fast.full_info:
+            probs = kernel._full_info_probs(
+                events_bool[j, :horizon], fast.table, fast.tail, horizon
+            )
+        elif (
+            network_kernel._constant_table_prob(fast.table, fast.tail)
+            is not None
+        ):
+            probs = np.full(horizon, fast.tail)
+        else:
+            probs = None
+        if probs is None:
+            telemetry.count("batch.scan.numpy_partial")
+            scanned[j] = kernel._scan_partial(
+                events_bool[j, :horizon],
+                cs2[j, :horizon],
+                coins2[j, :horizon],
+                fast.table,
+                fast.tail,
+                float(capacities[j]),
+                float(delta1s[j]),
+                float(delta2s[j]),
+                float(initials[j]),
+            )
+        else:
+            desire2[j, :horizon] = coins2[j, :horizon] < probs
+            upfront.append(j)
+
+    if not upfront:
+        return scanned  # type: ignore[return-value]
+    telemetry.count("batch.scan.numpy_upfront", len(upfront))
+
+    rows = np.asarray(upfront, dtype=np.intp)
+    xp = array_namespace(cs2, coins2)
+    desire_up = desire2[rows]
+    events_up = events_bool[rows]
+    cs_up = cs2[rows]
+    cost_col = (delta1s[rows] + delta2s[rows])[:, None]
+    delta1_col = delta1s[rows][:, None]
+    init_col = initials[rows][:, None]
+    cap_col = capacities[rows][:, None]
+
+    # Batched phase A (speculation): assume no desired slot is
+    # battery-blocked.  Zero costs at undesired/padded slots keep every
+    # per-run partial sum bitwise equal to the gathered
+    # subtract.accumulate of the per-run scan (x + (-0.0) == x, and
+    # x - y == x + (-y)).
+    costs = xp.where(
+        desire_up, xp.where(events_up, cost_col, delta1_col), 0.0
+    )
+    neg_full = xp.cumulative_sum(
+        xp.concat([init_col, -costs], axis=1), axis=1
+    )
+    pre = neg_full[:, :-1] + cs_up
+    over = pre - cap_col
+    shave_run = xp.maximum(cumulative_max(xp, over, axis=1), 0.0)
+    battery = pre - shave_run
+    failed = np.asarray(
+        xp.any(desire_up & (battery < cost_col), axis=1)
+    )
+
+    activations = np.count_nonzero(desire_up, axis=1)
+    captures = np.count_nonzero(desire_up & events_up, axis=1)
+    neg_last = np.asarray(neg_full[:, -1])
+    shave_last = np.asarray(shave_run[:, -1])
+    for k, j in enumerate(upfront):
+        if failed[k]:
+            # Speculation failed for this run: its blocked slots need
+            # the per-run sparse scan (phase B), unchanged.
+            telemetry.count("batch.scan.numpy_sparse")
+            horizon = int(lengths[j])
+            scanned[j] = kernel._scan_upfront(
+                desire2[j, :horizon],
+                events_bool[j, :horizon],
+                cs2[j, :horizon],
+                float(capacities[j]),
+                float(delta1s[j]),
+                float(delta2s[j]),
+                float(initials[j]),
+            )
+        else:
+            scanned[j] = (
+                int(activations[k]),
+                int(captures[k]),
+                0,
+                float(neg_last[k]),
+                float(shave_last[k]),
+            )
+    return scanned  # type: ignore[return-value]
+
+
+@dataclass
+class _NetDrawn:
+    """One network run's drawn arrays plus its dispatch plan."""
+
+    events: np.ndarray
+    recharge_rows: np.ndarray
+    coins: np.ndarray
+    plan: Optional[network_kernel.NetworkPlan]
+    reason: Optional[str]
+    initial: float
+
+
+def _draw_network(
+    i: int,
+    spec: NetworkRunSpec,
+    backend: str,
+    coin_rng: np.random.Generator,
+    events: np.ndarray,
+    recharge_rows: np.ndarray,
+    initial: float,
+) -> _NetDrawn:
+    """Resolve one run's plan from its pre-drawn arrays.
+
+    Events and recharge rows arrive from the grouped bulk draws in
+    :func:`simulate_network_runs`, bit-identical to per-run draws with
+    the ``simulate_network`` RNG protocol.
+    """
+    coins = coin_rng.random(spec.horizon)
+    spec.coordinator.reset()
+    plan: Optional[network_kernel.NetworkPlan] = None
+    reason: Optional[str] = None
+    if backend != "reference":
+        plan, reason = network_kernel.plan_or_reason(
+            spec.coordinator, events, recharge_rows, spec.horizon
+        )
+    return _NetDrawn(
+        events=events,
+        recharge_rows=recharge_rows,
+        coins=coins,
+        plan=plan,
+        reason=reason,
+        initial=initial,
+    )
+
+
+def simulate_network_runs(
+    specs: Iterable[NetworkRunSpec],
+    backend: str = "auto",
+) -> List[SimulationResult]:
+    """Run every network spec and return results in input order.
+
+    The batched counterpart of per-seed :func:`repro.sim.simulate_network`
+    calls, bit-identical to them; with the native scan available, all
+    eligible runs execute in one ``repro_network_batch_scan`` call.
+    Runs may use different coordinators and sensor counts.
+    """
+    specs = list(specs)
+    if backend not in engine.BACKENDS:
+        raise SimulationError(
+            f"backend must be one of {engine.BACKENDS}, got {backend!r}"
+        )
+    n_specs = len(specs)
+    results: List[Optional[SimulationResult]] = [None] * n_specs
+    if n_specs == 0:
+        return []
+    telemetry.count("network_batch.runs", n_specs)
+
+    for i, s in enumerate(specs):
+        _validate_common(i, s.capacity, s.delta1, s.delta2, s.horizon)
+    initials = [
+        _resolve_initial(i, s.capacity, s.initial_energy)
+        for i, s in enumerate(specs)
+    ]
+    # Sub-stream counts vary with the fleet size; bulk-derive per count.
+    counts = [2 + s.coordinator.n_sensors for s in specs]
+    net_streams: List[List[np.random.Generator]] = [[]] * n_specs
+    for want in sorted(set(counts)):
+        idxs = [i for i, k in enumerate(counts) if k == want]
+        got = bulk_substreams([specs[i].seed for i in idxs], want)
+        for i, streams in zip(idxs, got):
+            net_streams[i] = streams
+    event_rows = _bulk_event_rows(specs, [st[0] for st in net_streams])
+    recharge_blocks = _bulk_recharge_rows(
+        specs, [st[2:] for st in net_streams]
+    )
+    drawn = [
+        _draw_network(
+            i, s, backend, net_streams[i][1],
+            event_rows[i], recharge_blocks[i], initials[i],
+        )
+        for i, s in enumerate(specs)
+    ]
+
+    eligible: List[int] = []
+    fallback_reasons: List[str] = []
+    for i, d in enumerate(drawn):
+        if d.plan is not None:
+            eligible.append(i)
+            continue
+        if backend == "vectorized":
+            raise SimulationError(
+                f"vectorized backend unavailable for spec {i}: {d.reason}"
+            )
+        if backend != "reference":
+            fallback_reasons.append(d.reason or "")
+        # Runtime import: repro.sim.network's batched fast path imports
+        # this module, so a module-top import would be circular.
+        from repro.sim.network import _simulate_network_reference
+
+        spec = specs[i]
+        results[i] = _simulate_network_reference(
+            coordinator=spec.coordinator,
+            events=d.events,
+            recharge_rows=d.recharge_rows,
+            coins=d.coins,
+            capacity=float(spec.capacity),
+            delta1=float(spec.delta1),
+            delta2=float(spec.delta2),
+            horizon=spec.horizon,
+            initial=d.initial,
+        )
+    telemetry.count(
+        "network_batch.dispatch.reference", n_specs - len(eligible)
+    )
+    _count_fallbacks("simulate_network_runs", fallback_reasons)
+    _record_runs(
+        "simulate_network_runs",
+        specs,
+        [type(s.coordinator).__name__ for s in specs],
+        [d.plan is not None for d in drawn],
+    )
+
+    if not eligible:
+        return results  # type: ignore[return-value]
+
+    native = get_native_scan()
+    positive = [i for i in eligible if specs[i].horizon > 0]
+    if native is None or not positive:
+        # No compiled batch entry: the per-run network kernel is already
+        # the fastest remaining path and shares the batch's draws.
+        telemetry.count("network_batch.dispatch.numpy", len(eligible))
+        for i in eligible:
+            spec = specs[i]
+            d = drawn[i]
+            if d.plan is None:  # pragma: no cover - eligible => planned
+                raise SimulationError(f"spec {i}: eligible run lost its plan")
+            results[i] = network_kernel.simulate_network_kernel(
+                events=d.events,
+                recharge_rows=d.recharge_rows,
+                coins=d.coins,
+                plan=d.plan,
+                capacity=float(spec.capacity),
+                delta1=float(spec.delta1),
+                delta2=float(spec.delta2),
+                horizon=spec.horizon,
+                initial=d.initial,
+            )
+        return results  # type: ignore[return-value]
+
+    telemetry.count("network_batch.dispatch.native", len(eligible))
+    for i in eligible:
+        if specs[i].horizon == 0:
+            d = drawn[i]
+            if d.plan is None:  # pragma: no cover - eligible => planned
+                raise SimulationError(f"spec {i}: eligible run lost its plan")
+            results[i] = network_kernel.simulate_network_kernel(
+                events=d.events,
+                recharge_rows=d.recharge_rows,
+                coins=d.coins,
+                plan=d.plan,
+                capacity=float(specs[i].capacity),
+                delta1=float(specs[i].delta1),
+                delta2=float(specs[i].delta2),
+                horizon=0,
+                initial=d.initial,
+            )
+
+    n_runs = len(positive)
+    lengths = np.array([specs[i].horizon for i in positive], dtype=np.int64)
+    stride = int(lengths.max())
+    sensor_counts = np.array(
+        [drawn[i].plan.n_sensors for i in positive],  # type: ignore[union-attr]
+        dtype=np.int64,
+    )
+    sensor_offsets = np.concatenate(
+        ([0], np.cumsum(sensor_counts)[:-1])
+    ).astype(np.int64)
+    total_rows = int(sensor_counts.sum())
+    telemetry.count(
+        "network_batch.padding_waste_slots",
+        int(total_rows * stride) - int((sensor_counts * lengths).sum()),
+    )
+
+    events2 = np.zeros((n_runs, stride), dtype=np.uint8)
+    coins2 = np.zeros((n_runs, stride), dtype=np.float64)
+    resp2 = np.zeros((n_runs, stride), dtype=np.int64)
+    recharge_all = np.zeros((total_rows, stride), dtype=np.float64)
+    probs_arrays: List[np.ndarray] = []
+    slot_modes = np.empty(n_runs, dtype=np.int32)
+    for j, i in enumerate(positive):
+        d = drawn[i]
+        plan = d.plan
+        if plan is None:  # pragma: no cover - eligible => planned
+            raise SimulationError(f"spec {i}: eligible run lost its plan")
+        horizon = specs[i].horizon
+        events2[j, :horizon] = d.events
+        coins2[j, :horizon] = d.coins
+        resp2[j, :horizon] = plan.resp
+        row0 = int(sensor_offsets[j])
+        recharge_all[row0:row0 + plan.n_sensors, :horizon] = d.recharge_rows
+        if plan.slot_probs is not None:
+            probs_arrays.append(
+                np.asarray(plan.slot_probs, dtype=np.float64)
+            )
+            slot_modes[j] = 1
+        else:
+            probs_arrays.append(
+                np.asarray(plan.table, dtype=np.float64)
+                if plan.table is not None
+                else _EMPTY_TABLE
+            )
+            slot_modes[j] = 0
+    cs_all = np.cumsum(recharge_all, axis=1)
+
+    tables, offsets, sizes = _pack_tables(probs_arrays)
+    counts, state = native.scan_network_batch(
+        cs_all,
+        events2,
+        coins2,
+        resp2,
+        lengths,
+        sensor_counts,
+        sensor_offsets,
+        tables,
+        offsets,
+        sizes,
+        np.array(
+            [drawn[i].plan.tail for i in positive],  # type: ignore[union-attr]
+            dtype=np.float64,
+        ),
+        slot_modes,
+        np.array(
+            [drawn[i].plan.full_info for i in positive],  # type: ignore[union-attr]
+            dtype=np.int32,
+        ),
+        np.array([specs[i].capacity for i in positive], dtype=np.float64),
+        np.array([specs[i].delta1 for i in positive], dtype=np.float64),
+        np.array([specs[i].delta2 for i in positive], dtype=np.float64),
+        np.array([drawn[i].initial for i in positive], dtype=np.float64),
+        parallel=True,
+    )
+
+    for j, i in enumerate(positive):
+        horizon = specs[i].horizon
+        n_sensors = int(sensor_counts[j])
+        row0 = int(sensor_offsets[j])
+        harvested = [
+            float(cs_all[row0 + s, horizon - 1]) for s in range(n_sensors)
+        ]
+        results[i] = network_kernel._network_result(
+            [int(counts[row0 + s, 0]) for s in range(n_sensors)],
+            [int(counts[row0 + s, 1]) for s in range(n_sensors)],
+            [int(counts[row0 + s, 2]) for s in range(n_sensors)],
+            [float(state[row0 + s, 0]) for s in range(n_sensors)],
+            [float(state[row0 + s, 1]) for s in range(n_sensors)],
+            harvested,
+            int(np.count_nonzero(events2[j])),
+            float(specs[i].delta1),
+            float(specs[i].delta2),
+            horizon,
+        )
+    return results  # type: ignore[return-value]

@@ -42,18 +42,16 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.policy import ActivationPolicy, InfoModel
+from repro.core.policy import ActivationPolicy
 from repro.devtools import telemetry
 from repro.energy.recharge import RechargeProcess
 from repro.events.base import InterArrivalDistribution
 from repro.events.renewal import generate_event_flags
 from repro.exceptions import SimulationError
+from repro.sim import kernel
+from repro.sim.kernel import _TABLE_SLOTS  # noqa: F401  (compat re-export)
 from repro.sim.metrics import SensorStats, SimulationResult
 from repro.sim.rng import SeedLike, make_rng, spawn
-
-#: Default size of the recency lookup table when the policy provides a
-#: recency fast path; recencies beyond it use the policy's tail value.
-_TABLE_SLOTS = 1 << 16
 
 #: Valid values of the ``backend`` argument.
 BACKENDS = ("auto", "reference", "vectorized")
@@ -131,19 +129,15 @@ def simulate_single(
 
     # Policy fast paths: a recency table, a slot table, or a per-slot
     # call (battery-aware policies always take the per-slot call so they
-    # can see the current level).
-    table = None
-    tail = 0.0
-    slot_probs = None
-    battery_aware = bool(getattr(policy, "battery_aware", False))
-    if not battery_aware:
-        recency_fast = policy.recency_probabilities(min(horizon, _TABLE_SLOTS))
-        if recency_fast is not None:
-            table, tail = recency_fast
-        else:
-            slot_probs = policy.slot_probabilities(horizon)
+    # can see the current level).  Resolved by the shared RL015 gate so
+    # the batch packer dispatches on exactly the same rule.
+    fast = kernel.policy_fast_paths(policy, horizon)
+    table = fast.table
+    tail = fast.tail
+    slot_probs = fast.slot_probs
+    battery_aware = fast.battery_aware
 
-    full_info = policy.info_model == InfoModel.FULL
+    full_info = fast.full_info
     initial = capacity / 2.0 if initial_energy is None else float(initial_energy)
     if not 0 <= initial <= capacity:
         raise SimulationError(
@@ -151,8 +145,6 @@ def simulate_single(
         )
 
     if backend != "reference":
-        from repro.sim import kernel
-
         reason = kernel.ineligibility_reason(
             battery_aware=battery_aware,
             collect_battery_trace=collect_battery_trace,

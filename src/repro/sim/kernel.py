@@ -39,13 +39,62 @@ receives the exact arrays (events, recharge, coins) that
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.policy import ActivationPolicy, InfoModel
 from repro.devtools import telemetry
 from repro.sim._native import get_native_scan
 from repro.sim.metrics import SensorStats, SimulationResult
+
+#: Default size of the recency lookup table when the policy provides a
+#: recency fast path; recencies beyond it use the policy's tail value.
+_TABLE_SLOTS = 1 << 16
+
+
+@dataclass(frozen=True)
+class PolicyFastPaths:
+    """How one policy's activation probabilities can be precomputed.
+
+    Exactly one of ``table``/``slot_probs`` is set for table-driven
+    policies; both are ``None`` when the policy needs per-slot calls
+    (battery-aware policies always do, so they can see the level).
+    """
+
+    table: Optional[np.ndarray]
+    tail: float
+    slot_probs: Optional[np.ndarray]
+    battery_aware: bool
+    full_info: bool
+
+
+def policy_fast_paths(policy: ActivationPolicy, horizon: int) -> PolicyFastPaths:
+    """Resolve the policy's fast paths for one run (RL015 gate).
+
+    This is the single place the scan layers read policy attributes:
+    the engine, the single-run kernel and the batch packer all dispatch
+    on the result, so the eligibility decision cannot drift from what
+    the scans actually consume.
+    """
+    table: Optional[np.ndarray] = None
+    tail = 0.0
+    slot_probs: Optional[np.ndarray] = None
+    battery_aware = bool(getattr(policy, "battery_aware", False))
+    if not battery_aware:
+        recency_fast = policy.recency_probabilities(min(horizon, _TABLE_SLOTS))
+        if recency_fast is not None:
+            table, tail = recency_fast
+        else:
+            slot_probs = policy.slot_probabilities(horizon)
+    return PolicyFastPaths(
+        table=table,
+        tail=float(tail),
+        slot_probs=slot_probs,
+        battery_aware=battery_aware,
+        full_info=policy.info_model == InfoModel.FULL,
+    )
 
 
 def ineligibility_reason(
@@ -69,7 +118,7 @@ def ineligibility_reason(
             "policy provides neither a recency table nor slot "
             "probabilities (per-slot policy calls need the reference loop)"
         )
-    if recharge_amounts.size and float(np.min(recharge_amounts)) < 0:
+    if recharge_amounts.size and float(recharge_amounts.min()) < 0:
         return "recharge sequence contains negative amounts"
     return None
 

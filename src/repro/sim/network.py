@@ -42,7 +42,7 @@ from repro.events.renewal import generate_event_flags
 from repro.exceptions import SimulationError
 from repro.sim.engine import BACKENDS
 from repro.sim.metrics import SensorStats, SimulationResult
-from repro.sim.parallel import parallel_map
+from repro.sim.parallel import parallel_map, resolve_n_jobs
 from repro.sim.rng import SeedLike, make_rng, spawn
 
 
@@ -287,7 +287,37 @@ def simulate_network_batch(
     eligible); ``n_jobs`` additionally fans independent *runs* out
     across processes.  Results are returned in seed order and are
     identical to a serial loop for every ``n_jobs`` and ``backend``.
+
+    Serial execution (``n_jobs`` of ``None`` or 1) packs all eligible
+    runs into one batched scan call
+    (:func:`repro.sim.batch_kernel.simulate_network_runs`) instead of
+    dispatching them one at a time — bit-identical, just faster.
     """
+    if resolve_n_jobs(n_jobs) == 1:
+        # Runtime import: batch_kernel reaches back into this module
+        # for its reference fallback.
+        from repro.sim.batch_kernel import (
+            NetworkRunSpec,
+            simulate_network_runs,
+        )
+
+        return simulate_network_runs(
+            [
+                NetworkRunSpec(
+                    distribution=distribution,
+                    coordinator=coordinator,
+                    recharge=recharge,
+                    capacity=capacity,
+                    delta1=delta1,
+                    delta2=delta2,
+                    horizon=horizon,
+                    seed=seed,
+                    initial_energy=initial_energy,
+                )
+                for seed in seeds
+            ],
+            backend=backend,
+        )
 
     def _one(seed: SeedLike) -> SimulationResult:
         return simulate_network(

@@ -26,9 +26,11 @@ class TestLintConfig:
         assert config.rng_modules == ("sim/rng.py",)
         assert config.kernel_modules == (
             "sim/kernel.py", "sim/network_kernel.py",
+            "sim/batch_kernel.py",
         )
         assert config.kernel_gates == (
             "ineligibility_reason", "plan_or_reason",
+            "policy_fast_paths",
         )
 
     def test_ignore_removes_from_selection(self):

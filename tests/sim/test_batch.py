@@ -8,7 +8,7 @@ import pytest
 from repro.core import AggressivePolicy
 from repro.energy import BernoulliRecharge
 from repro.exceptions import SimulationError
-from repro.sim import compare, replicate, simulate_single, summarize
+from repro.sim import RunSpec, compare, replicate, simulate_single, summarize
 
 
 class TestSummarize:
@@ -39,6 +39,41 @@ class TestSummarize:
             summarize([])
         with pytest.raises(SimulationError):
             summarize([0.5, 0.6], confidence=1.5)
+
+    def test_ndarray_input_skips_list_copy(self, monkeypatch):
+        """Regression: array-likes must not round-trip through list().
+
+        The batched replicate path hands ``summarize`` a float ndarray;
+        materialising it into a Python list first would silently undo
+        the vectorization win.  Poison ``list`` resolution inside the
+        module to prove the ndarray branch never calls it.
+        """
+        import repro.sim.batch as batch_module
+
+        values = np.array([0.5, 0.6, 0.55])
+        assert summarize(values).mean == pytest.approx(
+            summarize(list(values)).mean
+        )
+
+        seen = []
+        real_asarray = np.asarray
+
+        def spying_asarray(obj, *args, **kwargs):
+            seen.append(obj)
+            return real_asarray(obj, *args, **kwargs)
+
+        monkeypatch.setattr(
+            batch_module.np, "asarray", spying_asarray
+        )
+        summarize(values)
+        assert seen and seen[0] is values  # no intermediate list copy
+        seen.clear()
+        summarize(v for v in (0.1, 0.2))  # generators still materialise
+        assert seen and isinstance(seen[0], list)
+
+    def test_generator_input_still_works(self):
+        s = summarize(v for v in (0.2, 0.4, 0.6))
+        assert s.mean == pytest.approx(0.4)
 
 
 class TestReplicate:
@@ -73,6 +108,39 @@ class TestReplicate:
     def test_validation(self, weibull):
         with pytest.raises(SimulationError):
             replicate(self._runner(weibull), 0)
+
+    def test_runspec_template_matches_callable(self, weibull):
+        """A RunSpec template batches all replicates into one scan call
+        and reproduces the per-seed callable loop bit-for-bit."""
+        spec = RunSpec(
+            distribution=weibull,
+            policy=AggressivePolicy(),
+            recharge=BernoulliRecharge(0.5, 1.0),
+            capacity=100.0,
+            delta1=1.0,
+            delta2=6.0,
+            horizon=20_000,
+            seed=0,
+        )
+        batched = replicate(spec, 5, base_seed=1)
+        looped = replicate(self._runner(weibull), 5, base_seed=1)
+        assert batched.values == looped.values
+        assert batched.mean == looped.mean
+
+    def test_runspec_template_parallel_matches_serial(self, weibull):
+        spec = RunSpec(
+            distribution=weibull,
+            policy=AggressivePolicy(),
+            recharge=BernoulliRecharge(0.5, 1.0),
+            capacity=100.0,
+            delta1=1.0,
+            delta2=6.0,
+            horizon=5_000,
+            seed=0,
+        )
+        serial = replicate(spec, 4, base_seed=7, n_jobs=1)
+        parallel = replicate(spec, 4, base_seed=7, n_jobs=2)
+        assert serial.values == parallel.values
 
 
 class TestCompare:

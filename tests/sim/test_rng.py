@@ -6,7 +6,14 @@ import numpy as np
 import pytest
 
 from repro.exceptions import SimulationError
-from repro.sim import make_rng, spawn
+from repro.sim import (
+    bulk_substreams,
+    make_rng,
+    spawn,
+    spawn_seeds,
+    spawn_substreams,
+)
+from repro.sim.rng import _PrecomputedSeedWords, bulk_spawn
 
 
 class TestMakeRng:
@@ -85,3 +92,137 @@ class TestSpawn:
             np.random.SeedSequence(123).spawn(2)[1]
         )
         np.testing.assert_array_equal(child.random(16), reference.random(16))
+
+
+class TestBulkSpawn:
+    def test_matches_stock_spawn(self):
+        parent = np.random.SeedSequence(77)
+        stock = np.random.SeedSequence(77).spawn(4)
+        bulk = bulk_spawn(parent, 4)
+        for a, b in zip(stock, bulk):
+            assert a.entropy == b.entropy
+            assert a.spawn_key == b.spawn_key
+            np.testing.assert_array_equal(
+                a.generate_state(4, np.uint64), b.generate_state(4, np.uint64)
+            )
+
+    def test_mutated_parent_defers_to_numpy(self):
+        """A parent mid-spawn must not restart its child counter."""
+        parent = np.random.SeedSequence(5)
+        first = parent.spawn(2)
+        more = bulk_spawn(parent, 2)
+        keys = {s.spawn_key for s in first + more}
+        assert len(keys) == 4
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(SimulationError):
+            bulk_spawn(np.random.SeedSequence(0), -1)
+
+    def test_spawn_seeds_uses_bulk_path(self):
+        stock = np.random.SeedSequence(9).spawn(3)
+        for a, b in zip(stock, spawn_seeds(9, 3)):
+            assert a.spawn_key == b.spawn_key
+
+
+class TestSpawnSubstreams:
+    @pytest.mark.parametrize(
+        "seed",
+        [0, 7, 2**40 + 1, np.random.SeedSequence(3),
+         np.random.SeedSequence(entropy=4, spawn_key=(2,))],
+        ids=["zero", "small", "multiword", "seedseq", "spawned"],
+    )
+    def test_matches_make_rng_spawn(self, seed):
+        lean = spawn_substreams(seed, 3)
+        stock = spawn(make_rng(seed), 3)
+        for a, b in zip(lean, stock):
+            np.testing.assert_array_equal(a.random(16), b.random(16))
+
+    def test_generator_input_advances_caller(self):
+        gen = np.random.default_rng(1)
+        ref = np.random.default_rng(1)
+        a = spawn_substreams(gen, 1)[0]
+        b = spawn(ref, 1)[0]
+        np.testing.assert_array_equal(a.random(8), b.random(8))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(SimulationError):
+            spawn_substreams(0, -1)
+
+
+class TestBulkSubstreams:
+    SEEDS = [
+        0,
+        1,
+        42,
+        2**40 + 7,
+        2**100 + 13,
+        np.random.SeedSequence(5),
+        np.random.SeedSequence(entropy=9, spawn_key=(3,)),
+        np.random.SeedSequence(entropy=2**90, spawn_key=(1, 2**40)),
+    ]
+
+    @pytest.mark.parametrize("count", [0, 1, 3, 5])
+    def test_bit_identical_to_per_seed(self, count):
+        seeds = self.SEEDS + list(spawn_seeds(123, 3))
+        bulk = bulk_substreams(seeds, count)
+        for i, seed in enumerate(seeds):
+            ref = spawn_substreams(seed, count)
+            assert len(bulk[i]) == count
+            for a, b in zip(bulk[i], ref):
+                np.testing.assert_array_equal(a.random(32), b.random(32))
+
+    def test_zero_entropy_child_padding(self):
+        """Regression: entropy words are zero-padded before the spawn key.
+
+        ``SeedSequence.get_assembled_entropy`` pads the entropy words to
+        ``pool_size`` whenever a spawn key follows, so the child of seed
+        ``0`` hashes ``[0, 0, 0, 0, <child>]`` — dropping the padding
+        derives a *valid-looking but wrong* stream, which only this
+        word-level comparison catches.
+        """
+        (bulk,) = bulk_substreams([0], 1)[0]
+        ref = np.random.default_rng(
+            np.random.SeedSequence(entropy=0, spawn_key=(0,))
+        )
+        np.testing.assert_array_equal(bulk.random(32), ref.random(32))
+
+    def test_fallback_seeds(self):
+        """Generators and None cannot be vectorized but still spawn."""
+        gen = np.random.default_rng(1)
+        ref = np.random.default_rng(1)
+        out = bulk_substreams([gen, None], 2)
+        want = spawn(ref, 2)
+        assert len(out[0]) == 2 and len(out[1]) == 2
+        for a, b in zip(out[0], want):
+            np.testing.assert_array_equal(a.random(8), b.random(8))
+
+    def test_nondefault_pool_size_falls_back(self):
+        seed = np.random.SeedSequence(5, pool_size=8)
+        (bulk,) = bulk_substreams([seed], 1)
+        ref = spawn_substreams(seed, 1)
+        np.testing.assert_array_equal(
+            bulk[0].random(16), ref[0].random(16)
+        )
+
+    def test_mixed_word_counts_group_correctly(self):
+        """Seeds of different word lengths batch in separate groups."""
+        seeds = [1, 2**40 + 7, 2, 2**100 + 13]
+        bulk = bulk_substreams(seeds, 2)
+        for i, seed in enumerate(seeds):
+            ref = spawn_substreams(seed, 2)
+            for a, b in zip(bulk[i], ref):
+                np.testing.assert_array_equal(a.random(8), b.random(8))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(SimulationError):
+            bulk_substreams([0], -1)
+
+    def test_precomputed_words_stream(self):
+        """PCG64 seeded from precomputed words equals the real sequence."""
+        seq = np.random.SeedSequence(17)
+        words = seq.generate_state(4, np.uint64)
+        lean = np.random.Generator(
+            np.random.PCG64(_PrecomputedSeedWords(words))
+        )
+        stock = np.random.Generator(np.random.PCG64(seq))
+        np.testing.assert_array_equal(lean.random(32), stock.random(32))
