@@ -49,10 +49,13 @@ from repro.analysis import (
 )
 from repro.core import (
     ActivationPolicy,
+    AgeThresholdPolicy,
+    AgeThresholdSolution,
     MultiRegionPolicy,
     MultiRegionSolution,
     OverflowGuardPolicy,
     optimize_multi_region,
+    solve_age_threshold,
     AggressivePolicy,
     ClusteringPolicy,
     ClusteringSolution,
@@ -115,13 +118,23 @@ from repro.exceptions import (
     SimulationError,
     SolverError,
 )
-from repro.sim import SensorStats, SimulationResult, simulate_network, simulate_single
+from repro.sim import (
+    AoIStats,
+    SensorStats,
+    SimulationResult,
+    aoi_from_capture_slots,
+    simulate_network,
+    simulate_single,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ActivationPolicy",
+    "AgeThresholdPolicy",
+    "AgeThresholdSolution",
     "AggressivePolicy",
+    "AoIStats",
     "Battery",
     "BernoulliRecharge",
     "ClusteringPolicy",
@@ -188,7 +201,9 @@ __all__ = [
     "policy_discharge_rate",
     "policy_energy_per_renewal",
     "simulate_network",
+    "aoi_from_capture_slots",
     "simulate_single",
+    "solve_age_threshold",
     "solve_ebcw",
     "solve_greedy",
     "solve_linear_program",

@@ -33,18 +33,36 @@ class DelayAnalysis:
     after it occurs (``d = 0`` means instantaneously captured, i.e. the
     QoM mass).  The analysis conditions on the stationary capture cycle
     and truncates once the residual mass drops below ``1e-6``.
+
+    The pmf sums to ``1 - censored_mass``: events whose detection falls
+    beyond the analysis horizon are reported explicitly as
+    ``censored_mass`` rather than folded into the last bucket, so heavy
+    tails cannot silently bias :attr:`mean` or :meth:`quantile`.  Both
+    statistics condition on detection within the horizon.
     """
 
     pmf: np.ndarray
-    mean: float
+    mean: float  # E[delay | detected within the horizon]
     capture_probability: float  # P(delay = 0) == the paper's QoM
     truncated: bool
+    censored_mass: float  # event mass detected beyond the horizon
 
     def quantile(self, q: float) -> int:
-        """Smallest delay ``d`` with ``P(delay <= d) >= q``."""
+        """Smallest delay ``d`` with ``P(delay <= d | detected) >= q``.
+
+        The cdf is renormalized by its final value, so ``quantile(1.0)``
+        returns the largest delay carrying mass regardless of float
+        drift (an unnormalized cdf ending at ``1 - 1e-12`` would
+        otherwise push ``q = 1.0`` past the support) and regardless of
+        censored mass; ``quantile(0.0)`` is always ``0``.
+        """
         if not 0.0 <= q <= 1.0:
             raise PolicyError(f"quantile level must be in [0, 1], got {q}")
         cdf = np.cumsum(self.pmf)
+        total = float(cdf[-1])
+        if total <= 0.0:
+            raise PolicyError("quantile undefined: no detected event mass")
+        cdf = cdf / total
         idx = int(np.searchsorted(cdf, q, side="left"))
         return min(idx, self.pmf.size - 1)
 
@@ -133,23 +151,112 @@ def detection_delay(
     # missed_at[t] = event mass at t that was not captured at t.
     missed_at = event_mass_at - captured_at
     delay_pmf[0] += float(captured_at.sum())
-    # weight_u = P(cycle captures at u) conditioned appropriately:
-    # For each t, P(capture at u | reached t+1 uncaptured) =
-    #   capture_prob_at[u] * prod_{v=t+1}^{u-1} no_capture[v].
-    # Iterate t from the end, maintaining the distribution recursively:
-    # dist_{t}(u) for u > t satisfies
-    #   dist_t = capture_prob_at[t+1] at u=t+1, plus
-    #            no_capture[t+1] * dist_{t+1} shifted.
-    # Directly accumulate: for each u, its contribution to delay d=u-t is
-    # missed_at[t] * capture_prob_at[u] * prod(no_capture[t+1..u-1]).
-    # Use prefix products P[u] = prod_{v<=u} no_capture[v]:
-    #   prod(t+1..u-1) = P[u-1] / P[t]   (guard zero products).
+    # Prefix products P[u] = prod_{v<=u} no_capture[v] in log space let
+    # :func:`_fold_missed` form prod(t+1..u-1) = exp(P[u-1] - P[t]) for
+    # every (t, u) pair at once (zero products guarded via log_safe and
+    # the chain-end cut inside _fold_missed).
     log_safe = np.where(no_capture > 0, no_capture, 1.0)
     log_prefix = np.concatenate(([0.0], np.cumsum(np.log(log_safe))))
+
+    delay_pmf[1:] += _fold_missed(
+        missed_at, capture_prob_at, no_capture, log_prefix, delay_pmf.size
+    )[1:]
+
+    delay_pmf /= total_events
+    detected = float(delay_pmf.sum())
+    # Mass whose detection falls beyond the analysis horizon.  Reported
+    # explicitly — folding it into the final bucket would silently bias
+    # the mean and every quantile on heavy-tailed delay distributions.
+    censored_mass = max(1.0 - detected, 0.0)
+    if censored_mass > residual_eps * 10:
+        truncated = True
+
+    if detected > 0:
+        mean = float(np.arange(delay_pmf.size) @ delay_pmf) / detected
+    else:
+        mean = float("nan")
+    return DelayAnalysis(
+        pmf=delay_pmf,
+        mean=mean,
+        capture_probability=float(delay_pmf[0]),
+        truncated=truncated,
+        censored_mass=censored_mass,
+    )
+
+
+def _fold_missed(
+    missed_at: np.ndarray,
+    capture_prob_at: np.ndarray,
+    no_capture: np.ndarray,
+    log_prefix: np.ndarray,
+    out_size: int,
+) -> np.ndarray:
+    """Unnormalized delay mass of missed events, vectorized per delay.
+
+    For event slot ``t`` (missed mass ``missed_at[t]``) and capture slot
+    ``u > t``::
+
+        P(capture at u | uncaptured past t)
+            = capture_prob_at[u] * prod_{v=t+1}^{u-1} no_capture[v]
+            = capture_prob_at[u] * exp(log_prefix[u] - log_prefix[t+1])
+
+    valid only while no certain-capture slot (``no_capture[v] <= 0``)
+    lies strictly between ``t`` and ``u`` — the chain ends there.  Each
+    ``t``'s admissible range is therefore ``t < u <= chain_end[t]``
+    where ``chain_end`` is the first certain-capture slot at or after
+    ``t + 1``; one numpy pass per delay ``d = u - t`` accumulates every
+    admissible ``(t, t + d)`` pair at once, bounded by the longest
+    chain rather than the full ``O(t_max^2)`` of the old double loop.
+    """
+    t_max = missed_at.size
+    pmf = np.zeros(out_size)
+    ts = np.nonzero(missed_at > 0)[0]
+    if ts.size == 0 or t_max < 2:
+        return pmf
+    zeros_idx = np.nonzero(no_capture <= 0)[0]
+    chain_end = np.full(ts.size, t_max - 1, dtype=np.int64)
+    if zeros_idx.size:
+        pos = np.searchsorted(zeros_idx, ts + 1)
+        has_zero = pos < zeros_idx.size
+        chain_end[has_zero] = np.minimum(
+            zeros_idx[pos[has_zero]], t_max - 1
+        )
+    reach = chain_end - ts
+    max_d = int(reach.max())
+    # Longest chains first: ``ts`` sorted by reach lets each delay pass
+    # slice a prefix instead of re-filtering the full index set.
+    order = np.argsort(-reach)
+    ts = ts[order]
+    reach = reach[order]
+    mass = missed_at[ts]
+    for d in range(1, max_d + 1):
+        n = int(np.searchsorted(-reach, -d, side="right"))
+        t_idx = ts[:n]
+        u_idx = t_idx + d
+        # exp of the *difference* stays bounded even when log_prefix
+        # itself drifts to large negative values over long horizons.
+        chain = np.exp(log_prefix[u_idx] - log_prefix[t_idx + 1])
+        pmf[d] = float(mass[:n] @ (capture_prob_at[u_idx] * chain))
+    return pmf
+
+
+def _fold_missed_loop(
+    missed_at: np.ndarray,
+    capture_prob_at: np.ndarray,
+    no_capture: np.ndarray,
+    log_prefix: np.ndarray,
+    out_size: int,
+) -> np.ndarray:
+    """Reference double loop for :func:`_fold_missed` (tests only).
+
+    Kept verbatim from the original implementation so the vectorized
+    pass can be asserted against it on golden cases.
+    """
+    t_max = missed_at.size
     zero_before = np.concatenate(
         ([0], np.cumsum(no_capture <= 0).astype(int))
     )
-
+    pmf = np.zeros(out_size)
     for t in range(t_max):
         m = missed_at[t]
         if m <= 0:
@@ -162,21 +269,7 @@ def detection_delay(
             prob = capture_prob_at[u] * float(np.exp(log_prod))
             if prob <= 0:
                 continue
-            delay_pmf[u - t] += m * prob
+            pmf[u - t] += m * prob
             if capture_prob_at[u] >= 1.0:
                 break
-
-    delay_pmf /= total_events
-    leftover = max(1.0 - delay_pmf.sum(), 0.0)
-    if leftover > residual_eps * 10:
-        truncated = True
-    # Fold any residual into the final bucket so the pmf sums to 1.
-    delay_pmf[-1] += leftover
-
-    mean = float(np.arange(delay_pmf.size) @ delay_pmf)
-    return DelayAnalysis(
-        pmf=delay_pmf,
-        mean=mean,
-        capture_probability=float(delay_pmf[0]),
-        truncated=truncated,
-    )
+    return pmf

@@ -160,7 +160,7 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "figure",
         choices=("fig3a", "fig3b", "fig4a", "fig4b", "fig5-b02",
-                 "fig5-b07", "fig6a", "fig6b", "theorem1", "all"),
+                 "fig5-b07", "fig6a", "fig6b", "aoi", "theorem1", "all"),
     )
     experiment.add_argument("--horizon", type=int, default=None)
     experiment.add_argument("--seed", type=int, default=None)
@@ -259,20 +259,28 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     else:
         recharge = ConstantRecharge(args.rate)
     if args.replicates is not None:
-        from repro.sim.batch import replicate
-        from repro.sim.batch_kernel import RunSpec
+        import dataclasses
 
-        summary = replicate(
-            RunSpec(
-                distribution=events, policy=policy, recharge=recharge,
-                capacity=args.capacity, delta1=args.delta1,
-                delta2=args.delta2, horizon=args.horizon,
-            ),
-            n_replicates=args.replicates,
-            base_seed=args.seed,
+        from repro.sim.batch import summarize
+        from repro.sim.batch_kernel import RunSpec, simulate_batch
+        from repro.sim.rng import spawn_seeds
+
+        spec = RunSpec(
+            distribution=events, policy=policy, recharge=recharge,
+            capacity=args.capacity, delta1=args.delta1,
+            delta2=args.delta2, horizon=args.horizon,
+        )
+        results = simulate_batch(
+            [
+                dataclasses.replace(spec, seed=s)
+                for s in spawn_seeds(args.seed, args.replicates)
+            ],
             backend=args.backend,
         )
-        print(f"QoM over {summary.n} replicates: {summary}")
+        qom = summarize([r.qom for r in results])
+        age = summarize([r.aoi.time_average for r in results])
+        print(f"QoM over {qom.n} replicates: {qom}")
+        print(f"Time-average age over {age.n} replicates: {age}")
         return 0
     result = simulate_single(
         events, policy, recharge,
@@ -346,6 +354,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "fig5-b07": lambda: exp.run_fig5(b=0.7, **kwargs),
         "fig6a": lambda: exp.run_fig6a(backend=args.backend, **kwargs),
         "fig6b": lambda: exp.run_fig6b(backend=args.backend, **kwargs),
+        "aoi": lambda: exp.run_aoi("weibull", **kwargs),
     }
     result = runners[args.figure]()
     print(result.format_table())

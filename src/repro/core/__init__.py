@@ -4,10 +4,13 @@ multi-sensor coordination, and the LP cross-check."""
 from __future__ import annotations
 
 from repro.core.baselines import (
+    AgeThresholdPolicy,
+    AgeThresholdSolution,
     AggressivePolicy,
     EBCWSolution,
     PeriodicPolicy,
     energy_balanced_period,
+    solve_age_threshold,
     solve_ebcw,
 )
 from repro.core.battery_aware import OverflowGuardPolicy
@@ -38,6 +41,8 @@ from repro.core.policy import ActivationPolicy, InfoModel, VectorPolicy
 
 __all__ = [
     "ActivationPolicy",
+    "AgeThresholdPolicy",
+    "AgeThresholdSolution",
     "AggressivePolicy",
     "ClusteringPolicy",
     "ClusteringSolution",
@@ -62,6 +67,7 @@ __all__ = [
     "make_multi_periodic",
     "optimize_clustering",
     "optimize_multi_region",
+    "solve_age_threshold",
     "solve_ebcw",
     "solve_greedy",
     "solve_linear_program",

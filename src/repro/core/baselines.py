@@ -9,12 +9,18 @@
   theta1*delta2/(e*mu)``.
 * **EBCW** ``pi_EBCW`` — the policy of Jaggi et al. adapted per the
   paper's Fig. 5 comparison; see :func:`solve_ebcw`.
+* **Age threshold** ``pi_AT`` — the threshold-type Age-of-Information
+  baseline of Arafa/Yang/Ulukus/Poor (arXiv:1806.07271): stay silent
+  until the age since the last capture reaches a threshold ``tau``,
+  then activate with probability 1; see :class:`AgeThresholdPolicy` /
+  :func:`solve_age_threshold`.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -186,4 +192,121 @@ def solve_ebcw(
         best_policy, best_analysis = evaluate(1.0, p0_best)
     return EBCWSolution(
         policy=best_policy, analysis=best_analysis, p1=1.0, p0=p0_best
+    )
+
+
+class AgeThresholdPolicy(ActivationPolicy):
+    """Threshold-type AoI baseline (Arafa/Yang/Ulukus/Poor, 1806.07271).
+
+    In the age-of-information literature the optimal status-update
+    policy for an energy-harvesting source with a unit battery is a
+    *threshold* policy: stay silent while the age since the last
+    delivered update is below a threshold ``tau``, transmit as soon as
+    it reaches it.  Translated to this simulator's recency state
+    (slots since the last capture), that is a deterministic recency
+    policy: activation probability 0 for recencies ``1 .. tau - 1``
+    and 1 from ``tau`` on.
+
+    The recency table returned by :meth:`recency_probabilities` covers
+    ``max(horizon, tau)`` entries with ``tail = 1.0``, so the shared
+    kernel gates (``policy_fast_paths`` / ``plan_or_reason``) make the
+    policy vectorization-eligible for every horizon, including
+    thresholds beyond the requested table size.
+    """
+
+    def __init__(
+        self, threshold: int, info_model: InfoModel = InfoModel.PARTIAL
+    ) -> None:
+        if threshold < 1:
+            raise PolicyError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = int(threshold)
+        self.info_model = info_model
+
+    def activation_probability(self, slot: int, recency: int) -> float:
+        if slot < 1:
+            raise PolicyError(f"slot must be >= 1, got {slot}")
+        if recency < 1:
+            raise PolicyError(f"recency must be >= 1, got {recency}")
+        return 1.0 if recency >= self.threshold else 0.0
+
+    def recency_probabilities(self, horizon: int) -> tuple[np.ndarray, float]:
+        table = np.zeros(max(horizon, self.threshold))
+        table[self.threshold - 1:] = 1.0
+        return table, 1.0
+
+    def __repr__(self) -> str:
+        return f"AgeThresholdPolicy(threshold={self.threshold})"
+
+
+@dataclass(frozen=True)
+class AgeThresholdSolution:
+    """An energy-feasible age-threshold policy with its analysis."""
+
+    policy: AgeThresholdPolicy
+    analysis: PartialInfoAnalysis
+    threshold: int
+
+    @property
+    def qom(self) -> float:
+        return self.analysis.qom
+
+
+def solve_age_threshold(
+    distribution: InterArrivalDistribution,
+    e: float,
+    delta1: float,
+    delta2: float,
+    max_threshold: int = 4096,
+    tail_rel_eps: float = 1e-4,
+) -> AgeThresholdSolution:
+    """Smallest energy-feasible age threshold for recharge rate ``e``.
+
+    A smaller threshold means fresher information but more activations;
+    the energy-balanced choice is the smallest ``tau`` whose stationary
+    energy rate stays within the harvest rate (the discrete analogue of
+    the threshold calibration in arXiv:1806.07271).  The stationary
+    rate is monotone non-increasing in ``tau``, so the search bisects.
+    """
+    if e < 0:
+        raise PolicyError(f"mean recharge rate must be >= 0, got {e}")
+    if max_threshold < 1:
+        raise PolicyError(
+            f"max_threshold must be >= 1, got {max_threshold}"
+        )
+
+    def evaluate(tau: int) -> PartialInfoAnalysis:
+        return analyse_partial_info_policy(
+            distribution,
+            np.zeros(tau - 1),
+            delta1,
+            delta2,
+            tail=1.0,
+            tail_rel_eps=tail_rel_eps,
+        )
+
+    lo, hi = 1, max_threshold
+    best: Optional[tuple[int, PartialInfoAnalysis]] = None
+    analysis_hi = evaluate(hi)
+    if analysis_hi.energy_rate > e * (1.0 + 1e-9):
+        # Even the laziest allowed threshold overspends; return it (the
+        # simulator's energy gate enforces feasibility slot by slot).
+        return AgeThresholdSolution(
+            policy=AgeThresholdPolicy(hi),
+            analysis=analysis_hi,
+            threshold=hi,
+        )
+    best = (hi, analysis_hi)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        analysis = evaluate(mid)
+        if analysis.energy_rate <= e * (1.0 + 1e-9):
+            best = (mid, analysis)
+            hi = mid
+        else:
+            lo = mid + 1
+    threshold, analysis = best
+    return AgeThresholdSolution(
+        policy=AgeThresholdPolicy(threshold),
+        analysis=analysis,
+        threshold=threshold,
     )

@@ -23,7 +23,11 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.partial_info import clear_analysis_cache
-from repro.core.baselines import AggressivePolicy, energy_balanced_period
+from repro.core.baselines import (
+    AggressivePolicy,
+    energy_balanced_period,
+    solve_age_threshold,
+)
 from repro.core.clustering import ClusteringSolution, optimize_clustering
 from repro.core.greedy import solve_greedy
 from repro.core.multi import (
@@ -78,6 +82,9 @@ OPTIMIZER_BASELINE_SECONDS: Dict[str, float] = {
     "pareto": 78.988,
 }
 
+#: Maximum acceptable AoI accumulation overhead on the QoM hot path.
+AOI_OVERHEAD_GATE_PCT = 5.0
+
 
 def _policy_cases() -> List[Tuple[str, ActivationPolicy]]:
     """One representative per table-driven policy class."""
@@ -87,6 +94,7 @@ def _policy_cases() -> List[Tuple[str, ActivationPolicy]]:
         ("greedy_full_info", solve_greedy(events, 0.5, DELTA1, DELTA2).as_policy()),
         ("clustering_partial", optimize_clustering(events, 0.5, DELTA1, DELTA2).policy),
         ("periodic_slot_table", energy_balanced_period(events, 0.5, DELTA1, DELTA2)),
+        ("age_threshold", solve_age_threshold(events, 0.5, DELTA1, DELTA2).policy),
     ]
 
 
@@ -282,6 +290,68 @@ def _bench_batch(rounds: int, quick: bool) -> Dict[str, Any]:
     return {"horizon": horizon, "m_values": m_values, "cells": cells}
 
 
+def _bench_aoi(horizon: int, rounds: int) -> Dict[str, Any]:
+    """AoI accumulation overhead on the single-sensor hot path.
+
+    Times the vectorized backend with AoI disabled (``collect_aoi=False``
+    — exactly the pre-AoI QoM hot path, the flag reaches the native
+    scan) against the default AoI-on run.  Each timing sample loops the
+    run ``repeats`` times so short horizons stay well above timer
+    resolution; best-of-``rounds`` then discards scheduler noise.
+    Every cell also asserts the AoI contract end to end: the reference
+    loop and the vectorized kernel must agree bit-for-bit on the full
+    result, AoI block included.
+    """
+    events = WeibullInterArrival(40, 3)
+    recharge = BernoulliRecharge(0.5, 1.0)
+    # The true overhead is a handful of integer ops per slot, so the
+    # measurement must resolve low single-digit percentages: stretch
+    # each sample to ~tens of milliseconds and take the best of at
+    # least seven rounds per side.
+    repeats = max(1, 800_000 // max(horizon, 1))
+    rounds = max(rounds, 7)
+    cells: Dict[str, Any] = {}
+    for name, policy in _policy_cases():
+        def _run(
+            backend: str, collect: bool,
+            policy: ActivationPolicy = policy,
+        ) -> SimulationResult:
+            return simulate_single(
+                events, policy, recharge,
+                capacity=_CAPACITY, delta1=DELTA1, delta2=DELTA2,
+                horizon=horizon, seed=_SEED, backend=backend,
+                collect_aoi=collect,
+            )
+
+        def _repeated(collect: bool) -> Callable[[], SimulationResult]:
+            def fn() -> SimulationResult:
+                for _ in range(repeats):
+                    result = _run("vectorized", collect)
+                return result
+            return fn
+
+        _, qom_s = _best_of(_repeated(False), rounds)
+        vec_result, aoi_s = _best_of(_repeated(True), rounds)
+        ref_result = _run("reference", True)
+        overhead = (
+            (aoi_s - qom_s) / qom_s * 100.0 if qom_s > 0 else None
+        )
+        cells[name] = {
+            "qom_only_seconds": qom_s / repeats,
+            "with_aoi_seconds": aoi_s / repeats,
+            "overhead_pct": overhead,
+            "within_gate": (
+                overhead is not None and overhead < AOI_OVERHEAD_GATE_PCT
+            ),
+            "bit_identical": ref_result == vec_result,
+        }
+    return {
+        "gate_pct": AOI_OVERHEAD_GATE_PCT,
+        "repeats": repeats,
+        "cells": cells,
+    }
+
+
 def run_bench(
     horizon: int = DEFAULT_HORIZON,
     n_replicates: int = 8,
@@ -376,6 +446,7 @@ def _run_bench_timed(
             "native_openmp": native.openmp if native is not None else False,
         },
         "policies": policies,
+        "aoi": _bench_aoi(horizon, rounds),
         "batch": _bench_batch(rounds, quick),
         "network": _bench_network(horizon, rounds, quick),
         "optimizer": _bench_optimizer(quick, n_jobs),
@@ -457,6 +528,14 @@ def format_bench(payload: Dict[str, Any]) -> str:
             f"  {name:20s} ref {row['reference_seconds'] * 1e3:8.2f} ms   "
             f"vec {row['vectorized_seconds'] * 1e3:7.2f} ms   "
             f"{speedup:6.1f}x   bit_identical={row['bit_identical']}"
+        )
+    for name, row in payload.get("aoi", {}).get("cells", {}).items():
+        lines.append(
+            f"  aoi:{name:20s} qom {row['qom_only_seconds'] * 1e3:7.2f} ms   "
+            f"+aoi {row['with_aoi_seconds'] * 1e3:7.2f} ms   "
+            f"overhead {row['overhead_pct']:5.2f}%   "
+            f"within_gate={row['within_gate']}   "
+            f"bit_identical={row['bit_identical']}"
         )
     for name, row in payload.get("batch", {}).get("cells", {}).items():
         lines.append(

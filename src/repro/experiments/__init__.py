@@ -10,6 +10,7 @@ from repro.experiments.config import (
     PAPER_HORIZON,
     bench_horizon,
 )
+from repro.experiments.aoi import run_aoi
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.report import (
     Claim,
@@ -42,6 +43,7 @@ __all__ = [
     "generate_report",
     "render_markdown",
     "run_all_experiments",
+    "run_aoi",
     "run_fig3",
     "run_fig4",
     "run_fig5",

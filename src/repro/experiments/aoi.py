@@ -1,0 +1,105 @@
+"""Age-of-information policy comparison (companion sweep to Fig. 4).
+
+The paper optimizes QoM; the AoI literature (arXiv:1806.07271) asks the
+complementary question — how *stale* does the sink's knowledge get
+between captures?  This driver reuses the Fig. 4 setup (battery
+``K = 1000``, Bernoulli recharge with ``q = 0.5`` and increasing
+per-recharge amount ``c``) but reports the time-average age of
+information for each policy, adding the threshold-type AoI baseline
+``pi_AT(e)`` to the paper's three single-sensor policies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.baselines import (
+    AggressivePolicy,
+    energy_balanced_period,
+    solve_age_threshold,
+)
+from repro.core.clustering import optimize_clustering
+from repro.energy.recharge import BernoulliRecharge
+from repro.events.base import InterArrivalDistribution
+from repro.events.pareto import ParetoInterArrival
+from repro.events.weibull import WeibullInterArrival
+from repro.experiments.common import FigureResult, Series, compute_spec_points
+from repro.experiments.config import DEFAULT_SEED, DELTA1, DELTA2, bench_horizon
+from repro.experiments.fig4 import PARETO_C_VALUES, WEIBULL_C_VALUES
+from repro.sim.batch_kernel import RunSpec
+from repro.sim.rng import spawn_seeds
+
+
+def run_aoi(
+    events: str = "weibull",
+    c_values: Optional[Sequence[float]] = None,
+    q: float = 0.5,
+    capacity: float = 1000.0,
+    distribution: Optional[InterArrivalDistribution] = None,
+    horizon: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+    n_jobs: Optional[int] = None,
+) -> FigureResult:
+    """Time-average AoI versus recharge amount ``c`` for four policies."""
+    if distribution is None:
+        if events == "weibull":
+            distribution = WeibullInterArrival(40, 3)
+        elif events == "pareto":
+            distribution = ParetoInterArrival(2, 10)
+        else:
+            raise ValueError(
+                f"events must be 'weibull' or 'pareto', got {events!r}"
+            )
+    if c_values is None:
+        c_values = WEIBULL_C_VALUES if events == "weibull" else PARETO_C_VALUES
+    c_values = list(c_values)  # materialize once: generators welcome
+    if horizon is None:
+        horizon = bench_horizon()
+
+    def _point_specs(job: tuple) -> list[RunSpec]:
+        c, child_seed = job
+        e = q * c
+        recharge = BernoulliRecharge(q=q, c=c)
+        clustering = optimize_clustering(distribution, e, DELTA1, DELTA2)
+        periodic = energy_balanced_period(distribution, e, DELTA1, DELTA2)
+        age_threshold = solve_age_threshold(distribution, e, DELTA1, DELTA2)
+        return [
+            RunSpec(
+                distribution=distribution,
+                policy=policy,
+                recharge=recharge,
+                capacity=capacity,
+                delta1=DELTA1,
+                delta2=DELTA2,
+                horizon=horizon,
+                seed=child_seed,
+            )
+            for policy in (
+                clustering.policy,
+                AggressivePolicy(),
+                periodic,
+                age_threshold.policy,
+            )
+        ]
+
+    points = list(zip(c_values, spawn_seeds(seed, len(c_values))))
+    rows = compute_spec_points(_point_specs, points, n_jobs=n_jobs)
+    series_ages = [
+        tuple(row[i].aoi.time_average for row in rows) for i in range(4)
+    ]
+
+    xs = tuple(float(c) for c in c_values)
+    return FigureResult(
+        figure="AoI policy comparison",
+        x_label="c",
+        y_label="Time-Average Age (slots)",
+        series=(
+            Series("pi'_PI(e)", xs, series_ages[0]),
+            Series("pi_AG", xs, series_ages[1]),
+            Series("pi_PE", xs, series_ages[2]),
+            Series("pi_AT(e)", xs, series_ages[3]),
+        ),
+        horizon=horizon,
+        seed=seed,
+        notes=f"K={capacity}, q={q}, events={distribution!r}",
+    )

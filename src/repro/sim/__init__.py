@@ -9,7 +9,12 @@ from repro.sim.batch_kernel import (
     simulate_network_runs,
 )
 from repro.sim.engine import simulate_single
-from repro.sim.metrics import SensorStats, SimulationResult
+from repro.sim.metrics import (
+    AoIStats,
+    SensorStats,
+    SimulationResult,
+    aoi_from_capture_slots,
+)
 from repro.sim.network import simulate_network, simulate_network_batch
 from repro.sim.parallel import parallel_map, resolve_n_jobs
 from repro.sim.rng import (
@@ -24,6 +29,7 @@ from repro.sim.lifetime import OutageStats, outage_capacity_curve, outage_stats
 from repro.sim.trace import SlotRecord, summarize_trace, trace_single
 
 __all__ = [
+    "AoIStats",
     "NetworkRunSpec",
     "OutageStats",
     "ReplicationSummary",
@@ -31,6 +37,7 @@ __all__ = [
     "SensorStats",
     "SlotRecord",
     "SimulationResult",
+    "aoi_from_capture_slots",
     "bulk_substreams",
     "compare",
     "make_rng",

@@ -46,7 +46,15 @@ _SOURCE = r"""
 /* One sensor, `horizon` slots, reflected-battery arithmetic: the level
  * before each decision is (neg + cs[t]) - shave.  Must mirror
  * repro.sim.engine._simulate_reference operation-for-operation.  Shared
- * verbatim by the single-run and batch entry points below. */
+ * verbatim by the single-run and batch entry points below.
+ *
+ * Age-of-Information accumulators (compute_aoi != 0): a capture at
+ * 1-based slot t closes a gap of g = t - last_capture slots whose
+ * end-of-slot ages are 1 .. g-1, contributing g(g-1)/2 to the age area
+ * and (g-1)g(2g-1)/6 to the squared-age area; the trailing censored
+ * gap contributes ages 1 .. r.  Exact int64 arithmetic in the same
+ * operation order as the Python reference (overflow bound: horizons or
+ * gaps beyond ~3e6 slots overflow the squared sum). */
 static void scan_one(
     int64_t horizon,
     const double *cs,        /* cumulative recharge, cs[t] = sum a_1..a_{t+1} */
@@ -57,11 +65,14 @@ static void scan_one(
     double tail,
     int32_t slot_mode,       /* 1: table is indexed by slot, not recency */
     int32_t full_info,
+    int32_t compute_aoi,     /* 0: skip the age accumulators entirely */
     double capacity,
     double delta1,
     double delta2,
     double initial,
-    int64_t *out_counts,     /* activations, captures, blocked */
+    int64_t *out_counts,     /* activations, captures, blocked,
+                                aoi_area, aoi_area_sq, aoi_max,
+                                last_capture_slot */
     double *out_state)       /* neg, shave */
 {
     double neg = initial;
@@ -69,6 +80,7 @@ static void scan_one(
     const double cost_capture = delta1 + delta2;
     const double activation_cost = delta1 + delta2;
     int64_t activations = 0, captures = 0, blocked = 0;
+    int64_t aoi_area = 0, aoi_sq = 0, aoi_max = 0, last_capture = 0;
     int64_t recency = 1;
     int64_t t;
     for (t = 0; t < horizon; t++) {
@@ -95,6 +107,13 @@ static void scan_one(
                     captured = 1;
                     captures++;
                     neg = neg - cost_capture;
+                    if (compute_aoi) {
+                        int64_t gap = (t + 1) - last_capture;
+                        aoi_area += gap * (gap - 1) / 2;
+                        aoi_sq += ((gap - 1) * gap / 2) * (2 * gap - 1) / 3;
+                        if (gap - 1 > aoi_max) aoi_max = gap - 1;
+                        last_capture = t + 1;
+                    }
                 } else {
                     neg = neg - delta1;
                 }
@@ -106,9 +125,19 @@ static void scan_one(
             recency = captured ? 1 : recency + 1;
         }
     }
+    if (compute_aoi) {
+        int64_t residual = horizon - last_capture;
+        aoi_area += residual * (residual + 1) / 2;
+        aoi_sq += (residual * (residual + 1) / 2) * (2 * residual + 1) / 3;
+        if (residual > aoi_max) aoi_max = residual;
+    }
     out_counts[0] = activations;
     out_counts[1] = captures;
     out_counts[2] = blocked;
+    out_counts[3] = aoi_area;
+    out_counts[4] = aoi_sq;
+    out_counts[5] = aoi_max;
+    out_counts[6] = last_capture;
     out_state[0] = neg;
     out_state[1] = shave;
 }
@@ -123,6 +152,7 @@ void repro_scan(
     double tail,
     int32_t slot_mode,
     int32_t full_info,
+    int32_t compute_aoi,
     double capacity,
     double delta1,
     double delta2,
@@ -131,8 +161,8 @@ void repro_scan(
     double *out_state)
 {
     scan_one(horizon, cs, events, coins, table, table_size, tail,
-             slot_mode, full_info, capacity, delta1, delta2, initial,
-             out_counts, out_state);
+             slot_mode, full_info, compute_aoi, capacity, delta1, delta2,
+             initial, out_counts, out_state);
 }
 
 /* Batched single-sensor scan: `n_runs` independent configurations over
@@ -162,7 +192,7 @@ void repro_batch_scan(
     const double *delta2s,
     const double *initials,
     int32_t parallel,
-    int64_t *out_counts,         /* (n_runs, 3) */
+    int64_t *out_counts,         /* (n_runs, 7) */
     double *out_state)           /* (n_runs, 2) */
 {
     int64_t r;
@@ -180,11 +210,12 @@ void repro_batch_scan(
                  tails[r],
                  slot_modes[r],
                  full_infos[r],
+                 1,
                  capacities[r],
                  delta1s[r],
                  delta2s[r],
                  initials[r],
-                 out_counts + r * 3,
+                 out_counts + r * 7,
                  out_state + r * 2);
     }
 }
@@ -197,7 +228,10 @@ void repro_batch_scan(
  * recency advances on events (full information) or network captures
  * (partial information).  Per-sensor reflected state lives directly in
  * the output buffers: out_state[s*2] = neg_s, out_state[s*2+1] =
- * shave_s; out_counts[s*3 + {0,1,2}] = activations, captures, blocked.
+ * shave_s; out_counts[s*4 + {0,1,2,3}] = activations, captures,
+ * blocked, last_capture_slot.  out_aoi holds the system-level
+ * Age-of-Information accumulators (the age resets on *any* sensor's
+ * capture): area, area_sq, max_age, last_capture_slot.
  * `row_stride` is the allocated slot count per cs row (== horizon for
  * the single-run entry, the padded batch stride otherwise). */
 static void scan_network_one(
@@ -217,17 +251,21 @@ static void scan_network_one(
     double delta1,
     double delta2,
     double initial,
-    int64_t *out_counts,     /* (n_sensors, 3) */
-    double *out_state)       /* (n_sensors, 2) */
+    int64_t *out_counts,     /* (n_sensors, 4) */
+    double *out_state,       /* (n_sensors, 2) */
+    int64_t *out_aoi)        /* area, area_sq, max_age, last_capture */
 {
     const double cost_capture = delta1 + delta2;
     const double activation_cost = delta1 + delta2;
     int64_t recency = 1;
+    int64_t aoi_area = 0, aoi_sq = 0, aoi_max = 0, last_capture = 0;
+    int64_t residual;
     int64_t t, s;
     for (s = 0; s < n_sensors; s++) {
-        out_counts[s * 3] = 0;
-        out_counts[s * 3 + 1] = 0;
-        out_counts[s * 3 + 2] = 0;
+        out_counts[s * 4] = 0;
+        out_counts[s * 4 + 1] = 0;
+        out_counts[s * 4 + 2] = 0;
+        out_counts[s * 4 + 3] = 0;
         out_state[s * 2] = initial;
         out_state[s * 2 + 1] = 0.0;
     }
@@ -252,14 +290,21 @@ static void scan_network_one(
                 (out_state[sensor * 2] + cs[sensor * row_stride + t])
                 - out_state[sensor * 2 + 1];
             if (battery < activation_cost) {
-                out_counts[sensor * 3 + 2]++;
+                out_counts[sensor * 4 + 2]++;
             } else {
-                out_counts[sensor * 3]++;
+                out_counts[sensor * 4]++;
                 if (event) {
+                    int64_t gap;
                     captured = 1;
-                    out_counts[sensor * 3 + 1]++;
+                    out_counts[sensor * 4 + 1]++;
+                    out_counts[sensor * 4 + 3] = t + 1;
                     out_state[sensor * 2] =
                         out_state[sensor * 2] - cost_capture;
+                    gap = (t + 1) - last_capture;
+                    aoi_area += gap * (gap - 1) / 2;
+                    aoi_sq += ((gap - 1) * gap / 2) * (2 * gap - 1) / 3;
+                    if (gap - 1 > aoi_max) aoi_max = gap - 1;
+                    last_capture = t + 1;
                 } else {
                     out_state[sensor * 2] = out_state[sensor * 2] - delta1;
                 }
@@ -271,6 +316,14 @@ static void scan_network_one(
             recency = captured ? 1 : recency + 1;
         }
     }
+    residual = horizon - last_capture;
+    aoi_area += residual * (residual + 1) / 2;
+    aoi_sq += (residual * (residual + 1) / 2) * (2 * residual + 1) / 3;
+    if (residual > aoi_max) aoi_max = residual;
+    out_aoi[0] = aoi_area;
+    out_aoi[1] = aoi_sq;
+    out_aoi[2] = aoi_max;
+    out_aoi[3] = last_capture;
 }
 
 void repro_network_scan(
@@ -290,12 +343,13 @@ void repro_network_scan(
     double delta2,
     double initial,
     int64_t *out_counts,
-    double *out_state)
+    double *out_state,
+    int64_t *out_aoi)
 {
     scan_network_one(horizon, n_sensors, horizon, cs, events, coins, resp,
                      table, table_size, tail, slot_mode, full_info,
                      capacity, delta1, delta2, initial,
-                     out_counts, out_state);
+                     out_counts, out_state, out_aoi);
 }
 
 /* Batched network scan.  Runs may have different sensor counts: run r
@@ -324,8 +378,9 @@ void repro_network_batch_scan(
     const double *delta2s,
     const double *initials,
     int32_t parallel,
-    int64_t *out_counts,         /* (total_rows, 3) */
-    double *out_state)           /* (total_rows, 2) */
+    int64_t *out_counts,         /* (total_rows, 4) */
+    double *out_state,           /* (total_rows, 2) */
+    int64_t *out_aoi)            /* (n_runs, 4) */
 {
     int64_t r;
     (void)parallel;
@@ -349,8 +404,9 @@ void repro_network_batch_scan(
                          delta1s[r],
                          delta2s[r],
                          initials[r],
-                         out_counts + sensor_offsets[r] * 3,
-                         out_state + sensor_offsets[r] * 2);
+                         out_counts + sensor_offsets[r] * 4,
+                         out_state + sensor_offsets[r] * 2,
+                         out_aoi + r * 4);
     }
 }
 
@@ -405,6 +461,7 @@ class NativeScan:
             ctypes.c_double,
             ctypes.c_int32,
             ctypes.c_int32,
+            ctypes.c_int32,
             ctypes.c_double,
             ctypes.c_double,
             ctypes.c_double,
@@ -432,6 +489,7 @@ class NativeScan:
             ctypes.c_double,
             _I64P,
             _F64P,
+            _I64P,
         ]
         self._batch_fn = lib.repro_batch_scan
         self._batch_fn.restype = None
@@ -481,6 +539,7 @@ class NativeScan:
             ctypes.c_int32,
             _I64P,
             _F64P,
+            _I64P,
         ]
         omp_fn = lib.repro_openmp_enabled
         omp_fn.restype = ctypes.c_int32
@@ -502,8 +561,14 @@ class NativeScan:
         delta1: float,
         delta2: float,
         initial: float,
-    ) -> Tuple[int, int, int, float, float]:
-        """Run the scan; returns (activations, captures, blocked, neg, shave)."""
+        compute_aoi: bool = True,
+    ) -> Tuple[int, int, int, float, float, Tuple[int, int, int, int]]:
+        """Run the scan.
+
+        Returns ``(activations, captures, blocked, neg, shave, aoi)``
+        where ``aoi = (area, area_sq, max_age, last_capture_slot)`` —
+        all zeros when ``compute_aoi`` is False.
+        """
         horizon = cs.shape[0]
         cs_c = _c(cs, np.float64)
         ev_c = _c(events, np.uint8)
@@ -512,7 +577,7 @@ class NativeScan:
         table_size = table_c.shape[0]
         if table_size == 0:  # keep the pointer valid; never dereferenced
             table_c = np.zeros(1, dtype=np.float64)
-        counts = np.zeros(3, dtype=np.int64)
+        counts = np.zeros(7, dtype=np.int64)
         state = np.zeros(2, dtype=np.float64)
         self._fn(
             ctypes.c_int64(horizon),
@@ -524,6 +589,7 @@ class NativeScan:
             ctypes.c_double(tail),
             ctypes.c_int32(1 if slot_mode else 0),
             ctypes.c_int32(1 if full_info else 0),
+            ctypes.c_int32(1 if compute_aoi else 0),
             ctypes.c_double(capacity),
             ctypes.c_double(delta1),
             ctypes.c_double(delta2),
@@ -537,6 +603,7 @@ class NativeScan:
             int(counts[2]),
             float(state[0]),
             float(state[1]),
+            (int(counts[3]), int(counts[4]), int(counts[5]), int(counts[6])),
         )
 
     def scan_batch(
@@ -562,9 +629,10 @@ class NativeScan:
         ``cs``/``events``/``coins`` are ``(n_runs, stride)``; run ``r``
         occupies the first ``lengths[r]`` columns of its row.  Returns
         ``(counts, state)``: ``counts[r] = (activations, captures,
-        blocked)``, ``state[r] = (neg, shave)``.  ``parallel=False``
-        forces the serial loop even in an OpenMP build (for exactness
-        tests and single-run-comparable timings).
+        blocked, aoi_area, aoi_area_sq, aoi_max, last_capture_slot)``,
+        ``state[r] = (neg, shave)``.  ``parallel=False`` forces the
+        serial loop even in an OpenMP build (for exactness tests and
+        single-run-comparable timings).
         """
         n_runs, stride = cs.shape
         cs_c = _c(cs, np.float64)
@@ -573,7 +641,7 @@ class NativeScan:
         tables_c = _c(tables, np.float64)
         if tables_c.size == 0:  # keep the pointer valid; never dereferenced
             tables_c = np.zeros(1, dtype=np.float64)
-        counts = np.zeros((n_runs, 3), dtype=np.int64)
+        counts = np.zeros((n_runs, 7), dtype=np.int64)
         state = np.zeros((n_runs, 2), dtype=np.float64)
         self._batch_fn(
             ctypes.c_int64(n_runs),
@@ -612,13 +680,15 @@ class NativeScan:
         delta1: float,
         delta2: float,
         initial: float,
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Run the N-sensor scan.
 
         ``cs`` is the ``(n_sensors, horizon)`` per-sensor cumulative
         recharge; ``resp`` the responsible sensor per slot (-1 = none).
-        Returns ``(counts, state)``: ``counts[s] = (activations,
-        captures, blocked)`` and ``state[s] = (neg, shave)``.
+        Returns ``(counts, state, aoi)``: ``counts[s] = (activations,
+        captures, blocked, last_capture_slot)``, ``state[s] = (neg,
+        shave)`` and ``aoi = (area, area_sq, max_age,
+        last_capture_slot)`` for the system-level age process.
         """
         n_sensors, horizon = cs.shape
         cs_c = _c(cs, np.float64)
@@ -629,8 +699,9 @@ class NativeScan:
         table_size = table_c.shape[0]
         if table_size == 0:  # keep the pointer valid; never dereferenced
             table_c = np.zeros(1, dtype=np.float64)
-        counts = np.zeros((n_sensors, 3), dtype=np.int64)
+        counts = np.zeros((n_sensors, 4), dtype=np.int64)
         state = np.zeros((n_sensors, 2), dtype=np.float64)
+        aoi = np.zeros(4, dtype=np.int64)
         self._net_fn(
             ctypes.c_int64(horizon),
             ctypes.c_int64(n_sensors),
@@ -649,8 +720,9 @@ class NativeScan:
             ctypes.c_double(initial),
             counts.ctypes.data_as(_I64P),
             state.ctypes.data_as(_F64P),
+            aoi.ctypes.data_as(_I64P),
         )
-        return counts, state
+        return counts, state, aoi
 
     def scan_network_batch(
         self,
@@ -672,14 +744,17 @@ class NativeScan:
         delta2s: np.ndarray,
         initials: np.ndarray,
         parallel: bool = True,
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Run ``n_runs`` independent network scans in one call.
 
         ``cs`` is ``(total_sensor_rows, stride)``; run ``r`` owns rows
         ``sensor_offsets[r] : sensor_offsets[r] + n_sensors[r]`` and
         row ``r`` of the ``(n_runs, stride)`` ``events``/``coins``/
-        ``resp`` arrays.  Returns per-sensor-row ``(counts, state)``
-        shaped ``(total_sensor_rows, 3)`` / ``(total_sensor_rows, 2)``.
+        ``resp`` arrays.  Returns ``(counts, state, aoi)``: per-sensor
+        rows ``counts`` shaped ``(total_sensor_rows, 4)`` (activations,
+        captures, blocked, last_capture_slot) and ``state`` shaped
+        ``(total_sensor_rows, 2)``, plus the per-run system-level
+        ``aoi`` shaped ``(n_runs, 4)``.
         """
         n_runs, stride = events.shape
         total_rows = cs.shape[0]
@@ -690,8 +765,9 @@ class NativeScan:
         tables_c = _c(tables, np.float64)
         if tables_c.size == 0:  # keep the pointer valid; never dereferenced
             tables_c = np.zeros(1, dtype=np.float64)
-        counts = np.zeros((total_rows, 3), dtype=np.int64)
+        counts = np.zeros((total_rows, 4), dtype=np.int64)
         state = np.zeros((total_rows, 2), dtype=np.float64)
+        aoi = np.zeros((n_runs, 4), dtype=np.int64)
         self._net_batch_fn(
             ctypes.c_int64(n_runs),
             ctypes.c_int64(stride),
@@ -715,8 +791,9 @@ class NativeScan:
             ctypes.c_int32(1 if parallel else 0),
             counts.ctypes.data_as(_I64P),
             state.ctypes.data_as(_F64P),
+            aoi.ctypes.data_as(_I64P),
         )
-        return counts, state
+        return counts, state, aoi
 
 
 def _compile() -> Optional[ctypes.CDLL]:

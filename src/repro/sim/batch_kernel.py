@@ -62,7 +62,11 @@ from repro.exceptions import SimulationError
 from repro.sim import engine, kernel, network_kernel
 from repro.sim._native import get_native_scan
 from repro.sim._xp import array_namespace, cumulative_max
-from repro.sim.metrics import SimulationResult
+from repro.sim.metrics import (
+    AoIStats,
+    SimulationResult,
+    aoi_from_capture_slots,
+)
 from repro.sim.rng import SeedLike, bulk_substreams
 
 __all__ = [
@@ -93,6 +97,7 @@ class RunSpec:
     seed: SeedLike = None
     initial_energy: Optional[float] = None
     collect_battery_trace: bool = False
+    collect_aoi: bool = True
 
 
 @dataclass(frozen=True, eq=False)
@@ -380,6 +385,11 @@ def simulate_batch(
                 results[i] = kernel._result(
                     0, 0, 0, 0, d.initial, 0.0, 0.0,
                     specs[i].delta1, specs[i].delta2, 0,
+                    aoi=(
+                        aoi_from_capture_slots((), 0)
+                        if specs[i].collect_aoi
+                        else None
+                    ),
                 )
             else:
                 eligible.append(i)
@@ -407,6 +417,7 @@ def simulate_batch(
             horizon=spec.horizon,
             initial=d.initial,
             collect_battery_trace=spec.collect_battery_trace,
+            collect_aoi=spec.collect_aoi,
         )
     telemetry.count("batch.dispatch.reference", n_specs - len(eligible))
     _count_fallbacks("simulate_batch", fallback_reasons)
@@ -491,9 +502,23 @@ def _scan_batch_packed(
             )
             for j in range(n_runs)
         ]
+        # The batch scan always computes the AoI accumulators (the
+        # per-run flag would force a second specialization for no
+        # measurable gain); collect_aoi only gates attachment below.
+        aois: List[Optional[AoIStats]] = [
+            AoIStats(
+                area=int(counts[j, 3]),
+                area_sq=int(counts[j, 4]),
+                max_age=int(counts[j, 5]),
+                last_capture_slot=int(counts[j, 6]),
+                n_resets=int(counts[j, 1]),
+                horizon=int(lengths[j]),
+            )
+            for j in range(n_runs)
+        ]
     else:
         telemetry.count("batch.dispatch.numpy", n_runs)
-        scanned = _numpy_batch_scan(
+        scanned, aois = _numpy_batch_scan(
             specs, drawn, eligible, events2, cs2, coins2, lengths,
             capacities, delta1s, delta2s, initials,
         )
@@ -514,6 +539,7 @@ def _scan_batch_packed(
             float(specs[i].delta1),
             float(specs[i].delta2),
             horizon,
+            aoi=aois[j] if specs[i].collect_aoi else None,
         )
 
 
@@ -529,12 +555,17 @@ def _numpy_batch_scan(
     delta1s: np.ndarray,
     delta2s: np.ndarray,
     initials: np.ndarray,
-) -> List[Tuple[int, int, int, float, float]]:
+) -> Tuple[
+    List[Tuple[int, int, int, float, float]],
+    List[Optional[AoIStats]],
+]:
     """Batched phase-A speculation; peel failures to the per-run scans.
 
     Returns per packed run ``(activations, captures, blocked, neg,
     shave)`` exactly as :func:`repro.sim.kernel._scan_upfront` /
-    ``_scan_partial`` would per run.
+    ``_scan_partial`` would per run, plus the matching
+    :class:`AoIStats` list (closed forms over each run's capture
+    slots).
     """
     n_runs = len(eligible)
     stride = events2.shape[1]
@@ -542,6 +573,7 @@ def _numpy_batch_scan(
     scanned: List[Optional[Tuple[int, int, int, float, float]]] = (
         [None] * n_runs
     )
+    aois: List[Optional[AoIStats]] = [None] * n_runs
 
     # Desire is precomputable per slot except for non-constant
     # partial-information recency tables — same rule as the per-run
@@ -568,7 +600,7 @@ def _numpy_batch_scan(
             probs = None
         if probs is None:
             telemetry.count("batch.scan.numpy_partial")
-            scanned[j] = kernel._scan_partial(
+            a, c, b, neg, shave, slots = kernel._scan_partial(
                 events_bool[j, :horizon],
                 cs2[j, :horizon],
                 coins2[j, :horizon],
@@ -579,12 +611,14 @@ def _numpy_batch_scan(
                 float(delta2s[j]),
                 float(initials[j]),
             )
+            scanned[j] = (a, c, b, neg, shave)
+            aois[j] = aoi_from_capture_slots(slots, horizon)
         else:
             desire2[j, :horizon] = coins2[j, :horizon] < probs
             upfront.append(j)
 
     if not upfront:
-        return scanned  # type: ignore[return-value]
+        return scanned, aois  # type: ignore[return-value]
     telemetry.count("batch.scan.numpy_upfront", len(upfront))
 
     rows = np.asarray(upfront, dtype=np.intp)
@@ -621,12 +655,12 @@ def _numpy_batch_scan(
     neg_last = np.asarray(neg_full[:, -1])
     shave_last = np.asarray(shave_run[:, -1])
     for k, j in enumerate(upfront):
+        horizon = int(lengths[j])
         if failed[k]:
             # Speculation failed for this run: its blocked slots need
             # the per-run sparse scan (phase B), unchanged.
             telemetry.count("batch.scan.numpy_sparse")
-            horizon = int(lengths[j])
-            scanned[j] = kernel._scan_upfront(
+            a, c, b, neg, shave, slots = kernel._scan_upfront(
                 desire2[j, :horizon],
                 events_bool[j, :horizon],
                 cs2[j, :horizon],
@@ -635,6 +669,8 @@ def _numpy_batch_scan(
                 float(delta2s[j]),
                 float(initials[j]),
             )
+            scanned[j] = (a, c, b, neg, shave)
+            aois[j] = aoi_from_capture_slots(slots, horizon)
         else:
             scanned[j] = (
                 int(activations[k]),
@@ -643,7 +679,12 @@ def _numpy_batch_scan(
                 float(neg_last[k]),
                 float(shave_last[k]),
             )
-    return scanned  # type: ignore[return-value]
+            # Speculation held, so every desired event slot captured.
+            cap_idx = np.nonzero(desire_up[k] & events_up[k])[0]
+            aois[j] = aoi_from_capture_slots(
+                (cap_idx + 1).astype(np.int64), horizon
+            )
+    return scanned, aois  # type: ignore[return-value]
 
 
 @dataclass
@@ -871,7 +912,7 @@ def simulate_network_runs(
     cs_all = np.cumsum(recharge_all, axis=1)
 
     tables, offsets, sizes = _pack_tables(probs_arrays)
-    counts, state = native.scan_network_batch(
+    counts, state, aoi_rows = native.scan_network_batch(
         cs_all,
         events2,
         coins2,
@@ -905,9 +946,18 @@ def simulate_network_runs(
         harvested = [
             float(cs_all[row0 + s, horizon - 1]) for s in range(n_sensors)
         ]
+        captures_by = [int(counts[row0 + s, 1]) for s in range(n_sensors)]
+        aoi = AoIStats(
+            area=int(aoi_rows[j, 0]),
+            area_sq=int(aoi_rows[j, 1]),
+            max_age=int(aoi_rows[j, 2]),
+            last_capture_slot=int(aoi_rows[j, 3]),
+            n_resets=sum(captures_by),
+            horizon=horizon,
+        )
         results[i] = network_kernel._network_result(
             [int(counts[row0 + s, 0]) for s in range(n_sensors)],
-            [int(counts[row0 + s, 1]) for s in range(n_sensors)],
+            captures_by,
             [int(counts[row0 + s, 2]) for s in range(n_sensors)],
             [float(state[row0 + s, 0]) for s in range(n_sensors)],
             [float(state[row0 + s, 1]) for s in range(n_sensors)],
@@ -916,5 +966,7 @@ def simulate_network_runs(
             float(specs[i].delta1),
             float(specs[i].delta2),
             horizon,
+            [int(counts[row0 + s, 3]) for s in range(n_sensors)],
+            aoi,
         )
     return results  # type: ignore[return-value]

@@ -50,7 +50,7 @@ from repro.events.renewal import generate_event_flags
 from repro.exceptions import SimulationError
 from repro.sim import kernel
 from repro.sim.kernel import _TABLE_SLOTS  # noqa: F401  (compat re-export)
-from repro.sim.metrics import SensorStats, SimulationResult
+from repro.sim.metrics import AoIStats, SensorStats, SimulationResult
 from repro.sim.rng import SeedLike, make_rng, spawn
 
 #: Valid values of the ``backend`` argument.
@@ -95,6 +95,7 @@ def simulate_single(
     initial_energy: Optional[float] = None,
     collect_battery_trace: bool = False,
     backend: str = "auto",
+    collect_aoi: bool = True,
 ) -> SimulationResult:
     """Run one sensor for ``horizon`` slots and return its statistics.
 
@@ -107,6 +108,11 @@ def simulate_single(
     raises :class:`SimulationError` when the configuration is not
     eligible), ``"auto"`` uses the kernel whenever it is eligible.  All
     backends are bit-identical.
+
+    ``collect_aoi=False`` skips the Age-of-Information accumulators and
+    leaves ``result.aoi`` as ``None`` (the benchmark's overhead gate
+    times both settings against each other); it never changes any other
+    field of the result.
     """
     if backend not in BACKENDS:
         raise SimulationError(
@@ -170,6 +176,7 @@ def simulate_single(
                     delta2=float(delta2),
                     horizon=horizon,
                     initial=initial,
+                    collect_aoi=collect_aoi,
                 )
         if backend == "vectorized":
             raise SimulationError(
@@ -197,6 +204,7 @@ def simulate_single(
         horizon=horizon,
         initial=initial,
         collect_battery_trace=collect_battery_trace,
+        collect_aoi=collect_aoi,
     )
 
 
@@ -216,6 +224,7 @@ def _simulate_reference(
     horizon: int,
     initial: float,
     collect_battery_trace: bool,
+    collect_aoi: bool = True,
 ) -> SimulationResult:
     """The bit-exact per-slot reference loop (reflected battery form)."""
     activation_cost = delta1 + delta2  # decision threshold (Sec. III-A)
@@ -227,6 +236,16 @@ def _simulate_reference(
     activations = 0
     blocked = 0
     trace = np.empty(horizon) if collect_battery_trace else None
+
+    # Age-of-Information accumulators: a capture at slot t closes a gap
+    # of g = t - last_capture slots whose end-of-slot ages are
+    # 1 .. g - 1 (then 0 at t itself); the trailing censored gap of
+    # r slots contributes ages 1 .. r.  Pure integer arithmetic — the
+    # vectorized paths replay the same closed forms exactly.
+    aoi_area = 0
+    aoi_sq = 0
+    aoi_max = 0
+    last_capture = 0
 
     # Reflected battery state (see module docstring): the level before
     # each decision is (neg + cum) - shave.
@@ -277,6 +296,12 @@ def _simulate_reference(
                 captured = True
                 n_captures += 1
                 neg = neg - cost_capture
+                gap = t - last_capture
+                aoi_area += gap * (gap - 1) // 2
+                aoi_sq += ((gap - 1) * gap // 2) * (2 * gap - 1) // 3
+                if gap - 1 > aoi_max:
+                    aoi_max = gap - 1
+                last_capture = t
             else:
                 neg = neg - delta1
 
@@ -289,6 +314,21 @@ def _simulate_reference(
         else:
             recency = 1 if captured else recency + 1
 
+    aoi: Optional[AoIStats] = None
+    if collect_aoi:
+        residual = horizon - last_capture
+        aoi_area += residual * (residual + 1) // 2
+        aoi_sq += (residual * (residual + 1) // 2) * (2 * residual + 1) // 3
+        if residual > aoi_max:
+            aoi_max = residual
+        aoi = AoIStats(
+            area=aoi_area,
+            area_sq=aoi_sq,
+            max_age=aoi_max,
+            last_capture_slot=last_capture,
+            n_resets=n_captures,
+            horizon=horizon,
+        )
     stats = SensorStats(
         activations=activations,
         captures=n_captures,
@@ -297,6 +337,7 @@ def _simulate_reference(
         energy_overflow=shave,
         blocked_slots=blocked,
         final_battery=(neg + cum) - shave,
+        last_capture_slot=last_capture if collect_aoi else 0,
     )
     return SimulationResult(
         horizon=horizon,
@@ -304,4 +345,5 @@ def _simulate_reference(
         n_captures=n_captures,
         sensors=(stats,),
         battery_trace=trace,
+        aoi=aoi,
     )

@@ -47,7 +47,12 @@ import numpy as np
 from repro.core.policy import ActivationPolicy, InfoModel
 from repro.devtools import telemetry
 from repro.sim._native import get_native_scan
-from repro.sim.metrics import SensorStats, SimulationResult
+from repro.sim.metrics import (
+    AoIStats,
+    SensorStats,
+    SimulationResult,
+    aoi_from_capture_slots,
+)
 
 #: Default size of the recency lookup table when the policy provides a
 #: recency fast path; recencies beyond it use the policy's tail value.
@@ -136,10 +141,19 @@ def simulate_kernel(
     delta2: float,
     horizon: int,
     initial: float,
+    collect_aoi: bool = True,
 ) -> SimulationResult:
-    """Run the vectorized kernel on pre-drawn arrays (see module docs)."""
+    """Run the vectorized kernel on pre-drawn arrays (see module docs).
+
+    Age-of-Information statistics are closed formulas over the
+    capture-slot sequence (pure integers), so every path reproduces the
+    reference accumulation exactly; ``collect_aoi=False`` skips them.
+    """
     if horizon == 0:
-        return _result(0, 0, 0, 0, initial, 0.0, 0.0, delta1, delta2, 0)
+        return _result(
+            0, 0, 0, 0, initial, 0.0, 0.0, delta1, delta2, 0,
+            aoi=aoi_from_capture_slots((), 0) if collect_aoi else None,
+        )
     cs = np.cumsum(recharge_amounts)  # sequential, matches the scalar sum
     n_events = int(np.count_nonzero(events))
 
@@ -150,13 +164,24 @@ def simulate_kernel(
             probs, slot_mode = np.asarray(slot_probs, dtype=np.float64), True
         else:
             probs, slot_mode = np.asarray(table, dtype=np.float64), False
-        activations, captures, blocked, neg, shave = native.scan(
+        activations, captures, blocked, neg, shave, raw_aoi = native.scan(
             cs, events, coins, probs, float(tail), slot_mode, full_info,
-            capacity, delta1, delta2, initial,
+            capacity, delta1, delta2, initial, compute_aoi=collect_aoi,
         )
+        aoi: Optional[AoIStats] = None
+        if collect_aoi:
+            area, area_sq, max_age, last_capture = raw_aoi
+            aoi = AoIStats(
+                area=area,
+                area_sq=area_sq,
+                max_age=max_age,
+                last_capture_slot=last_capture,
+                n_resets=captures,
+                horizon=horizon,
+            )
         return _result(
             activations, captures, blocked, n_events,
-            neg, shave, float(cs[-1]), delta1, delta2, horizon,
+            neg, shave, float(cs[-1]), delta1, delta2, horizon, aoi=aoi,
         )
 
     # Pure-numpy paths.  Desire is computable up front except for
@@ -179,17 +204,23 @@ def simulate_kernel(
                 desire = coins < tail
     if desire is not None:
         telemetry.count("kernel.scan.numpy_upfront")
-        activations, captures, blocked, neg, shave = _scan_upfront(
-            desire, events, cs, capacity, delta1, delta2, initial,
+        activations, captures, blocked, neg, shave, capture_slots = (
+            _scan_upfront(
+                desire, events, cs, capacity, delta1, delta2, initial,
+            )
         )
     else:
         telemetry.count("kernel.scan.numpy_partial")
-        activations, captures, blocked, neg, shave = _scan_partial(
-            events, cs, coins, table, tail, capacity, delta1, delta2, initial,
+        activations, captures, blocked, neg, shave, capture_slots = (
+            _scan_partial(
+                events, cs, coins, table, tail,
+                capacity, delta1, delta2, initial,
+            )
         )
+    aoi = aoi_from_capture_slots(capture_slots, horizon) if collect_aoi else None
     return _result(
         activations, captures, blocked, n_events,
-        neg, shave, float(cs[-1]), delta1, delta2, horizon,
+        neg, shave, float(cs[-1]), delta1, delta2, horizon, aoi=aoi,
     )
 
 
@@ -204,6 +235,7 @@ def _result(
     delta1: float,
     delta2: float,
     horizon: int,
+    aoi: Optional[AoIStats] = None,
 ) -> SimulationResult:
     """Assemble the result from final reflected state (engine formulas)."""
     stats = SensorStats(
@@ -214,6 +246,7 @@ def _result(
         energy_overflow=shave,
         blocked_slots=blocked,
         final_battery=(neg + harvested) - shave,
+        last_capture_slot=aoi.last_capture_slot if aoi is not None else 0,
     )
     return SimulationResult(
         horizon=horizon,
@@ -221,6 +254,7 @@ def _result(
         n_captures=captures,
         sensors=(stats,),
         battery_trace=None,
+        aoi=aoi,
     )
 
 
@@ -259,8 +293,12 @@ def _scan_upfront(
     delta1: float,
     delta2: float,
     initial: float,
-) -> Tuple[int, int, int, float, float]:
-    """Scan when desire is known per slot; returns counts + final state."""
+) -> Tuple[int, int, int, float, float, np.ndarray]:
+    """Scan when desire is known per slot.
+
+    Returns counts + final state + the ascending 1-based capture-slot
+    array (the AoI closed forms consume it).
+    """
     cost_capture = delta1 + delta2
     activation_cost = delta1 + delta2
     horizon = cs.shape[0]
@@ -282,12 +320,14 @@ def _scan_upfront(
     battery = pre - shave_run
     if not bool(np.any(desire & (battery < activation_cost))):
         telemetry.count("kernel.upfront.speculation_ok")
+        cap_idx = np.nonzero(events[des_idx])[0]
         return (
             int(des_idx.size),
-            int(np.count_nonzero(events[des_idx])),
+            int(cap_idx.size),
             0,
             float(negs[-1]),
             float(shave_run[-1]),
+            (des_idx[cap_idx] + 1).astype(np.int64),
         )
     telemetry.count("kernel.upfront.sparse_scan")
 
@@ -298,12 +338,14 @@ def _scan_upfront(
     # and blocked stretches can be skipped by bisection.
     csc: List[float] = cs[des_idx].tolist()
     evc: List[bool] = events[des_idx].tolist()
+    slots_c: List[int] = (des_idx + 1).tolist()
     n = len(csc)
     neg = initial
     shave = 0.0
     activations = 0
     captures = 0
     blocked = 0
+    capture_slots: List[int] = []
     i = 0
     while i < n:
         pre_i = neg + csc[i]
@@ -319,6 +361,7 @@ def _scan_upfront(
         if evc[i]:
             captures += 1
             neg = neg - cost_capture
+            capture_slots.append(slots_c[i])
         else:
             neg = neg - delta1
         i += 1
@@ -326,7 +369,10 @@ def _scan_upfront(
         over_end = (neg + float(cs[-1])) - capacity
         if over_end > shave:
             shave = over_end
-    return activations, captures, blocked, neg, shave
+    return (
+        activations, captures, blocked, neg, shave,
+        np.asarray(capture_slots, dtype=np.int64),
+    )
 
 
 def _first_unblocked(
@@ -370,7 +416,7 @@ def _scan_partial(
     delta1: float,
     delta2: float,
     initial: float,
-) -> Tuple[int, int, int, float, float]:
+) -> Tuple[int, int, int, float, float, np.ndarray]:
     """Sparse scan for non-constant partial-information recency tables.
 
     Recency (slots since last capture) depends on the capture history,
@@ -378,6 +424,7 @@ def _scan_partial(
     ``coin < p_max`` can possibly activate, and between candidates the
     recency simply advances with time.  The scan walks that candidate
     superset, resolving desire, battery and recency per candidate.
+    Returns counts + final state + the 1-based capture-slot array.
     """
     cost_capture = delta1 + delta2
     activation_cost = delta1 + delta2
@@ -401,6 +448,7 @@ def _scan_partial(
     captures = 0
     blocked = 0
     last_capture = 0  # slot of the implicit event before slot 1
+    capture_slots: List[int] = []
     for k in range(len(csc)):
         slot = cand_slots[k]
         recency = slot - last_capture
@@ -419,10 +467,14 @@ def _scan_partial(
             captures += 1
             neg = neg - cost_capture
             last_capture = slot
+            capture_slots.append(slot)
         else:
             neg = neg - delta1
     if horizon:
         over_end = (neg + float(cs[-1])) - capacity
         if over_end > shave:
             shave = over_end
-    return activations, captures, blocked, neg, shave
+    return (
+        activations, captures, blocked, neg, shave,
+        np.asarray(capture_slots, dtype=np.int64),
+    )

@@ -12,6 +12,7 @@ quantity that actually explains the Fig. 3 gap at small K.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
@@ -35,17 +36,22 @@ class OutageStats:
         return self.n_episodes > 0
 
 
-def outage_stats(records: list[SlotRecord]) -> OutageStats:
+def outage_stats(records: Iterable[SlotRecord]) -> OutageStats:
     """Aggregate blocked-slot episodes from a :func:`trace_single` trace.
 
     An episode is a maximal run of consecutive blocked slots (slots the
     policy prescribed activation for but the battery could not fund);
     ``events_lost_to_outage`` counts events that occurred in blocked
     slots — captures the policy paid for in design but lost to energy
-    burstiness.
+    burstiness.  ``records`` may be any iterable (including a
+    generator); it is materialized once at entry.
     """
     if records is None:
         raise SimulationError("records must be a trace list")
+    # Materialize first: a generator argument would be drained by the
+    # ``blocked`` comprehension, leaving ``events`` empty and the later
+    # ``records[int(starts[0])]`` lookup raising TypeError.
+    records = list(records)
     blocked = np.array([r.blocked for r in records], dtype=bool)
     events = np.array([r.event for r in records], dtype=bool)
     if blocked.size == 0:

@@ -41,7 +41,7 @@ from repro.events.base import InterArrivalDistribution
 from repro.events.renewal import generate_event_flags
 from repro.exceptions import SimulationError
 from repro.sim.engine import BACKENDS
-from repro.sim.metrics import SensorStats, SimulationResult
+from repro.sim.metrics import AoIStats, SensorStats, SimulationResult
 from repro.sim.parallel import parallel_map, resolve_n_jobs
 from repro.sim.rng import SeedLike, make_rng, spawn
 
@@ -201,12 +201,21 @@ def _simulate_network_reference(
     activations = [0] * n
     captures_by = [0] * n
     blocked = [0] * n
+    last_capture_by = [0] * n
 
     full_info = coordinator.info_model == InfoModel.FULL
 
     n_events = 0
     n_captures = 0
     recency = 1  # event at slot 0
+
+    # System-level Age-of-Information accumulators: the sink's age
+    # resets whenever *any* sensor captures (same closed gap forms as
+    # the single-sensor engine, over the network capture sequence).
+    aoi_area = 0
+    aoi_sq = 0
+    aoi_max = 0
+    last_capture = 0
 
     for t in range(1, horizon + 1):
         # 1. Recharge every sensor (clip at capacity via the running shave).
@@ -236,7 +245,14 @@ def _simulate_network_reference(
                 captured = True
                 n_captures += 1
                 captures_by[sensor] += 1
+                last_capture_by[sensor] = t
                 neg[sensor] = neg[sensor] - cost_capture
+                gap = t - last_capture
+                aoi_area += gap * (gap - 1) // 2
+                aoi_sq += ((gap - 1) * gap // 2) * (2 * gap - 1) // 3
+                if gap - 1 > aoi_max:
+                    aoi_max = gap - 1
+                last_capture = t
             else:
                 neg[sensor] = neg[sensor] - delta1
 
@@ -246,6 +262,19 @@ def _simulate_network_reference(
         else:
             recency = 1 if captured else recency + 1
 
+    residual = horizon - last_capture
+    aoi_area += residual * (residual + 1) // 2
+    aoi_sq += (residual * (residual + 1) // 2) * (2 * residual + 1) // 3
+    if residual > aoi_max:
+        aoi_max = residual
+    aoi = AoIStats(
+        area=aoi_area,
+        area_sq=aoi_sq,
+        max_age=aoi_max,
+        last_capture_slot=last_capture,
+        n_resets=n_captures,
+        horizon=horizon,
+    )
     harvested = [float(cum[s, -1]) if horizon else 0.0 for s in range(n)]
     stats = tuple(
         SensorStats(
@@ -256,6 +285,7 @@ def _simulate_network_reference(
             energy_overflow=shave[s],
             blocked_slots=blocked[s],
             final_battery=(neg[s] + harvested[s]) - shave[s],
+            last_capture_slot=last_capture_by[s],
         )
         for s in range(n)
     )
@@ -264,6 +294,7 @@ def _simulate_network_reference(
         n_events=n_events,
         n_captures=n_captures,
         sensors=stats,
+        aoi=aoi,
     )
 
 

@@ -64,7 +64,12 @@ from repro.devtools import telemetry
 from repro.sim._native import get_native_scan
 from repro.sim.engine import _TABLE_SLOTS
 from repro.sim.kernel import _full_info_probs, _scan_upfront
-from repro.sim.metrics import SensorStats, SimulationResult
+from repro.sim.metrics import (
+    AoIStats,
+    SensorStats,
+    SimulationResult,
+    aoi_from_capture_slots,
+)
 
 
 @dataclass(frozen=True)
@@ -256,6 +261,7 @@ def simulate_network_kernel(
         return _network_result(
             [0] * n, [0] * n, [0] * n, [initial] * n, [0.0] * n,
             [0.0] * n, 0, delta1, delta2, 0,
+            [0] * n, aoi_from_capture_slots((), 0),
         )
     cs = np.cumsum(recharge_rows, axis=1)
     n_events = int(np.count_nonzero(events))
@@ -269,18 +275,28 @@ def simulate_network_kernel(
         else:
             probs = plan.table if plan.table is not None else np.empty(0)
             slot_mode = False
-        counts, state = native.scan_network(
+        counts, state, raw_aoi = native.scan_network(
             cs, events, coins, plan.resp, np.asarray(probs, dtype=np.float64),
             plan.tail, slot_mode, plan.full_info,
             capacity, delta1, delta2, initial,
         )
+        captures = [int(counts[s, 1]) for s in range(n)]
+        aoi = AoIStats(
+            area=int(raw_aoi[0]),
+            area_sq=int(raw_aoi[1]),
+            max_age=int(raw_aoi[2]),
+            last_capture_slot=int(raw_aoi[3]),
+            n_resets=sum(captures),
+            horizon=horizon,
+        )
         return _network_result(
             [int(counts[s, 0]) for s in range(n)],
-            [int(counts[s, 1]) for s in range(n)],
+            captures,
             [int(counts[s, 2]) for s in range(n)],
             [float(state[s, 0]) for s in range(n)],
             [float(state[s, 1]) for s in range(n)],
             harvested, n_events, delta1, delta2, horizon,
+            [int(counts[s, 3]) for s in range(n)], aoi,
         )
 
     # Pure-numpy paths.  Desire is computable up front except for
@@ -295,8 +311,10 @@ def simulate_network_kernel(
     if desire is not None:
         telemetry.count("network_kernel.scan.numpy_upfront")
         activations, captures, blocked, negs, shaves = [], [], [], [], []
+        last_captures: List[int] = []
+        slot_arrays: List[np.ndarray] = []
         for s in range(n):
-            a, c, b, neg, shave = _scan_upfront(
+            a, c, b, neg, shave, slots = _scan_upfront(
                 desire & (plan.resp == s), events, cs[s],
                 capacity, delta1, delta2, initial,
             )
@@ -305,15 +323,29 @@ def simulate_network_kernel(
             blocked.append(b)
             negs.append(neg)
             shaves.append(shave)
+            last_captures.append(int(slots[-1]) if slots.size else 0)
+            slot_arrays.append(slots)
+        # At most one sensor is responsible per slot, so the per-sensor
+        # capture-slot sets are disjoint; the system capture sequence is
+        # their sorted union.
+        merged = np.sort(np.concatenate(slot_arrays)) if n else np.empty(
+            0, dtype=np.int64
+        )
+        aoi = aoi_from_capture_slots(merged, horizon)
     else:
         telemetry.count("network_kernel.scan.numpy_partial")
-        activations, captures, blocked, negs, shaves = _scan_partial_network(
+        (
+            activations, captures, blocked, negs, shaves,
+            last_captures, capture_slots,
+        ) = _scan_partial_network(
             events, cs, coins, plan.resp, plan.table, plan.tail, n,
             capacity, delta1, delta2, initial,
         )
+        aoi = aoi_from_capture_slots(capture_slots, horizon)
     return _network_result(
         activations, captures, blocked, negs, shaves,
         harvested, n_events, delta1, delta2, horizon,
+        last_captures, aoi,
     )
 
 
@@ -329,7 +361,10 @@ def _scan_partial_network(
     delta1: float,
     delta2: float,
     initial: float,
-) -> Tuple[List[int], List[int], List[int], List[float], List[float]]:
+) -> Tuple[
+    List[int], List[int], List[int], List[float], List[float],
+    List[int], List[int],
+]:
     """Sparse scan for capture-coupled partial-information tables.
 
     The shared recency (slots since the last network capture) advances
@@ -338,7 +373,9 @@ def _scan_partial_network(
     sensor's reflected battery is updated lazily: between its visits
     ``neg`` is constant and ``cum`` non-decreasing, so the running
     ``shave`` maximum is attained at the visited slot (the same
-    monotonicity argument as the single-sensor sparse scan).
+    monotonicity argument as the single-sensor sparse scan).  Returns
+    per-sensor counts/state/last-capture slots plus the ascending
+    system capture-slot list (for the AoI closed forms).
     """
     cost_capture = delta1 + delta2
     activation_cost = delta1 + delta2
@@ -361,6 +398,8 @@ def _scan_partial_network(
     activations = [0] * n_sensors
     captures = [0] * n_sensors
     blocked = [0] * n_sensors
+    last_captures = [0] * n_sensors
+    capture_slots: List[int] = []
     last_capture = 0  # slot of the implicit event before slot 1
     for k in range(len(cand_slots)):
         slot = cand_slots[k]
@@ -381,13 +420,18 @@ def _scan_partial_network(
             captures[s] += 1
             neg[s] = neg[s] - cost_capture
             last_capture = slot
+            last_captures[s] = slot
+            capture_slots.append(slot)
         else:
             neg[s] = neg[s] - delta1
     for s in range(n_sensors):  # trailing slots: overshoot max at the end
         over_end = (neg[s] + float(cs[s, -1])) - capacity
         if over_end > shave[s]:
             shave[s] = over_end
-    return activations, captures, blocked, neg, shave
+    return (
+        activations, captures, blocked, neg, shave,
+        last_captures, capture_slots,
+    )
 
 
 def _network_result(
@@ -401,6 +445,8 @@ def _network_result(
     delta1: float,
     delta2: float,
     horizon: int,
+    last_captures: List[int],
+    aoi: AoIStats,
 ) -> SimulationResult:
     """Assemble the result from final reflected state (engine formulas)."""
     stats = tuple(
@@ -412,6 +458,7 @@ def _network_result(
             energy_overflow=shaves[s],
             blocked_slots=blocked[s],
             final_battery=(negs[s] + harvested[s]) - shaves[s],
+            last_capture_slot=last_captures[s],
         )
         for s in range(len(activations))
     )
@@ -420,4 +467,5 @@ def _network_result(
         n_events=n_events,
         n_captures=sum(captures),
         sensors=stats,
+        aoi=aoi,
     )

@@ -17,7 +17,11 @@ from repro.energy.recharge import RechargeProcess
 from repro.events.base import InterArrivalDistribution
 from repro.events.renewal import generate_event_flags
 from repro.exceptions import SimulationError
-from repro.sim.metrics import SensorStats, SimulationResult
+from repro.sim.metrics import (
+    SensorStats,
+    SimulationResult,
+    aoi_from_capture_slots,
+)
 from repro.sim.rng import SeedLike, make_rng, spawn
 
 
@@ -115,6 +119,8 @@ def summarize_trace(
 ) -> SimulationResult:
     """Aggregate a trace into the engine's result type."""
     n_captures = sum(r.captured for r in records)
+    capture_slots = [r.slot for r in records if r.captured]
+    aoi = aoi_from_capture_slots(capture_slots, len(records))
     stats = SensorStats(
         activations=sum(r.active for r in records),
         captures=n_captures,
@@ -125,10 +131,12 @@ def summarize_trace(
         energy_overflow=sum(r.overflow for r in records),
         blocked_slots=sum(r.blocked for r in records),
         final_battery=records[-1].battery_after if records else capacity / 2,
+        last_capture_slot=aoi.last_capture_slot,
     )
     return SimulationResult(
         horizon=len(records),
         n_events=sum(r.event for r in records),
         n_captures=n_captures,
         sensors=(stats,),
+        aoi=aoi,
     )

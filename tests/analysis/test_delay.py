@@ -5,7 +5,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.analysis.delay import detection_delay
+from repro.analysis.delay import (
+    _fold_missed,
+    _fold_missed_loop,
+    detection_delay,
+)
 from repro.analysis.partial_info import analyse_partial_info_policy
 from repro.events import (
     DeterministicInterArrival,
@@ -61,7 +65,12 @@ class TestConsistencyWithQoM:
     def test_pmf_is_distribution(self, small_weibull):
         delay = detection_delay(small_weibull, np.array([0.0, 0.5]), tail=0.8)
         assert delay.pmf.min() >= -1e-12
-        assert delay.pmf.sum() == pytest.approx(1.0, abs=1e-6)
+        # The pmf covers only within-horizon detections; the remainder
+        # is reported explicitly, never folded into the last bucket.
+        assert delay.censored_mass >= 0.0
+        assert delay.pmf.sum() + delay.censored_mass == pytest.approx(
+            1.0, abs=1e-9
+        )
 
     def test_quantiles_monotone(self, geometric):
         delay = detection_delay(geometric, np.array([0.3]), tail=0.3)
@@ -107,3 +116,155 @@ class TestAgainstSimulation:
             analysis.capture_probability, abs=0.02
         )
         assert delays.mean() == pytest.approx(analysis.mean, abs=0.25)
+
+
+class TestGoldenDistributions:
+    def test_geometric_constant_activation_closed_form(self):
+        """Bernoulli(p) events + constant activation c: pmf[0] = c and
+        pmf[d] = (1-c) * cp * (1-cp)^(d-1) — the memoryless golden case."""
+        p, c = 0.2, 0.4
+        analysis = detection_delay(
+            GeometricInterArrival(p), np.array([c]), tail=c
+        )
+        assert analysis.pmf[0] == pytest.approx(c, abs=1e-9)
+        d = np.arange(1, 30)
+        expected = (1 - c) * c * p * (1 - c * p) ** (d - 1)
+        np.testing.assert_allclose(analysis.pmf[1:30], expected, atol=1e-6)
+        # E[delay] = (1-c)/(cp): the geometric wait of the missed mass.
+        assert analysis.mean == pytest.approx((1 - c) / (c * p), abs=1e-2)
+
+    def test_deterministic_period_pmf(self):
+        """Period-4 events, watcher every other period: half the events
+        are captured in place, half exactly one period late."""
+        d = DeterministicInterArrival(4)
+        c = np.array([0, 0, 0, 0, 0, 0, 0, 1.0])
+        analysis = detection_delay(d, c, tail=1.0)
+        golden = np.zeros(analysis.pmf.size)
+        golden[0] = 0.5
+        golden[4] = 0.5
+        np.testing.assert_allclose(analysis.pmf, golden, atol=1e-9)
+        assert analysis.censored_mass == pytest.approx(0.0, abs=1e-9)
+
+
+class TestCensoredMass:
+    def test_heavy_tail_reported_not_folded(self, pareto):
+        """Regression: truncated heavy-tailed mass must surface as
+        ``censored_mass``, not silently inflate the last pmf bucket
+        (which biased both the mean and every quantile)."""
+        analysis = detection_delay(
+            pareto, np.zeros(1), tail=0.05, max_cycle=400
+        )
+        assert analysis.truncated
+        assert analysis.censored_mass > 0.5
+        assert analysis.pmf.sum() + analysis.censored_mass == pytest.approx(
+            1.0, abs=1e-9
+        )
+        # The final bucket holds only genuine within-horizon mass.
+        assert analysis.pmf[-1] < 1e-6
+        # The mean conditions on detection: it must stay far below the
+        # horizon-sized value the old fold produced (~0.55 * 400).
+        conditional = float(
+            np.arange(analysis.pmf.size) @ analysis.pmf
+        ) / float(analysis.pmf.sum())
+        assert analysis.mean == pytest.approx(conditional, rel=1e-12)
+        assert analysis.mean < 150.0
+
+    def test_light_tail_has_negligible_censoring(self, small_weibull):
+        analysis = detection_delay(small_weibull, np.array([0.5]), tail=0.5)
+        assert analysis.censored_mass < 1e-5
+
+
+class TestQuantileEdges:
+    def test_edge_levels_deterministic(self):
+        d = DeterministicInterArrival(4)
+        analysis = detection_delay(
+            d, np.array([0, 0, 0, 0, 0, 0, 0, 1.0]), tail=1.0
+        )
+        assert analysis.quantile(0.0) == 0
+        # cdf drift must not push q=1.0 past the support: the largest
+        # delay carrying mass is exactly one period.
+        assert analysis.quantile(1.0) == 4
+        assert analysis.quantile(0.5) == 0
+
+    def test_edge_levels_with_censoring(self, pareto):
+        """quantile conditions on detection, so q=1.0 stays inside the
+        analysed support even when half the mass is censored."""
+        analysis = detection_delay(
+            pareto, np.zeros(1), tail=0.05, max_cycle=400
+        )
+        assert analysis.quantile(0.0) == 0
+        assert analysis.quantile(1.0) < analysis.pmf.size
+        assert analysis.pmf[analysis.quantile(1.0)] > 0.0
+
+    def test_quantile_monotone_across_edges(self, geometric):
+        analysis = detection_delay(geometric, np.array([0.3]), tail=0.3)
+        levels = [0.0, 0.1, 0.5, 0.9, 0.99, 1.0]
+        qs = [analysis.quantile(q) for q in levels]
+        assert qs == sorted(qs)
+
+
+class TestFoldMissedVectorization:
+    """The vectorized backward pass must agree with the original double
+    loop to 1e-12 on golden hazard profiles."""
+
+    @staticmethod
+    def _log_prefix(no_capture):
+        log_safe = np.where(no_capture > 0, no_capture, 1.0)
+        return np.concatenate(([0.0], np.cumsum(np.log(log_safe))))
+
+    def _assert_agree(self, missed_at, capture_prob_at):
+        no_capture = 1.0 - capture_prob_at
+        log_prefix = self._log_prefix(no_capture)
+        out_size = missed_at.size + 2
+        vec = _fold_missed(
+            missed_at, capture_prob_at, no_capture, log_prefix, out_size
+        )
+        loop = _fold_missed_loop(
+            missed_at, capture_prob_at, no_capture, log_prefix, out_size
+        )
+        np.testing.assert_allclose(vec, loop, atol=1e-12, rtol=0)
+
+    def test_deterministic_profile(self):
+        """Certain-capture slots every period end each chain exactly."""
+        t_max = 60
+        capture_prob_at = np.zeros(t_max)
+        capture_prob_at[3::4] = 1.0
+        rng = np.random.default_rng(7)
+        missed_at = rng.random(t_max) * 0.1
+        self._assert_agree(missed_at, capture_prob_at)
+
+    def test_geometric_profile(self):
+        t_max = 80
+        self._assert_agree(
+            np.full(t_max, 0.01), np.full(t_max, 0.15)
+        )
+
+    def test_mixed_profile_with_zeros_and_ones(self):
+        rng = np.random.default_rng(11)
+        t_max = 100
+        capture_prob_at = rng.random(t_max)
+        capture_prob_at[rng.random(t_max) < 0.1] = 1.0
+        capture_prob_at[rng.random(t_max) < 0.1] = 0.0
+        missed_at = rng.random(t_max)
+        missed_at[rng.random(t_max) < 0.3] = 0.0
+        self._assert_agree(missed_at, capture_prob_at)
+
+    def test_no_missed_mass(self):
+        self._assert_agree(np.zeros(10), np.full(10, 0.5))
+
+    def test_single_slot(self):
+        self._assert_agree(np.array([0.3]), np.array([0.2]))
+
+    def test_full_pipeline_matches_loop(self, small_weibull, monkeypatch):
+        """End-to-end: swapping the fold implementation leaves the
+        published pmf unchanged to 1e-12."""
+        import repro.analysis.delay as delay_mod
+
+        vec = detection_delay(small_weibull, np.array([0.0, 0.5]), tail=0.8)
+        monkeypatch.setattr(delay_mod, "_fold_missed", _fold_missed_loop)
+        loop = detection_delay(small_weibull, np.array([0.0, 0.5]), tail=0.8)
+        np.testing.assert_allclose(vec.pmf, loop.pmf, atol=1e-12, rtol=0)
+        assert vec.mean == pytest.approx(loop.mean, rel=1e-12)
+        assert vec.censored_mass == pytest.approx(
+            loop.censored_mass, abs=1e-12
+        )

@@ -5,11 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.analysis.partial_info import analyse_partial_info_policy
 from repro.core import (
+    AgeThresholdPolicy,
     AggressivePolicy,
     InfoModel,
     PeriodicPolicy,
     energy_balanced_period,
+    solve_age_threshold,
     solve_ebcw,
 )
 from repro.events import MarkovInterArrival
@@ -134,3 +137,102 @@ class TestEBCW:
             solve_ebcw(d, e, DELTA1, DELTA2).qom for e in (0.2, 0.5, 1.0)
         ]
         assert qoms == sorted(qoms)
+
+
+class TestAgeThreshold:
+    def test_threshold_schedule(self):
+        p = AgeThresholdPolicy(3)
+        assert p.activation_probability(1, 1) == 0.0
+        assert p.activation_probability(5, 2) == 0.0
+        assert p.activation_probability(5, 3) == 1.0
+        assert p.activation_probability(9, 100) == 1.0
+
+    def test_threshold_one_is_aggressive(self):
+        p = AgeThresholdPolicy(1)
+        assert all(
+            p.activation_probability(t, r) == 1.0
+            for t in (1, 5) for r in (1, 2, 50)
+        )
+
+    def test_recency_table_covers_threshold_beyond_horizon(self):
+        """The table must stay correct when the requested horizon is
+        shorter than the threshold (kernel fast paths truncate)."""
+        p = AgeThresholdPolicy(10)
+        table, tail = p.recency_probabilities(4)
+        assert table.size == 10
+        assert np.all(table[:9] == 0.0)
+        assert table[9] == 1.0
+        assert tail == 1.0
+
+    def test_recency_table_long_horizon(self):
+        p = AgeThresholdPolicy(3)
+        table, tail = p.recency_probabilities(6)
+        np.testing.assert_allclose(table, [0, 0, 1, 1, 1, 1])
+        assert tail == 1.0
+
+    @pytest.mark.parametrize("threshold", [0, -2])
+    def test_invalid_threshold(self, threshold):
+        with pytest.raises(PolicyError):
+            AgeThresholdPolicy(threshold)
+
+    def test_rejects_bad_state(self):
+        p = AgeThresholdPolicy(2)
+        with pytest.raises(PolicyError):
+            p.activation_probability(0, 1)
+        with pytest.raises(PolicyError):
+            p.activation_probability(1, 0)
+
+    def test_kernel_eligible(self, weibull):
+        """The policy earns vectorization through its recency table: a
+        forced-vectorized run must succeed, and bit-match the loop."""
+        from repro.energy import BernoulliRecharge
+        from repro.sim import simulate_single
+
+        kwargs = dict(
+            distribution=weibull,
+            policy=AgeThresholdPolicy(25),
+            recharge=BernoulliRecharge(0.5, 1.0),
+            capacity=60.0,
+            delta1=DELTA1,
+            delta2=DELTA2,
+            horizon=4000,
+            seed=11,
+        )
+        vec = simulate_single(backend="vectorized", **kwargs)
+        ref = simulate_single(backend="reference", **kwargs)
+        assert vec == ref
+
+    def test_solver_picks_smallest_feasible(self, weibull):
+        sol = solve_age_threshold(weibull, 0.1, DELTA1, DELTA2)
+        assert sol.analysis.energy_rate <= 0.1 * (1 + 1e-6)
+        if sol.threshold > 1:
+            greedier = analyse_partial_info_policy(
+                weibull,
+                np.zeros(sol.threshold - 2),
+                DELTA1,
+                DELTA2,
+                tail=1.0,
+            )
+            assert greedier.energy_rate > 0.1
+
+    def test_solver_threshold_shrinks_with_rate(self, weibull):
+        thresholds = [
+            solve_age_threshold(weibull, e, DELTA1, DELTA2).threshold
+            for e in (0.05, 0.2, 1.0)
+        ]
+        assert thresholds == sorted(thresholds, reverse=True)
+
+    def test_rich_harvest_gives_threshold_one(self, weibull):
+        sol = solve_age_threshold(weibull, 10.0, DELTA1, DELTA2)
+        assert sol.threshold == 1
+        assert sol.qom == pytest.approx(sol.analysis.qom)
+
+    def test_infeasible_budget_returns_laziest(self, weibull):
+        sol = solve_age_threshold(
+            weibull, 1e-9, DELTA1, DELTA2, max_threshold=64
+        )
+        assert sol.threshold == 64
+
+    def test_negative_rate_rejected(self, weibull):
+        with pytest.raises(PolicyError):
+            solve_age_threshold(weibull, -0.1, DELTA1, DELTA2)

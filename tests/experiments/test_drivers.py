@@ -6,6 +6,7 @@ import pytest
 
 from repro.events import WeibullInterArrival
 from repro.experiments import (
+    run_aoi,
     run_fig3,
     run_fig4,
     run_fig5,
@@ -117,3 +118,29 @@ class TestSeriesContainer:
         )
         with pytest.raises(KeyError):
             result.get("nope")
+
+
+class TestAoI:
+    def test_age_falls_with_recharge_and_threshold_policy_is_fresh(self):
+        result = run_aoi(
+            "weibull",
+            c_values=(0.6, 2.0),
+            distribution=FAST_EVENTS,
+            **SMALL,
+        )
+        assert result.y_label == "Time-Average Age (slots)"
+        for label in ("pi'_PI(e)", "pi_AG", "pi_PE", "pi_AT(e)"):
+            series = result.get(label)
+            assert all(y >= 0.0 for y in series.y)
+            # More energy means fresher information for every policy.
+            assert series.y[1] <= series.y[0] + 1.0
+        # The AoI-tuned threshold baseline should not be grossly
+        # staler than the fixed duty cycle it competes with.
+        assert (
+            result.get("pi_AT(e)").y[-1]
+            <= result.get("pi_PE").y[-1] + 5.0
+        )
+
+    def test_invalid_events(self):
+        with pytest.raises(ValueError):
+            run_aoi("lognormal")

@@ -17,7 +17,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import AggressivePolicy, solve_greedy
-from repro.core.baselines import energy_balanced_period, solve_ebcw
+from repro.core.baselines import (
+    AgeThresholdPolicy,
+    energy_balanced_period,
+    solve_ebcw,
+)
 from repro.core.battery_aware import OverflowGuardPolicy
 from repro.core.clustering import optimize_clustering
 from repro.core.multi import MultiAggressiveCoordinator, make_multi_periodic
@@ -101,6 +105,7 @@ def _policies(weibull):
         optimize_clustering(weibull, 0.5, DELTA1, DELTA2).policy,
         solve_ebcw(weibull, 0.5, DELTA1, DELTA2).policy,
         energy_balanced_period(weibull, 0.5, DELTA1, DELTA2),
+        AgeThresholdPolicy(25),
     ]
 
 

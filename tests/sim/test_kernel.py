@@ -15,7 +15,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import AggressivePolicy, solve_greedy
-from repro.core.baselines import energy_balanced_period, solve_ebcw
+from repro.core.baselines import (
+    AgeThresholdPolicy,
+    energy_balanced_period,
+    solve_ebcw,
+)
 from repro.core.battery_aware import OverflowGuardPolicy
 from repro.core.clustering import optimize_clustering
 from repro.core.policy import InfoModel, VectorPolicy
@@ -47,6 +51,7 @@ def _policies(weibull):
         ).policy,
         "ebcw_partial": solve_ebcw(weibull, 0.5, DELTA1, DELTA2).policy,
         "periodic": energy_balanced_period(weibull, 0.5, DELTA1, DELTA2),
+        "age_threshold": AgeThresholdPolicy(25),
     }
 
 
@@ -62,7 +67,8 @@ class TestBitIdentity:
     @pytest.mark.parametrize(
         "name",
         ["aggressive", "aggressive_full", "greedy_full",
-         "clustering_partial", "ebcw_partial", "periodic"],
+         "clustering_partial", "ebcw_partial", "periodic",
+         "age_threshold"],
     )
     @pytest.mark.parametrize("capacity", [40.0, 1000.0])
     def test_all_policies_both_capacities(

@@ -72,3 +72,98 @@ class TestCapacityCurve:
         small, large = curve[0][1], curve[1][1]
         assert small.total_blocked_slots > large.total_blocked_slots
         assert curve[0][0] == 10.0
+
+
+def _rec(slot, blocked=False, event=False):
+    """A minimal SlotRecord for boundary-pattern tests."""
+    from repro.sim import SlotRecord
+
+    return SlotRecord(
+        slot=slot, recency=1, recharge=0.0, overflow=0.0,
+        battery_before=0.0, probability=1.0, wanted_active=True,
+        blocked=blocked, active=not blocked, event=event,
+        captured=False, battery_after=0.0,
+    )
+
+
+class TestGeneratorInput:
+    def test_generator_matches_list(self):
+        """Regression: a generator argument used to be drained by the
+        first comprehension, then crash on ``records[starts[0]]``."""
+        records = _trace(capacity=15)
+        from_list = outage_stats(records)
+        from_gen = outage_stats(r for r in records)
+        assert from_gen == from_list
+        assert from_gen.had_outage  # the episode lookup actually ran
+
+    def test_empty_generator(self):
+        stats = outage_stats(iter([]))
+        assert stats.n_episodes == 0
+        assert stats.first_outage_slot is None
+
+
+class TestEpisodeBoundaries:
+    def test_all_blocked(self):
+        records = [_rec(t, blocked=True) for t in range(1, 8)]
+        stats = outage_stats(records)
+        assert stats.n_episodes == 1
+        assert stats.total_blocked_slots == 7
+        assert stats.max_episode_length == 7
+        assert stats.mean_episode_length == pytest.approx(7.0)
+        assert stats.first_outage_slot == 1
+
+    def test_leading_episode(self):
+        blocked = [True, True, False, False, False]
+        records = [
+            _rec(t + 1, blocked=b) for t, b in enumerate(blocked)
+        ]
+        stats = outage_stats(records)
+        assert stats.n_episodes == 1
+        assert stats.first_outage_slot == 1
+        assert stats.max_episode_length == 2
+
+    def test_trailing_episode(self):
+        blocked = [False, False, True, True, True]
+        records = [
+            _rec(t + 1, blocked=b) for t, b in enumerate(blocked)
+        ]
+        stats = outage_stats(records)
+        assert stats.n_episodes == 1
+        assert stats.first_outage_slot == 3
+        assert stats.max_episode_length == 3
+
+    def test_leading_and_trailing_episodes(self):
+        blocked = [True, False, True, True, False, True]
+        records = [
+            _rec(t + 1, blocked=b, event=(t == 2))
+            for t, b in enumerate(blocked)
+        ]
+        stats = outage_stats(records)
+        assert stats.n_episodes == 3
+        assert stats.total_blocked_slots == 4
+        assert stats.max_episode_length == 2
+        assert stats.mean_episode_length == pytest.approx(4 / 3)
+        assert stats.first_outage_slot == 1
+        assert stats.events_lost_to_outage == 1
+
+    def test_no_blocked_slots(self):
+        records = [_rec(t) for t in range(1, 5)]
+        stats = outage_stats(records)
+        assert not stats.had_outage
+        assert stats.first_outage_slot is None
+
+    def test_all_blocked_trace_from_engine(self):
+        """A zero-recharge, zero-energy sensor blocks in every slot."""
+        from repro.events import GeometricInterArrival
+        from repro.sim import trace_single
+
+        records = trace_single(
+            GeometricInterArrival(0.3), AggressivePolicy(),
+            ConstantRecharge(0.0), capacity=50.0,
+            delta1=DELTA1, delta2=DELTA2, horizon=40, seed=5,
+            initial_energy=0.0,
+        )
+        stats = outage_stats(records)
+        assert stats.n_episodes == 1
+        assert stats.total_blocked_slots == 40
+        assert stats.first_outage_slot == 1

@@ -98,3 +98,90 @@ class TestSummary:
         assert "events=20" in text
         assert "captures=15" in text
         assert "QoM=0.7500" in text
+
+
+class TestAoIStats:
+    @staticmethod
+    def _naive(capture_slots, horizon):
+        """Slot-by-slot age accumulation — the definitional oracle."""
+        from repro.sim import AoIStats
+
+        captures = set(capture_slots)
+        last = 0
+        area = area_sq = max_age = 0
+        for t in range(1, horizon + 1):
+            if t in captures:
+                last = t
+            age = t - last
+            area += age
+            area_sq += age * age
+            max_age = max(max_age, age)
+        return AoIStats(
+            area=area, area_sq=area_sq, max_age=max_age,
+            last_capture_slot=last, n_resets=len(captures),
+            horizon=horizon,
+        )
+
+    @pytest.mark.parametrize(
+        "slots,horizon",
+        [
+            ((), 0),
+            ((), 10),
+            ((1,), 1),
+            ((5,), 10),
+            ((1, 2, 3), 3),
+            ((3, 7, 20), 25),
+            ((10,), 10),
+            (tuple(range(2, 100, 7)), 120),
+        ],
+    )
+    def test_closed_form_matches_naive(self, slots, horizon):
+        from repro.sim import aoi_from_capture_slots
+
+        assert aoi_from_capture_slots(slots, horizon) == self._naive(
+            slots, horizon
+        )
+
+    def test_derived_statistics(self):
+        from repro.sim import aoi_from_capture_slots
+
+        aoi = aoi_from_capture_slots((4, 8), 10)
+        # Ages: 1,2,3,0,1,2,3,0,1,2 -> area 15, squares 33, max 3.
+        assert aoi.area == 15
+        assert aoi.area_sq == 33
+        assert aoi.max_age == 3
+        assert aoi.time_average == pytest.approx(1.5)
+        assert aoi.mean_square == pytest.approx(3.3)
+        assert aoi.variance == pytest.approx(3.3 - 1.5 * 1.5)
+        # Peaks are the gaps closed by captures: slots 4 and 8 over 2.
+        assert aoi.mean_peak_age == pytest.approx(4.0)
+
+    def test_no_captures(self):
+        import math
+
+        from repro.sim import aoi_from_capture_slots
+
+        aoi = aoi_from_capture_slots((), 5)
+        assert aoi.area == 1 + 2 + 3 + 4 + 5
+        assert aoi.max_age == 5
+        assert aoi.n_resets == 0
+        assert math.isnan(aoi.mean_peak_age)
+
+    def test_zero_horizon(self):
+        from repro.sim import aoi_from_capture_slots
+
+        aoi = aoi_from_capture_slots((), 0)
+        assert aoi.area == 0
+        assert aoi.time_average == 0.0
+        assert aoi.max_age == 0
+
+    def test_summary_includes_age(self):
+        from repro.sim import aoi_from_capture_slots
+
+        r = SimulationResult(
+            horizon=10, n_events=3, n_captures=2, sensors=(_stats(),),
+            aoi=aoi_from_capture_slots((4, 8), 10),
+        )
+        text = r.summary()
+        assert "age_avg=1.50" in text
+        assert "age_max=3" in text

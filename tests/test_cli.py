@@ -248,6 +248,13 @@ class TestBenchCommand:
             assert row["bit_identical"] is True
             assert row["speedup"] > 0
         assert payload["network"]["n_values"] == [1, 4]
+        aoi = payload["aoi"]
+        assert aoi["gate_pct"] == 5.0
+        assert "age_threshold" in aoi["cells"]
+        for row in aoi["cells"].values():
+            assert row["bit_identical"] is True
+            assert row["qom_only_seconds"] > 0
+            assert row["with_aoi_seconds"] > 0
         for row in payload["network"]["cells"].values():
             assert row["bit_identical"] is True
             assert row["speedup"] > 0
