@@ -57,7 +57,7 @@ Performance architecture (see DESIGN.md):
 
 from __future__ import annotations
 
-import hashlib
+import io
 import os
 import struct
 import zipfile
@@ -68,9 +68,9 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
-from repro.devtools import telemetry
 from repro.events.base import InterArrivalDistribution
 from repro.exceptions import PolicyError
+from repro.store import MemoryLRU, TieredStore
 
 #: Relative tail mass at which the capture cycle is considered resolved.
 DEFAULT_TAIL_REL_EPS = 1e-5
@@ -659,12 +659,8 @@ def analyse_partial_info_policy(
 
 
 # ----------------------------------------------------------------------
-# Analysis memo: process-wide LRU + optional on-disk cache
+# Analysis memo: a repro.store TieredStore (memory LRU → on-disk npz)
 # ----------------------------------------------------------------------
-_memo: "OrderedDict[bytes, PartialInfoAnalysis]" = OrderedDict()
-_memo_bytes: List[int] = [0]
-
-
 def _entry_nbytes(key: bytes, result: PartialInfoAnalysis) -> int:
     return (
         len(key)
@@ -683,15 +679,79 @@ def _disk_cache_dir() -> Optional[str]:
     return os.environ.get("REPRO_ANALYSIS_CACHE") or None
 
 
+def _encode_analysis(result: PartialInfoAnalysis) -> bytes:
+    """Serialise an analysis as npz bytes (the PR 3 disk-tier format)."""
+    buffer = io.BytesIO()
+    np.savez(
+        buffer,
+        beta_hat=result.beta_hat,
+        survival=result.survival,
+        stationary=result.stationary,
+        scalars=np.array(
+            [result.expected_cycle, result.qom, result.energy_rate]
+        ),
+        flags=np.array([1 if result.truncated else 0], dtype=np.int64),
+    )
+    return buffer.getvalue()
+
+
+def _decode_analysis(blob: bytes) -> Optional[PartialInfoAnalysis]:
+    """Parse npz bytes back into an analysis; ``None`` marks corruption.
+
+    Any parse failure — torn bytes, a bad zip, missing arrays, wrong
+    shapes — degrades to a cache miss instead of raising, so a damaged
+    disk entry costs a recomputation, never a crash.
+    """
+    try:
+        with np.load(io.BytesIO(blob)) as data:
+            beta_hat = np.array(data["beta_hat"])
+            survival = np.array(data["survival"])
+            stationary = np.array(data["stationary"])
+            scalars = np.array(data["scalars"])
+            flags = np.array(data["flags"])
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile, EOFError):
+        return None
+    if scalars.shape != (3,) or flags.shape != (1,):
+        return None
+    for out in (beta_hat, survival, stationary):
+        out.flags.writeable = False
+    return PartialInfoAnalysis(
+        beta_hat=beta_hat,
+        survival=survival,
+        stationary=stationary,
+        expected_cycle=float(scalars[0]),
+        qom=float(scalars[1]),
+        energy_rate=float(scalars[2]),
+        truncated=bool(int(flags[0])),
+    )
+
+
+#: Process-wide analysis store.  The disk directory is resolved from the
+#: environment on every access, so tests and callers can re-point (or
+#: disable) the disk tier at any time, exactly as before the store
+#: refactor; the counter names (``analysis.memo.*`` / ``analysis.disk.*``)
+#: are unchanged.
+_STORE = TieredStore(
+    memory=MemoryLRU(
+        _MEMO_MAX_ENTRIES, _MEMO_MAX_BYTES, nbytes=_entry_nbytes
+    ),
+    encode=_encode_analysis,
+    decode=_decode_analysis,
+    disk_dir=_disk_cache_dir,
+    counter_prefix="analysis",
+    file_prefix="pia-",
+    file_suffix=".npz",
+)
+
+
 def clear_analysis_cache() -> None:
     """Drop every in-memory memoised analysis (disk entries persist)."""
-    _memo.clear()
-    _memo_bytes[0] = 0
+    _STORE.clear_memory()
 
 
 def analysis_cache_size() -> int:
     """Number of analyses currently memoised in this process."""
-    return len(_memo)
+    return _STORE.memory_len()
 
 
 def _memo_key(
@@ -714,102 +774,10 @@ def _memo_key(
 def _cache_get(key: bytes) -> Optional[PartialInfoAnalysis]:
     if not _memo_enabled():
         return None
-    hit = _memo.get(key)
-    if hit is not None:
-        telemetry.count("analysis.memo.hit")
-        _memo.move_to_end(key)
-        return hit
-    telemetry.count("analysis.memo.miss")
-    directory = _disk_cache_dir()
-    if directory:
-        loaded = _disk_get(directory, key)
-        if loaded is not None:
-            telemetry.count("analysis.disk.hit")
-            _memo_store(key, loaded)
-            return loaded
-        telemetry.count("analysis.disk.miss")
-    return None
+    return _STORE.get(key)
 
 
 def _cache_put(key: bytes, result: PartialInfoAnalysis) -> None:
     if not _memo_enabled():
         return
-    _memo_store(key, result)
-    directory = _disk_cache_dir()
-    if directory:
-        _disk_put(directory, key, result)
-
-
-def _memo_store(key: bytes, result: PartialInfoAnalysis) -> None:
-    previous = _memo.get(key)
-    if previous is not None:
-        _memo_bytes[0] -= _entry_nbytes(key, previous)
-    _memo[key] = result
-    _memo.move_to_end(key)
-    _memo_bytes[0] += _entry_nbytes(key, result)
-    while _memo and (
-        len(_memo) > _MEMO_MAX_ENTRIES or _memo_bytes[0] > _MEMO_MAX_BYTES
-    ):
-        old_key, old_result = _memo.popitem(last=False)
-        _memo_bytes[0] -= _entry_nbytes(old_key, old_result)
-        telemetry.count("analysis.memo.evict")
-
-
-def _disk_path(directory: str, key: bytes) -> str:
-    digest = hashlib.sha256(key).hexdigest()
-    return os.path.join(directory, f"pia-{digest}.npz")
-
-
-def _disk_get(directory: str, key: bytes) -> Optional[PartialInfoAnalysis]:
-    path = _disk_path(directory, key)
-    try:
-        with np.load(path) as data:
-            beta_hat = np.array(data["beta_hat"])
-            survival = np.array(data["survival"])
-            stationary = np.array(data["stationary"])
-            scalars = np.array(data["scalars"])
-            flags = np.array(data["flags"])
-    except FileNotFoundError:
-        return None
-    except (OSError, ValueError, KeyError, zipfile.BadZipFile, EOFError):
-        telemetry.count("analysis.disk.corrupt")
-        return None
-    if scalars.shape != (3,) or flags.shape != (1,):
-        telemetry.count("analysis.disk.corrupt")
-        return None
-    for out in (beta_hat, survival, stationary):
-        out.flags.writeable = False
-    return PartialInfoAnalysis(
-        beta_hat=beta_hat,
-        survival=survival,
-        stationary=stationary,
-        expected_cycle=float(scalars[0]),
-        qom=float(scalars[1]),
-        energy_rate=float(scalars[2]),
-        truncated=bool(int(flags[0])),
-    )
-
-
-def _disk_put(directory: str, key: bytes, result: PartialInfoAnalysis) -> None:
-    path = _disk_path(directory, key)
-    tmp = f"{path}.tmp-{os.getpid()}"
-    try:
-        os.makedirs(directory, exist_ok=True)
-        with open(tmp, "wb") as handle:
-            np.savez(
-                handle,
-                beta_hat=result.beta_hat,
-                survival=result.survival,
-                stationary=result.stationary,
-                scalars=np.array(
-                    [result.expected_cycle, result.qom, result.energy_rate]
-                ),
-                flags=np.array([1 if result.truncated else 0], dtype=np.int64),
-            )
-        os.replace(tmp, path)
-    except OSError:  # pragma: no cover - cache writes are best-effort
-        if os.path.exists(tmp):
-            try:
-                os.remove(tmp)
-            except OSError:
-                pass
+    _STORE.put(key, result)

@@ -8,6 +8,8 @@ Three commands cover the common workflows without writing Python:
 * ``simulate``   — run the slotted simulator for a policy/model pair and
   print the capture statistics.
 * ``experiment`` — regenerate one of the paper's figures as a table.
+* ``serve``      — run the cache-first solve/simulate HTTP service
+  (request coalescing + tiered policy store; see DESIGN.md §15).
 
 Event models are specified as ``family:param1,param2`` — e.g.
 ``weibull:40,3``, ``pareto:2,10``, ``geometric:0.1``, ``markov:0.7,0.7``,
@@ -34,55 +36,20 @@ from repro.energy.recharge import (
     ConstantRecharge,
     RechargeProcess,
 )
-from repro.events import (
-    DeterministicInterArrival,
-    GammaInterArrival,
-    GeometricInterArrival,
-    InterArrivalDistribution,
-    LogNormalInterArrival,
-    MarkovInterArrival,
-    ParetoInterArrival,
-    UniformInterArrival,
-    WeibullInterArrival,
-)
+from repro.events import InterArrivalDistribution, parse_distribution
 from repro.devtools import telemetry
 from repro.exceptions import EnergyError, ReproError
 from repro.sim.engine import simulate_single
 
-_FAMILIES = {
-    "weibull": (WeibullInterArrival, 2),
-    "pareto": (ParetoInterArrival, 2),
-    "geometric": (GeometricInterArrival, 1),
-    "markov": (MarkovInterArrival, 2),
-    "deterministic": (DeterministicInterArrival, 1),
-    "uniform": (UniformInterArrival, 2),
-    "lognormal": (LogNormalInterArrival, 2),
-    "gamma": (GammaInterArrival, 2),
-}
-
 
 def parse_events(spec: str) -> InterArrivalDistribution:
-    """Parse ``family:p1,p2`` into a distribution instance."""
-    family, _, params = spec.partition(":")
-    family = family.strip().lower()
-    if family not in _FAMILIES:
-        raise argparse.ArgumentTypeError(
-            f"unknown event family {family!r}; choose from "
-            f"{sorted(_FAMILIES)}"
-        )
-    cls, arity = _FAMILIES[family]
-    raw = [p for p in params.split(",") if p.strip()]
-    if len(raw) != arity:
-        raise argparse.ArgumentTypeError(
-            f"{family} needs {arity} parameter(s), got {len(raw)}"
-        )
-    values = []
-    for token in raw:
-        number = float(token)
-        values.append(int(number) if number.is_integer() and family in
-                      ("deterministic", "uniform") else number)
+    """Parse ``family:p1,p2`` into a distribution instance.
+
+    Thin argparse adapter over :func:`repro.events.parse_distribution`
+    (the grammar shared with the ``repro serve`` request schemas).
+    """
     try:
-        return cls(*values)
+        return parse_distribution(spec)
     except ReproError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from exc
 
@@ -195,6 +162,27 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--output", default="BENCH_simulator.json",
                        help="where to write the JSON payload")
     add_telemetry_flag(bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the cache-first solve/simulate HTTP service",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8750,
+                       help="TCP port (default 8750; 0 = ephemeral)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="directory for the on-disk policy-store tier "
+                            "(default: memory-only)")
+    serve.add_argument("--store-mb", type=float, default=32.0,
+                       help="byte budget of the in-memory policy store")
+    serve.add_argument("--batch-window-ms", type=float, default=5.0,
+                       help="window for packing concurrent /simulate "
+                            "requests into one batched kernel call "
+                            "(0 = no batching)")
+    serve.add_argument("--telemetry-dir", default=None,
+                       help="write one telemetry run manifest per request "
+                            "into this directory")
     return parser
 
 
@@ -366,6 +354,19 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import PolicyService, serve_forever
+
+    service = PolicyService(
+        cache_dir=args.cache_dir,
+        store_mb=args.store_mb,
+        batch_window_ms=args.batch_window_ms,
+        telemetry_dir=args.telemetry_dir,
+    )
+    serve_forever(service, host=args.host, port=args.port)
+    return 0
+
+
 def _manifest_arguments(args: argparse.Namespace) -> dict:
     """JSON-safe view of the parsed CLI arguments for the run manifest."""
     out = {}
@@ -386,6 +387,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_simulate(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _cmd_experiment(args)
 
 

@@ -85,6 +85,12 @@ OPTIMIZER_BASELINE_SECONDS: Dict[str, float] = {
 #: Maximum acceptable AoI accumulation overhead on the QoM hot path.
 AOI_OVERHEAD_GATE_PCT = 5.0
 
+#: Minimum acceptable warm-cache ``/solve`` speedup over a cold solve in
+#: the ``serve`` section (CI-asserted).  A warm hit is a memory-LRU
+#: lookup plus JSON transport, so the real ratio runs orders of
+#: magnitude above this floor.
+SERVE_WARM_SPEEDUP_GATE = 10.0
+
 
 def _policy_cases() -> List[Tuple[str, ActivationPolicy]]:
     """One representative per table-driven policy class."""
@@ -352,6 +358,180 @@ def _bench_aoi(horizon: int, rounds: int) -> Dict[str, Any]:
     }
 
 
+def _percentile_ms(sorted_ms: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending latency sample."""
+    index = min(len(sorted_ms) - 1, max(0, round(q * (len(sorted_ms) - 1))))
+    return sorted_ms[index]
+
+
+def _serve_post(
+    port: int, path: str, body: Dict[str, Any]
+) -> Tuple[Dict[str, Any], float]:
+    """POST one JSON request over a real socket; returns (body, ms)."""
+    import http.client
+
+    payload = json.dumps(body)
+    start = time.perf_counter()
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=600)
+    try:
+        conn.request(
+            "POST", path, body=payload,
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        data = json.loads(response.read().decode("utf-8"))
+    finally:
+        conn.close()
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    if "error" in data:
+        raise RuntimeError(f"serve bench request failed: {data}")
+    return data, elapsed_ms
+
+
+def _bench_serve(quick: bool, horizon: int) -> Dict[str, Any]:
+    """Cold/warm ``/solve`` latency, coalescing and store tiers end to end.
+
+    Drives a live :class:`~repro.serve.server.ServerThread` over a real
+    socket with the clustering workload (Pareto in full mode — the
+    paper's heavy-tail case and the slowest shipped solve — Weibull in
+    quick mode so CI stays fast).  Asserts the service's three contracts
+    in one pass: warm hits beat the cold solve by at least
+    ``SERVE_WARM_SPEEDUP_GATE``; eight concurrent identical cold solves
+    run the optimiser exactly once; and both the served policy and a
+    served simulation are bit-identical to direct
+    ``optimize_clustering`` / ``simulate_single`` calls.
+    """
+    import shutil
+    import tempfile
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.energy.recharge import ConstantRecharge
+    from repro.serve import PolicyService, ServerThread
+
+    if quick:
+        events_spec = "weibull:40,3"
+        distribution: InterArrivalDistribution = WeibullInterArrival(40, 3)
+    else:
+        events_spec = "pareto:2,10"
+        distribution = ParetoInterArrival(2, 10)
+    rate = 0.5
+    request = {
+        "events": events_spec, "family": "clustering", "rate": rate,
+        "delta1": DELTA1, "delta2": DELTA2,
+    }
+    sim_request = dict(
+        request, capacity=_CAPACITY, horizon=horizon, seed=_SEED
+    )
+    n_warm = 20 if quick else 50
+    cache_dir = tempfile.mkdtemp(prefix="repro-serve-bench-")
+    clear_analysis_cache()
+    try:
+        service = PolicyService(cache_dir=cache_dir, batch_window_ms=2.0)
+        with ServerThread(service) as server:
+            cold_body, cold_ms = _serve_post(server.port, "/solve", request)
+            warm_samples = sorted(
+                _serve_post(server.port, "/solve", request)[1]
+                for _ in range(n_warm)
+            )
+            warm_p50 = _percentile_ms(warm_samples, 0.50)
+            warm_p99 = _percentile_ms(warm_samples, 0.99)
+
+            sim_body, _ = _serve_post(server.port, "/simulate", sim_request)
+
+            # Coalescing burst: a distinct cold key (delta2 shifted) so
+            # the solver is guaranteed in flight while the other seven
+            # requests arrive.
+            burst = dict(request, delta2=DELTA2 + 1)
+            before = dict(service.stats)
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                tiers = [
+                    body["cache"]["tier"]
+                    for body, _ in pool.map(
+                        lambda _i: _serve_post(server.port, "/solve", burst),
+                        range(8),
+                    )
+                ]
+            computed = (
+                service.stats.get("solve.computed", 0)
+                - before.get("solve.computed", 0)
+            )
+            coalesced = (
+                service.stats.get("solve.coalesced", 0)
+                - before.get("solve.coalesced", 0)
+            )
+            stats = dict(service.stats)
+
+        # Bit-identity against the direct (un-served) entry points.
+        clear_analysis_cache()
+        direct = optimize_clustering(distribution, rate, DELTA1, DELTA2)
+        policy_body = cold_body["policy"]
+        solve_identical = (
+            policy_body["n1"] == direct.policy.n1
+            and policy_body["n2"] == direct.policy.n2
+            and policy_body["n3"] == direct.policy.n3
+            and policy_body["c_n1"] == direct.policy.c_n1
+            and policy_body["c_n2"] == direct.policy.c_n2
+            and policy_body["c_n3"] == direct.policy.c_n3
+            and cold_body["qom"] == direct.qom
+        )
+        direct_sim = simulate_single(
+            distribution, direct.policy, ConstantRecharge(rate),
+            capacity=_CAPACITY, delta1=DELTA1, delta2=DELTA2,
+            horizon=horizon, seed=_SEED,
+        )
+        sim_identical = (
+            sim_body["qom"] == direct_sim.qom
+            and sim_body["n_events"] == direct_sim.n_events
+            and sim_body["n_captures"] == direct_sim.n_captures
+            and direct_sim.aoi is not None
+            and sim_body["aoi"]["time_average"]
+            == direct_sim.aoi.time_average
+        )
+
+        # Disk tier: a fresh process-equivalent (new service, same
+        # cache dir, cold memory) must be served from disk.
+        service2 = PolicyService(cache_dir=cache_dir)
+        with ServerThread(service2) as server2:
+            disk_body, disk_ms = _serve_post(server2.port, "/solve", request)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    clear_analysis_cache()
+
+    warm_speedup = cold_ms / warm_p50 if warm_p50 > 0 else None
+    return {
+        "events": events_spec,
+        "family": "clustering",
+        "horizon": horizon,
+        "cold_ms": cold_ms,
+        "warm_p50_ms": warm_p50,
+        "warm_p99_ms": warm_p99,
+        "warm_speedup": warm_speedup,
+        "warm_gate": SERVE_WARM_SPEEDUP_GATE,
+        "meets_warm_gate": (
+            warm_speedup is not None
+            and warm_speedup >= SERVE_WARM_SPEEDUP_GATE
+        ),
+        "coalescing": {
+            "n_requests": 8,
+            "computed": computed,
+            "coalesced": coalesced,
+            "tiers": sorted(tiers),
+            "single_execution": computed == 1,
+        },
+        "store": {
+            "memory_hits": stats.get("store.memory.hit", 0),
+            "disk_hits": stats.get("store.disk.hit", 0),
+            "misses": stats.get("store.miss", 0),
+            "disk_tier_hit": disk_body["cache"]["tier"] == "disk",
+            "disk_hit_ms": disk_ms,
+        },
+        "bit_identical": {
+            "solve": solve_identical,
+            "simulate": sim_identical,
+        },
+    }
+
+
 def run_bench(
     horizon: int = DEFAULT_HORIZON,
     n_replicates: int = 8,
@@ -450,6 +630,7 @@ def _run_bench_timed(
         "batch": _bench_batch(rounds, quick),
         "network": _bench_network(horizon, rounds, quick),
         "optimizer": _bench_optimizer(quick, n_jobs),
+        "serve": _bench_serve(quick, horizon),
         "replicate": {
             "n_replicates": n_replicates,
             "n_jobs": n_jobs,
@@ -557,6 +738,23 @@ def format_bench(payload: Dict[str, Any]) -> str:
             f"warm {row['warm_seconds'] * 1e3:7.1f} ms   "
             f"{row['speedup_vs_baseline']:6.1f}x vs baseline   "
             f"bit_identical={row['bit_identical']}"
+        )
+    serve = payload.get("serve")
+    if serve:
+        lines.append(
+            f"  serve:{serve['family']}({serve['events']}) "
+            f"cold {serve['cold_ms']:8.1f} ms   "
+            f"warm p50 {serve['warm_p50_ms']:6.2f} ms "
+            f"p99 {serve['warm_p99_ms']:6.2f} ms   "
+            f"{serve['warm_speedup']:8.1f}x (gate {serve['warm_gate']:.0f}x)"
+        )
+        lines.append(
+            f"  serve:coalescing 8 concurrent -> computed="
+            f"{serve['coalescing']['computed']} "
+            f"coalesced={serve['coalescing']['coalesced']}   "
+            f"disk_tier_hit={serve['store']['disk_tier_hit']}   "
+            f"bit_identical=solve:{serve['bit_identical']['solve']}/"
+            f"simulate:{serve['bit_identical']['simulate']}"
         )
     rep = payload["replicate"]
     lines.append(

@@ -33,6 +33,7 @@ from repro.events.renewal import (
     generate_event_flags,
     generate_event_slots,
 )
+from repro.events.spec import family_names, parse_distribution
 from repro.events.weibull import WeibullInterArrival
 
 __all__ = [
@@ -51,12 +52,14 @@ __all__ = [
     "WeibullInterArrival",
     "empirical_gaps",
     "estimate_then_optimize",
+    "family_names",
     "fit_empirical_smoothed",
     "fit_geometric",
     "fit_markov",
     "fit_weibull",
     "generate_event_flags",
     "generate_event_slots",
+    "parse_distribution",
     "simulate_markov_chain",
     "validate_pmf",
 ]

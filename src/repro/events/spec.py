@@ -1,0 +1,85 @@
+"""Textual event-model specs: ``family:param1,param2`` → distribution.
+
+One grammar is shared by the CLI (``repro solve --events weibull:40,3``)
+and the ``repro serve`` request schemas, so any event model a request
+names resolves to exactly the distribution the command line would build
+— including its content :attr:`~repro.events.base
+.InterArrivalDistribution.fingerprint`, which keys the policy store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Type
+
+from repro.events.base import InterArrivalDistribution
+from repro.events.deterministic import (
+    DeterministicInterArrival,
+    UniformInterArrival,
+)
+from repro.events.geometric import GeometricInterArrival
+from repro.events.lognormal import GammaInterArrival, LogNormalInterArrival
+from repro.events.markov import MarkovInterArrival
+from repro.events.pareto import ParetoInterArrival
+from repro.events.weibull import WeibullInterArrival
+from repro.exceptions import DistributionError
+
+__all__ = ["FAMILIES", "family_names", "parse_distribution"]
+
+#: family name -> (distribution class, parameter arity).
+FAMILIES: Dict[str, Tuple[Type[InterArrivalDistribution], int]] = {
+    "weibull": (WeibullInterArrival, 2),
+    "pareto": (ParetoInterArrival, 2),
+    "geometric": (GeometricInterArrival, 1),
+    "markov": (MarkovInterArrival, 2),
+    "deterministic": (DeterministicInterArrival, 1),
+    "uniform": (UniformInterArrival, 2),
+    "lognormal": (LogNormalInterArrival, 2),
+    "gamma": (GammaInterArrival, 2),
+}
+
+#: Families whose parameters are slot counts and therefore integers.
+_INTEGER_FAMILIES = frozenset({"deterministic", "uniform"})
+
+
+def family_names() -> List[str]:
+    """Sorted names of every parseable event-model family."""
+    return sorted(FAMILIES)
+
+
+def parse_distribution(spec: str) -> InterArrivalDistribution:
+    """Parse ``family:p1,p2`` into a distribution instance.
+
+    Raises :class:`~repro.exceptions.DistributionError` on an unknown
+    family, wrong parameter count, or non-numeric parameters; parameter
+    range violations propagate from the family constructor.
+    """
+    if not isinstance(spec, str):
+        raise DistributionError(
+            f"event spec must be a string, got {type(spec).__name__}"
+        )
+    family, _, params = spec.partition(":")
+    family = family.strip().lower()
+    if family not in FAMILIES:
+        raise DistributionError(
+            f"unknown event family {family!r}; choose from {family_names()}"
+        )
+    cls, arity = FAMILIES[family]
+    raw = [p for p in params.split(",") if p.strip()]
+    if len(raw) != arity:
+        raise DistributionError(
+            f"{family} needs {arity} parameter(s), got {len(raw)}"
+        )
+    values: List[object] = []
+    for token in raw:
+        try:
+            number = float(token)
+        except ValueError as exc:
+            raise DistributionError(
+                f"non-numeric parameter {token!r} in event spec {spec!r}"
+            ) from exc
+        values.append(
+            int(number)
+            if number.is_integer() and family in _INTEGER_FAMILIES
+            else number
+        )
+    return cls(*values)

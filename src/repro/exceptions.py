@@ -42,6 +42,15 @@ class SolverError(ReproError):
     """Raised when an MDP/POMDP/LP solver fails to converge or is misused."""
 
 
+class ServeError(ReproError):
+    """Raised for invalid ``repro serve`` requests or server misuse.
+
+    Examples: a request body that fails schema validation, an unknown
+    policy family, or a malformed event-model spec.  The HTTP layer maps
+    these to ``400`` responses.
+    """
+
+
 class SimulationError(ReproError):
     """Raised for invalid simulation configurations or runtime violations.
 

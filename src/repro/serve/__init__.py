@@ -1,0 +1,33 @@
+"""Policy-as-a-service: the cache-first ``repro serve`` HTTP endpoint.
+
+Layers (DESIGN.md §15): :mod:`~repro.serve.schema` defines the JSON
+request/response contracts, :mod:`~repro.serve.policies` maps policy
+families to solvers and JSON payloads (bit-identical round-trips),
+:mod:`~repro.serve.service` implements the cache-first core (tiered
+policy store, request coalescing, simulate micro-batching) and
+:mod:`~repro.serve.server` is the framework-free asyncio HTTP
+transport.
+"""
+
+from __future__ import annotations
+
+from repro.serve.policies import (
+    canonical_solve_key,
+    policy_from_payload,
+    solve_policy,
+)
+from repro.serve.schema import POLICY_FAMILIES, validate
+from repro.serve.server import ServerThread, run_server, serve_forever
+from repro.serve.service import PolicyService
+
+__all__ = [
+    "POLICY_FAMILIES",
+    "PolicyService",
+    "ServerThread",
+    "canonical_solve_key",
+    "policy_from_payload",
+    "run_server",
+    "serve_forever",
+    "solve_policy",
+    "validate",
+]

@@ -1,0 +1,27 @@
+"""Reusable tiered result store (memory LRU → disk → shared backend).
+
+See :mod:`repro.store.tiered` for the architecture.  The
+partial-information analysis memo (:mod:`repro.analysis.partial_info`)
+and the ``repro serve`` policy store (:mod:`repro.serve`) are both built
+on this package.
+"""
+
+from __future__ import annotations
+
+from repro.store.tiered import (
+    DictBackend,
+    DiskTier,
+    MemoryLRU,
+    StoreBackend,
+    StoreError,
+    TieredStore,
+)
+
+__all__ = [
+    "DictBackend",
+    "DiskTier",
+    "MemoryLRU",
+    "StoreBackend",
+    "StoreError",
+    "TieredStore",
+]
