@@ -1,0 +1,87 @@
+"""Learning-automaton baseline policy (L_R-I scheme).
+
+The linear reward-inaction automaton from the LA-sensor-network
+literature (see ROADMAP: Arafa/Yang/Ulukus/Poor line for the online
+policy context): the sensor keeps a single activation probability ``p``
+and, whenever activating is *rewarded* — it was active and captured an
+event — nudges ``p`` toward 1 by a fraction ``theta`` of the remaining
+headroom:
+
+    p <- p + theta * (1 - p)       on reward,
+    p <- p                         otherwise (inaction).
+
+No model is estimated and no solve ever runs; the automaton is the
+cheap, model-free baseline the adaptive controller's regret is compared
+against.  Energy discipline is emergent rather than planned: as ``p``
+grows the battery gate blocks an increasing share of activations, so
+the automaton oscillates around the energy-sustainable activation rate
+instead of converging to the hazard-ranked allocation the solved
+policies use.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import ActivationPolicy, InfoModel
+from repro.exceptions import PolicyError
+
+__all__ = ["LinearRewardInactionPolicy"]
+
+
+class LinearRewardInactionPolicy(ActivationPolicy):
+    """L_R-I automaton over the activate/sleep action pair.
+
+    ``theta`` is the learning rate; ``initial_probability`` seeds ``p``.
+    ``p_max`` caps the learned probability (1.0 reproduces the classic
+    scheme; a lower cap encodes a hard duty-cycle limit).  The per-slot
+    :meth:`observe_outcome` hook is called by
+    :class:`repro.sim.chunked.ChunkedSimulator` after each slot
+    resolves.
+    """
+
+    def __init__(
+        self,
+        initial_probability: float = 0.5,
+        theta: float = 0.02,
+        p_min: float = 0.01,
+        p_max: float = 1.0,
+        info_model: InfoModel = InfoModel.PARTIAL,
+    ) -> None:
+        if not 0.0 < theta < 1.0:
+            raise PolicyError(f"theta must be in (0, 1), got {theta}")
+        if not 0.0 <= p_min <= p_max <= 1.0:
+            raise PolicyError(
+                f"need 0 <= p_min <= p_max <= 1, got {p_min}, {p_max}"
+            )
+        if not p_min <= initial_probability <= p_max:
+            raise PolicyError(
+                f"initial_probability {initial_probability} outside "
+                f"[{p_min}, {p_max}]"
+            )
+        self.theta = float(theta)
+        self.p_min = float(p_min)
+        self.p_max = float(p_max)
+        self._p = float(initial_probability)
+        self.info_model = info_model
+        self.n_rewards = 0
+
+    @property
+    def probability(self) -> float:
+        """Current learned activation probability."""
+        return self._p
+
+    def activation_probability(self, slot: int, recency: int) -> float:
+        return self._p
+
+    def observe_outcome(self, active: bool, captured: bool) -> None:
+        """Per-slot learning hook: reward = (active and captured)."""
+        if active and captured:
+            self.n_rewards += 1
+            self._p = min(
+                self._p + self.theta * (1.0 - self._p), self.p_max
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"LinearRewardInactionPolicy(p={self._p:.3f}, "
+            f"theta={self.theta}, rewards={self.n_rewards})"
+        )

@@ -1,0 +1,162 @@
+"""Gap observation and censoring-aware estimation for the adaptive loop.
+
+A full-information sensor observes every inter-event gap directly, so a
+sliding window of gaps feeds :func:`repro.events.fit_empirical_smoothed`
+unchanged.  A *partial-information* sensor only observes
+capture-to-capture intervals: each captured gap is the sum of ``M >= 1``
+true gaps, where ``M`` counts the events until the next capture.  Fitting
+raw capture intervals would therefore overestimate the mean gap by the
+factor ``1/p`` (Wald) and smear the shape.
+
+Under the approximation that each event is captured independently with
+probability ``p`` (a good fit for the stationary capture chain), ``M``
+is geometric and the observed pmf ``g`` solves the renewal-type
+equation
+
+    g = p * a + (1 - p) * (a ⊛ g)
+
+where ``a`` is the true gap pmf and ``⊛`` is (slotted) convolution.
+That triangular system inverts slot by slot:
+
+    a_1 = g_1 / p
+    a_n = (g_n - (1 - p) * sum_{k=1}^{n-1} a_k g_{n-k}) / p
+
+:func:`deconvolve_captured_gaps` implements the inversion, clipping the
+negative excursions finite samples produce *inside* the recursion so
+they cannot feed back and destabilise later terms.
+
+``p`` itself is **not identifiable from captured gaps alone**: taking
+means of the renewal equation gives ``mean(a) = p * mean(g)`` for *any*
+assumed ``p`` — Wald's identity holds identically, so every ``p`` is a
+fixed point of the obvious ``p <- mean(a)/mean(g)`` iteration and the
+data cannot choose between them (a PI sensor never sees the events it
+missed).  The controller therefore supplies ``p`` from the *model*: the
+predicted capture probability (QoM) of the policy it was running, which
+is exactly the thinning probability of the stationary capture chain.
+:func:`estimate_true_pmf` packages that model-hinted inversion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Tuple
+
+import numpy as np
+
+from repro.events.base import validate_pmf
+from repro.exceptions import DistributionError
+
+__all__ = [
+    "GapObserver",
+    "deconvolve_captured_gaps",
+    "estimate_true_pmf",
+]
+
+#: Lower clip for the capture probability in the deconvolution fixed
+#: point; below this the inversion divides by ~0 and amplifies noise.
+_P_FLOOR = 0.05
+
+
+class GapObserver:
+    """Sliding window over observed gaps (true or captured).
+
+    Keeps the most recent ``window`` gap observations; :meth:`reset`
+    drops history after a detected change-point so stale observations
+    stop biasing the fit.
+    """
+
+    def __init__(self, window: int = 4000) -> None:
+        if window < 1:
+            raise DistributionError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+        self._gaps: Deque[int] = deque(maxlen=self.window)
+        self.total_ingested = 0
+
+    def ingest(self, gaps: Iterable[int]) -> None:
+        for gap in np.asarray(list(gaps), dtype=np.int64).tolist():
+            if gap < 1:
+                raise DistributionError(f"gaps must be >= 1, got {gap}")
+            self._gaps.append(int(gap))
+            self.total_ingested += 1
+
+    def reset(self, keep_last: int = 0) -> None:
+        """Drop history, optionally keeping the ``keep_last`` newest gaps."""
+        if keep_last <= 0:
+            self._gaps.clear()
+            return
+        kept = list(self._gaps)[-int(keep_last):]
+        self._gaps.clear()
+        self._gaps.extend(kept)
+
+    def __len__(self) -> int:
+        return len(self._gaps)
+
+    @property
+    def gaps(self) -> np.ndarray:
+        return np.asarray(self._gaps, dtype=np.int64)
+
+    def mean(self) -> float:
+        if not self._gaps:
+            raise DistributionError("no gaps observed yet")
+        return float(np.mean(self._gaps))
+
+
+def deconvolve_captured_gaps(
+    captured_pmf: np.ndarray, capture_prob: float
+) -> np.ndarray:
+    """Invert geometric thinning: captured-gap pmf -> true-gap pmf.
+
+    ``captured_pmf[i]`` is the probability of a capture-to-capture
+    interval of ``i + 1`` slots; ``capture_prob`` is the per-event
+    capture probability ``p``.  Returns the true-gap pmf on the same
+    support, with the negative excursions of a finite-sample inversion
+    clipped to zero and the result renormalised.
+    """
+    g = np.asarray(captured_pmf, dtype=float)
+    validate_pmf(g)
+    if not _P_FLOOR <= capture_prob <= 1.0:
+        raise DistributionError(
+            f"capture_prob must be in [{_P_FLOOR}, 1], got {capture_prob}"
+        )
+    p = float(capture_prob)
+    if p >= 1.0:
+        return g.copy()
+    n = g.size
+    a = np.zeros(n)
+    q = 1.0 - p
+    for i in range(n):
+        # sum_{k=1}^{i} a_k g_{i+1-k} with 0-based indices: a[:i]·rev(g[:i])
+        convolved = float(np.dot(a[:i], g[i - 1 :: -1])) if i else 0.0
+        # Clip *inside* the recursion: a negative excursion fed back
+        # into later convolution sums makes the inversion oscillate with
+        # growing amplitude on rough finite-sample pmfs (clipping only
+        # at the end can then move the mean the wrong way).  On exact
+        # data the clip never fires and the inversion stays exact.
+        a[i] = max((g[i] - q * convolved) / p, 0.0)
+    total = a.sum()
+    if total <= 0.0:
+        # Inversion annihilated all mass (tiny sample / bad p): fall
+        # back to the raw observed pmf rather than a zero vector.
+        return g.copy()
+    return a / total
+
+
+def estimate_true_pmf(
+    captured_pmf: np.ndarray,
+    capture_prob_hint: float,
+) -> Tuple[np.ndarray, float]:
+    """Estimate the true-gap pmf from captured gaps and a model hint.
+
+    ``capture_prob_hint`` is the per-event capture probability the
+    controller's model predicts for the policy that produced the
+    observations (the stationary QoM).  It is the only consistent source
+    for ``p``: the captured-gap data satisfies Wald's identity for every
+    assumed thinning probability, so ``p`` cannot be recovered from the
+    observations themselves (see module docstring).  Returns
+    ``(true_pmf, p_used)`` where ``p_used`` is the hint clipped to the
+    invertible range.
+    """
+    g = np.asarray(captured_pmf, dtype=float)
+    validate_pmf(g)
+    p = float(np.clip(capture_prob_hint, _P_FLOOR, 1.0))
+    return deconvolve_captured_gaps(g, p), p

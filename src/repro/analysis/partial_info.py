@@ -68,6 +68,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.devtools import telemetry
 from repro.events.base import InterArrivalDistribution
 from repro.exceptions import PolicyError
 from repro.store import MemoryLRU, TieredStore
@@ -477,6 +478,8 @@ class PartialInfoSolver:
             key = c_vec[:k].tobytes()
             cached = self._prefix.get(key)
             if cached is not None:
+                telemetry.count("analysis.prefix.hit")
+                telemetry.count("analysis.prefix.slots_reused", cached.t)
                 stepper.restore(cached.state)
                 t = cached.t
                 bh_blocks = [cached.beta_hat]
@@ -609,6 +612,7 @@ class PartialInfoSolver:
         if key in self._prefix:
             self._prefix.move_to_end(key)
             return
+        telemetry.count("analysis.prefix.capture")
         beta_hat = np.concatenate(bh_blocks) if bh_blocks else np.empty(0)
         survival = np.concatenate(s_blocks) if s_blocks else np.empty(0)
         beta_hat.flags.writeable = False

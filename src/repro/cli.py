@@ -127,7 +127,22 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "figure",
         choices=("fig3a", "fig3b", "fig4a", "fig4b", "fig5-b02",
-                 "fig5-b07", "fig6a", "fig6b", "aoi", "theorem1", "all"),
+                 "fig5-b07", "fig6a", "fig6b", "aoi", "adaptive",
+                 "theorem1", "all"),
+    )
+    experiment.add_argument(
+        "--scenario",
+        choices=("stationary", "changepoint", "drift"),
+        default="stationary",
+        help="truth process for the 'adaptive' figure",
+    )
+    experiment.add_argument(
+        "--info",
+        choices=("full", "partial"),
+        default="full",
+        help="information model for the 'adaptive' figure "
+             "(partial uses censored-gap deconvolution and "
+             "clustering re-solves)",
     )
     experiment.add_argument("--horizon", type=int, default=None)
     experiment.add_argument("--seed", type=int, default=None)
@@ -343,6 +358,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "fig6a": lambda: exp.run_fig6a(backend=args.backend, **kwargs),
         "fig6b": lambda: exp.run_fig6b(backend=args.backend, **kwargs),
         "aoi": lambda: exp.run_aoi("weibull", **kwargs),
+        "adaptive": lambda: exp.run_adaptive(
+            scenario=args.scenario, info=args.info, **kwargs
+        ),
     }
     result = runners[args.figure]()
     print(result.format_table())

@@ -91,6 +91,18 @@ AOI_OVERHEAD_GATE_PCT = 5.0
 #: magnitude above this floor.
 SERVE_WARM_SPEEDUP_GATE = 10.0
 
+#: Minimum acceptable warm re-solve speedup in the ``adaptive`` section
+#: (CI-asserted).  The controller quantizes fitted pmfs, so an
+#: unchanged distribution re-fits to a byte-identical fingerprint and
+#: the warm ``optimize_clustering`` call is an analysis-memo hit — the
+#: real ratio runs orders of magnitude above this floor.
+ADAPTIVE_WARM_SPEEDUP_GATE = 5.0
+
+#: Maximum acceptable final-window regret (percent of the oracle QoM)
+#: for the full-info adaptive runs — the convergence contract from the
+#: acceptance criteria, asserted in CI for the stationary scenario.
+ADAPTIVE_REGRET_GATE_PCT = 5.0
+
 
 def _policy_cases() -> List[Tuple[str, ActivationPolicy]]:
     """One representative per table-driven policy class."""
@@ -532,6 +544,135 @@ def _bench_serve(quick: bool, horizon: int) -> Dict[str, Any]:
     }
 
 
+def _bench_adaptive(quick: bool, n_jobs: int) -> Dict[str, Any]:
+    """Adaptive estimate->re-solve->act loop: regret and re-solve reuse.
+
+    Two sub-benchmarks.  The *scenario* cells run the full-info
+    :class:`~repro.adaptive.AdaptiveController` against the
+    known-distribution oracle and record the per-chunk regret
+    trajectory; the stationary final-window gap must close within
+    ``ADAPTIVE_REGRET_GATE_PCT`` and the changepoint run must
+    re-converge after the switch (its final window is entirely
+    post-switch).  The *resolve* cell times a cold
+    ``optimize_clustering`` on a quantized empirical fit against a warm
+    repeat on the same fingerprint — exactly the call an
+    unchanged-distribution re-solve makes — and the ``checkpoints``
+    counters prove the reuse actually happened (prefix-checkpoint hits
+    inside the cold solve, memo hits on the warm one).
+    """
+    import math
+
+    import numpy as np
+
+    from repro.events.empirical import EmpiricalInterArrival
+    from repro.experiments.adaptive import FINAL_WINDOW_FRACTION, run_adaptive
+
+    # Full-info runs are cheap (solve_greedy re-solves), so even quick
+    # mode affords a horizon long enough for the final window to
+    # average per-chunk binomial noise below the regret gate.
+    horizon = 60_000 if quick else 120_000
+    chunk_slots = 2_000
+
+    with telemetry.collect() as col:
+        scenarios: Dict[str, Any] = {}
+        for scenario in ("stationary", "changepoint"):
+            start = time.perf_counter()
+            fig = run_adaptive(
+                scenario=scenario, info="full", horizon=horizon,
+                chunk_slots=chunk_slots, seed=_SEED,
+            )
+            elapsed = time.perf_counter() - start
+            n_chunks = len(fig.get("adaptive").y)
+            tail = max(int(n_chunks * FINAL_WINDOW_FRACTION), 1)
+
+            def _final(label: str, fig: Any = fig, tail: int = tail) -> float:
+                window = [
+                    y for y in fig.get(label).y[-tail:] if not math.isnan(y)
+                ]
+                return sum(window) / max(len(window), 1)
+
+            final_adaptive = _final("adaptive")
+            final_oracle = _final("oracle")
+            regret_pct = (
+                (final_oracle - final_adaptive) / final_oracle * 100.0
+                if final_oracle > 0 else None
+            )
+            meta = dict(
+                part.split("=", 1) for part in fig.notes.split() if "=" in part
+            )
+            scenarios[scenario] = {
+                "info": "full",
+                "n_chunks": n_chunks,
+                "seconds": elapsed,
+                "final_adaptive_qom": final_adaptive,
+                "final_oracle_qom": final_oracle,
+                "final_automaton_qom": _final("automaton"),
+                "final_regret_pct": regret_pct,
+                "within_regret_gate": (
+                    regret_pct is not None
+                    and regret_pct <= ADAPTIVE_REGRET_GATE_PCT
+                ),
+                "resolves": int(meta["resolves"]),
+                "changepoints": int(meta["changepoints"]),
+                "regret_trajectory": list(fig.get("regret").y),
+            }
+
+        # Warm re-solve on an unchanged fingerprint.  The pmf is already
+        # on the controller's 1/512 quantization grid, exactly what a
+        # re-fit of a stationary stream produces after quantization.
+        raw = 0.125 * (0.875 ** np.arange(40))
+        ticks = np.round(raw / raw.sum() / (1.0 / 512.0))
+        fitted = EmpiricalInterArrival(ticks / ticks.sum())
+        clear_analysis_cache()
+        cold, cold_s = _best_of(
+            lambda: optimize_clustering(
+                fitted, 0.5, DELTA1, DELTA2, n_jobs=n_jobs
+            ),
+            1,
+        )
+        warm, warm_s = _best_of(
+            lambda: optimize_clustering(
+                fitted, 0.5, DELTA1, DELTA2, n_jobs=n_jobs
+            ),
+            3,
+        )
+    clear_analysis_cache()
+
+    counters = col.counters
+    return {
+        "horizon": horizon,
+        "chunk_slots": chunk_slots,
+        "regret_gate_pct": ADAPTIVE_REGRET_GATE_PCT,
+        "scenarios": scenarios,
+        "resolve": {
+            "family": "clustering",
+            "cold_seconds": cold_s,
+            "warm_seconds": warm_s,
+            "warm_speedup": cold_s / warm_s if warm_s > 0 else None,
+            "warm_gate": ADAPTIVE_WARM_SPEEDUP_GATE,
+            "meets_warm_gate": (
+                warm_s > 0 and cold_s / warm_s >= ADAPTIVE_WARM_SPEEDUP_GATE
+            ),
+            "bit_identical": _solution_key(cold) == _solution_key(warm),
+        },
+        "checkpoints": {
+            "prefix_hits": counters.get("analysis.prefix.hit", 0),
+            "prefix_slots_reused": counters.get(
+                "analysis.prefix.slots_reused", 0
+            ),
+            "prefix_captures": counters.get("analysis.prefix.capture", 0),
+            "memo_hits": counters.get("analysis.memo.hit", 0),
+            "memo_misses": counters.get("analysis.memo.miss", 0),
+            "adaptive_chunks": counters.get("adaptive.chunks", 0),
+            "adaptive_resolves": counters.get("adaptive.resolve", 0),
+            "adaptive_changepoints": counters.get("adaptive.changepoints", 0),
+            "degenerate_fallbacks": counters.get(
+                "adaptive.fit.degenerate", 0
+            ),
+        },
+    }
+
+
 def run_bench(
     horizon: int = DEFAULT_HORIZON,
     n_replicates: int = 8,
@@ -630,6 +771,7 @@ def _run_bench_timed(
         "batch": _bench_batch(rounds, quick),
         "network": _bench_network(horizon, rounds, quick),
         "optimizer": _bench_optimizer(quick, n_jobs),
+        "adaptive": _bench_adaptive(quick, n_jobs),
         "serve": _bench_serve(quick, horizon),
         "replicate": {
             "n_replicates": n_replicates,
@@ -738,6 +880,26 @@ def format_bench(payload: Dict[str, Any]) -> str:
             f"warm {row['warm_seconds'] * 1e3:7.1f} ms   "
             f"{row['speedup_vs_baseline']:6.1f}x vs baseline   "
             f"bit_identical={row['bit_identical']}"
+        )
+    adaptive = payload.get("adaptive")
+    if adaptive:
+        for name, row in adaptive["scenarios"].items():
+            lines.append(
+                f"  adaptive:{name:14s} final {row['final_adaptive_qom']:.4f} "
+                f"vs oracle {row['final_oracle_qom']:.4f}   "
+                f"regret {row['final_regret_pct']:5.2f}%   "
+                f"resolves={row['resolves']} "
+                f"changepoints={row['changepoints']}   "
+                f"within_gate={row['within_regret_gate']}"
+            )
+        res = adaptive["resolve"]
+        cp = adaptive["checkpoints"]
+        lines.append(
+            f"  adaptive:resolve       cold {res['cold_seconds'] * 1e3:8.1f} ms   "
+            f"warm {res['warm_seconds'] * 1e3:7.2f} ms   "
+            f"{res['warm_speedup']:6.1f}x (gate {res['warm_gate']:.0f}x)   "
+            f"prefix_hits={cp['prefix_hits']} memo_hits={cp['memo_hits']}   "
+            f"bit_identical={res['bit_identical']}"
         )
     serve = payload.get("serve")
     if serve:

@@ -55,6 +55,70 @@ class MarkovRecharge(RechargeProcess):
         return f * self.sunny_rate + (1.0 - f) * self.cloudy_rate
 
     def sequence(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        """Vectorized weather chain, bit-identical to the reference loop.
+
+        The per-slot update ``s' = (u < p_ss) if s else (u >= p_cc)`` is
+        a boolean recurrence ``s' = A if s else B`` with
+        ``A = u < p_ss`` and ``B = u >= p_cc``.  Each draw falls in one
+        of three regimes:
+
+        * ``A == B`` — the outcome is *forced* regardless of the current
+          state (a reset);
+        * ``A and not B`` (``u < min(p_ss, p_cc)``) — the state carries;
+        * ``not A and B`` (``u >= max(p_ss, p_cc)``) — the state flips.
+
+        So the state at any slot is the value at the most recent reset
+        (or the initial draw) XOR the parity of flips since, computed in
+        O(horizon) numpy via ``maximum.accumulate`` + a flip ``cumsum``.
+        """
+        self._check_horizon(horizon)
+        uniforms = rng.random(horizon)
+        initial = bool(rng.random() < self.sunny_fraction)
+        states = self._weather_states(uniforms, initial)
+        return np.where(states, self.sunny_rate, self.cloudy_rate)
+
+    def _weather_states(
+        self, uniforms: np.ndarray, initial: bool
+    ) -> np.ndarray:
+        """Boolean sunny state entering each slot, given the draws.
+
+        ``uniforms[t]`` is consumed *during* slot ``t`` to produce the
+        state entering slot ``t + 1`` (matching the reference loop), so
+        the draw for the final slot never affects the output.
+        """
+        horizon = uniforms.shape[0]
+        states = np.empty(horizon, dtype=bool)
+        states[0] = initial
+        if horizon == 1:
+            return states
+        u = uniforms[: horizon - 1]
+        next_if_sunny = u < self.p_ss  # A
+        next_if_cloudy = u >= self.p_cc  # B
+        forced = next_if_sunny == next_if_cloudy
+        flip = ~next_if_sunny & next_if_cloudy  # u >= max(p_ss, p_cc)
+        # Landing slot of draw j is slot j + 1.  last_reset[j] is the
+        # 1-based landing slot of the most recent forced draw at or
+        # before it (0 = none yet: carry/flip from the initial state).
+        landing = np.arange(1, horizon)
+        last_reset = np.maximum.accumulate(np.where(forced, landing, 0))
+        base = np.where(
+            last_reset > 0, next_if_sunny[last_reset - 1], initial
+        )
+        # Parity of flips strictly after the last reset, up to and
+        # including each landing slot.  ``forced`` and ``flip`` are
+        # mutually exclusive, so the reset slot contributes no flip.
+        flip_cum = np.cumsum(flip)
+        flips_before_reset = np.where(
+            last_reset > 0, flip_cum[last_reset - 1], 0
+        )
+        parity = ((flip_cum - flips_before_reset) % 2).astype(bool)
+        states[1:] = base ^ parity
+        return states
+
+    def _sequence_reference(
+        self, horizon: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Original O(horizon) Python loop, kept as the semantic oracle."""
         self._check_horizon(horizon)
         out = np.empty(horizon)
         uniforms = rng.random(horizon)
@@ -79,7 +143,11 @@ class DiurnalRecharge(RechargeProcess):
 
     ``e_t = peak * max(0, cos(2*pi*(t - phase)/period))`` — harvesting
     only during the "day" half of the cycle, peaking mid-day.  The mean
-    rate is ``peak / pi``.
+    rate is the exact discrete average of that clipped profile over one
+    period; it approaches the continuous limit ``peak / pi`` only for
+    large periods (at period 2 it is ``0.5 * peak``, at period 4
+    ``0.25 * peak``), so policies budgeting ``e = mean_rate`` must use
+    the discrete value.
     """
 
     def __init__(self, peak: float, period: int, phase: int = 0) -> None:
@@ -93,8 +161,14 @@ class DiurnalRecharge(RechargeProcess):
 
     @property
     def mean_rate(self) -> float:
-        # Average of max(0, cos) over a full cycle is 1/pi.
-        return self.peak / np.pi
+        # Exact discrete mean of the realized per-slot profile over one
+        # period (NOT the continuous-cycle limit peak/pi: at period 2
+        # the realized mean is 0.5 * peak, a 57% difference).  The
+        # profile is periodic, so averaging one period equals the
+        # long-run average of any whole number of periods.
+        t = np.arange(self.period, dtype=float)
+        profile = np.cos(2.0 * np.pi * (t - self.phase) / self.period)
+        return float(np.clip(profile, 0.0, None).mean()) * self.peak
 
     def sequence(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
         self._check_horizon(horizon)

@@ -17,10 +17,12 @@ from repro.events.base import (
 from repro.events.deterministic import DeterministicInterArrival, UniformInterArrival
 from repro.events.empirical import EmpiricalInterArrival, MixtureInterArrival
 from repro.events.estimation import (
+    DEGENERATE_WEIBULL_SHAPE,
     EstimationPipelineResult,
     estimate_then_optimize,
     fit_empirical_smoothed,
     fit_geometric,
+    fit_is_degenerate,
     fit_markov,
     fit_weibull,
 )
@@ -38,6 +40,7 @@ from repro.events.weibull import WeibullInterArrival
 
 __all__ = [
     "ContinuousDiscretisedDistribution",
+    "DEGENERATE_WEIBULL_SHAPE",
     "DeterministicInterArrival",
     "EmpiricalInterArrival",
     "EstimationPipelineResult",
@@ -55,6 +58,7 @@ __all__ = [
     "family_names",
     "fit_empirical_smoothed",
     "fit_geometric",
+    "fit_is_degenerate",
     "fit_markov",
     "fit_weibull",
     "generate_event_flags",

@@ -41,8 +41,24 @@ def _as_gaps(gaps: Iterable[float]) -> np.ndarray:
     return arr
 
 
+#: Shape assigned to a Weibull fit of an all-equal sample.  There is no
+#: finite MLE for a point mass (the likelihood increases without bound
+#: as ``k -> inf``), so the fit returns a near-deterministic proxy with
+#: this shape.  Callers that need to detect the case should use
+#: :func:`fit_is_degenerate` rather than comparing against this value.
+DEGENERATE_WEIBULL_SHAPE = 50.0
+
+
 def fit_geometric(gaps: Iterable[float]) -> GeometricInterArrival:
-    """MLE for the geometric family: ``p = 1 / mean(gap)``."""
+    """MLE for the geometric family: ``p = 1 / mean(gap)``.
+
+    Edge case: an all-ones sample (every gap exactly one slot) clamps to
+    ``p = 1.0``, a *deterministic* distribution with ``support_max == 1``
+    — the fitted model then assigns zero probability to any longer gap,
+    which is almost never the caller's intent for a finite sample.
+    :func:`fit_is_degenerate` flags this so pipelines (e.g. the adaptive
+    controller) can fall back to the smoothed empirical family.
+    """
     arr = _as_gaps(gaps)
     return GeometricInterArrival(min(1.0 / float(arr.mean()), 1.0))
 
@@ -51,6 +67,7 @@ def fit_weibull(
     gaps: Iterable[float],
     tol: float = 1e-9,
     max_iterations: int = 500,
+    degenerate_shape: float = DEGENERATE_WEIBULL_SHAPE,
 ) -> WeibullInterArrival:
     """Maximum-likelihood Weibull fit of (slotted) gap samples.
 
@@ -62,12 +79,23 @@ def fit_weibull(
     then sets the scale to ``(mean(x^k))^(1/k)``.  Samples are treated
     as continuous values; the half-slot discretisation bias is corrected
     by fitting on ``x - 0.5`` (gaps are recorded at slot ceilings).
+
+    Edge case: an all-equal sample has no finite shape MLE (the
+    likelihood of a point mass grows without bound in ``k``); the fit
+    returns a near-deterministic Weibull with shape ``degenerate_shape``
+    instead.  Use :func:`fit_is_degenerate` to detect this (and the
+    iteration hitting the shape clamp) rather than trusting the
+    parametric form.
     """
     arr = _as_gaps(gaps)
+    if degenerate_shape <= 0:
+        raise DistributionError(
+            f"degenerate_shape must be > 0, got {degenerate_shape}"
+        )
     x = np.clip(arr - 0.5, 1e-9, None)
     if np.allclose(x, x[0]):
         # Degenerate sample: a near-deterministic, high-shape Weibull.
-        return WeibullInterArrival(float(x[0]), 50.0)
+        return WeibullInterArrival(float(x[0]), degenerate_shape)
     log_x = np.log(x)
     mean_log = log_x.mean()
     k = 1.0
@@ -86,6 +114,32 @@ def fit_weibull(
     k = float(np.clip(k, 0.05, 100.0))
     scale = float((x**k).mean() ** (1.0 / k))
     return WeibullInterArrival(scale, k)
+
+
+def fit_is_degenerate(
+    distribution: InterArrivalDistribution,
+    shape_threshold: float = DEGENERATE_WEIBULL_SHAPE,
+) -> bool:
+    """True when a parametric fit collapsed to a degenerate edge.
+
+    Flags the cases the fitters can silently produce from unlucky finite
+    samples:
+
+    * a Weibull whose shape reached ``shape_threshold`` (all-equal
+      sample proxy from :func:`fit_weibull`) or the iteration's upper
+      clamp — effectively a point mass;
+    * any distribution whose support collapsed to a single slot
+      (``support_max <= 1``), e.g. :func:`fit_geometric` on all-ones
+      gaps clamping to ``p = 1.0``.
+
+    Pipelines should fall back to :func:`fit_empirical_smoothed` (which
+    keeps tail mass by construction) when this returns True.
+    """
+    if distribution.support_max <= 1:
+        return True
+    if isinstance(distribution, WeibullInterArrival):
+        return distribution.shape >= shape_threshold
+    return False
 
 
 def fit_markov(event_flags: Sequence[bool]) -> MarkovInterArrival:

@@ -10,6 +10,7 @@ from repro.experiments.config import (
     PAPER_HORIZON,
     bench_horizon,
 )
+from repro.experiments.adaptive import run_adaptive
 from repro.experiments.aoi import run_aoi
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.report import (
@@ -42,6 +43,7 @@ __all__ = [
     "format_example",
     "generate_report",
     "render_markdown",
+    "run_adaptive",
     "run_all_experiments",
     "run_aoi",
     "run_fig3",

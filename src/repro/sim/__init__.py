@@ -8,6 +8,7 @@ from repro.sim.batch_kernel import (
     simulate_batch,
     simulate_network_runs,
 )
+from repro.sim.chunked import ChunkedSimulator, ChunkResult
 from repro.sim.engine import simulate_single
 from repro.sim.metrics import (
     AoIStats,
@@ -30,6 +31,8 @@ from repro.sim.trace import SlotRecord, summarize_trace, trace_single
 
 __all__ = [
     "AoIStats",
+    "ChunkResult",
+    "ChunkedSimulator",
     "NetworkRunSpec",
     "OutageStats",
     "ReplicationSummary",

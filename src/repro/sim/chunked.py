@@ -1,0 +1,335 @@
+"""Chunked single-sensor simulation with persistent state (adaptive loop).
+
+The adaptive controller (:mod:`repro.adaptive`) runs the simulation in
+*chunks*: simulate a block of slots, observe the gaps it produced,
+re-estimate the event model, possibly re-solve the policy, and continue
+— without restarting the trajectory.  :class:`ChunkedSimulator` supports
+that loop:
+
+* **Battery, recency and event state persist across chunks.**  The
+  battery uses the same Skorokhod-reflected form as
+  :mod:`repro.sim.engine` (``cum``/``neg``/``shave``), so levels match
+  the monolithic engine's arithmetic slot for slot.
+* **Recharge and activation coins are pre-generated** for the full
+  horizon at construction.  Chunking therefore cannot perturb them:
+  a :class:`~repro.energy.solar.DiurnalRecharge` keeps its phase and a
+  :class:`~repro.energy.solar.MarkovRecharge` keeps its weather run
+  across chunk boundaries (calling ``sequence`` per chunk would restart
+  both).
+* **Events are drawn chunk by chunk from the *current* truth** via a
+  countdown to the next arrival, so the driver can inject distribution
+  drift or change-points between chunks (:meth:`set_distribution`); the
+  gap already in flight completes under the old truth, as it would
+  physically.
+* **Observations are returned per chunk**: completed true gaps (what a
+  full-information sensor sees) and capture-to-capture gaps (all a
+  partial-information sensor sees — each is a sum of >= 1 true gaps;
+  see :mod:`repro.adaptive.observer` for the deconvolution).
+* **Learning hooks**: a policy exposing ``observe_outcome(active,
+  captured)`` (duck-typed — e.g. the L_R-I automaton) is called once
+  per slot after the outcome resolves, enabling per-slot learning
+  policies that the table fast path cannot serve.
+
+The per-chunk event draw order differs from ``generate_event_flags``
+(which batches over the whole horizon), so chunked trajectories are not
+bit-identical to ``simulate_single`` runs; on stationary truth they
+agree in distribution (tested statistically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.policy import ActivationPolicy, InfoModel
+from repro.devtools import telemetry
+from repro.energy.recharge import RechargeProcess
+from repro.events.base import InterArrivalDistribution
+from repro.exceptions import SimulationError
+from repro.sim import kernel
+from repro.sim.rng import SeedLike, make_rng, spawn
+
+__all__ = ["ChunkResult", "ChunkedSimulator"]
+
+#: Gap draws per sampling batch while filling a chunk's event flags.
+_GAP_BATCH = 64
+
+
+@dataclass(frozen=True)
+class ChunkResult:
+    """Statistics and observations from one simulated chunk.
+
+    ``true_gaps`` are the inter-event gaps *completed* during the chunk
+    (full-information observations); ``captured_gaps`` the
+    capture-to-capture intervals completed during the chunk (the
+    censored partial-information observations).  ``qom`` is the in-chunk
+    capture fraction (NaN when the chunk saw no events).
+    """
+
+    n_slots: int
+    n_events: int
+    n_captures: int
+    activations: int
+    blocked_slots: int
+    true_gaps: np.ndarray
+    captured_gaps: np.ndarray
+    final_battery: float
+
+    @property
+    def qom(self) -> float:
+        if self.n_events == 0:
+            return float("nan")
+        return self.n_captures / self.n_events
+
+
+class ChunkedSimulator:
+    """Single-sensor simulation that advances in caller-sized chunks.
+
+    Parameters mirror :func:`repro.sim.engine.simulate_single`;
+    ``total_horizon`` bounds the sum of all chunk lengths (recharge and
+    coin streams are materialised up front for exactly that many slots).
+    ``full_info`` fixes the recency semantics for the whole trajectory
+    (the paper's h_i vs. f_i state); the policy may change between
+    chunks but must share that information model.
+    """
+
+    def __init__(
+        self,
+        distribution: InterArrivalDistribution,
+        recharge: RechargeProcess,
+        capacity: float,
+        delta1: float,
+        delta2: float,
+        total_horizon: int,
+        seed: SeedLike = None,
+        initial_energy: Optional[float] = None,
+        full_info: bool = True,
+    ) -> None:
+        if total_horizon < 1:
+            raise SimulationError(
+                f"total_horizon must be >= 1, got {total_horizon}"
+            )
+        if capacity < 0:
+            raise SimulationError(f"capacity must be >= 0, got {capacity}")
+        if delta1 < 0 or delta2 < 0:
+            raise SimulationError(
+                f"delta1/delta2 must be >= 0, got {delta1}, {delta2}"
+            )
+        self.capacity = float(capacity)
+        self.delta1 = float(delta1)
+        self.delta2 = float(delta2)
+        self.total_horizon = int(total_horizon)
+        self.full_info = bool(full_info)
+
+        if telemetry.enabled():
+            # One chunked trajectory = one run in the --telemetry
+            # manifest, mirroring engine._record_run's provenance.
+            telemetry.event(
+                "simulation_run",
+                entry="chunked",
+                backend="chunked",
+                capacity=float(capacity),
+                delta1=float(delta1),
+                delta2=float(delta2),
+                horizon=int(total_horizon),
+                seed=telemetry.describe_seed(seed),
+            )
+
+        rng = make_rng(seed)
+        self._event_rng, recharge_rng, coin_rng = spawn(rng, 3)
+        self._recharge_list = recharge.sequence(
+            self.total_horizon, recharge_rng
+        ).tolist()
+        self._coins_list = coin_rng.random(self.total_horizon).tolist()
+
+        initial = (
+            self.capacity / 2.0
+            if initial_energy is None
+            else float(initial_energy)
+        )
+        if not 0 <= initial <= self.capacity:
+            raise SimulationError(
+                f"initial energy {initial} outside [0, {self.capacity}]"
+            )
+
+        self._distribution = distribution
+        # Reflected battery state (see sim.engine module docstring).
+        self._cum = 0.0
+        self._neg = initial
+        self._shave = 0.0
+        self._t = 0  # global slots simulated so far
+        self._recency = 1  # an event is assumed at slot 0
+        self._slots_since_event = 1  # age of the in-flight true gap
+        self._slots_since_capture = 1  # age of the in-flight captured gap
+        # Countdown: the next event occurs this many slots from now.
+        self._countdown = int(distribution.sample(self._event_rng, 1)[0])
+        self.n_events = 0
+        self.n_captures = 0
+
+    @property
+    def slots_remaining(self) -> int:
+        return self.total_horizon - self._t
+
+    @property
+    def battery(self) -> float:
+        """Battery level after the last simulated slot."""
+        return (self._neg + self._cum) - self._shave
+
+    @property
+    def distribution(self) -> InterArrivalDistribution:
+        return self._distribution
+
+    def set_distribution(
+        self, distribution: InterArrivalDistribution
+    ) -> None:
+        """Change the event truth for gaps drawn from now on.
+
+        The gap currently in flight (drawn from the old truth) still
+        completes; only subsequent draws use the new distribution —
+        matching a physical process whose law changes mid-gap-free
+        period only for future arrivals.
+        """
+        self._distribution = distribution
+
+    def _chunk_events(self, n: int) -> np.ndarray:
+        """Event flags for the next ``n`` slots, advancing the countdown."""
+        flags = np.zeros(n, dtype=bool)
+        pos = self._countdown - 1  # chunk-relative slot of the next event
+        while pos < n:
+            gaps = self._distribution.sample(self._event_rng, _GAP_BATCH)
+            for gap in gaps.tolist():
+                if pos >= n:
+                    break
+                flags[pos] = True
+                pos += int(gap)
+        self._countdown = pos - n + 1
+        return flags
+
+    def run_chunk(
+        self, policy: ActivationPolicy, n_slots: int
+    ) -> ChunkResult:
+        """Simulate ``n_slots`` more slots under ``policy``."""
+        if n_slots < 1:
+            raise SimulationError(f"n_slots must be >= 1, got {n_slots}")
+        if n_slots > self.slots_remaining:
+            raise SimulationError(
+                f"chunk of {n_slots} slots exceeds the {self.slots_remaining}"
+                f" remaining of total_horizon={self.total_horizon}"
+            )
+        policy_full = policy.info_model == InfoModel.FULL
+        if policy_full != self.full_info:
+            raise SimulationError(
+                "policy info model does not match the simulator's "
+                f"(policy={policy.info_model.value}, "
+                f"simulator={'full' if self.full_info else 'partial'})"
+            )
+        observe = getattr(policy, "observe_outcome", None)
+        # Table fast path (recency-indexed policies); learning policies
+        # change their probabilities per slot, so they always take the
+        # per-slot call.
+        table_list: Optional[List[float]] = None
+        tail = 0.0
+        if observe is None:
+            fast = kernel.policy_fast_paths(policy, n_slots)
+            if fast.table is not None:
+                table_list = fast.table.tolist()
+                tail = fast.tail
+        table_size = 0 if table_list is None else len(table_list)
+
+        events_list = self._chunk_events(n_slots).tolist()
+        start = self._t
+        activation_cost = self.delta1 + self.delta2
+        cum, neg, shave = self._cum, self._neg, self._shave
+        recency = self._recency
+        since_event = self._slots_since_event
+        since_capture = self._slots_since_capture
+        n_events = 0
+        n_captures = 0
+        activations = 0
+        blocked = 0
+        true_gaps: List[int] = []
+        captured_gaps: List[int] = []
+        recharge_list = self._recharge_list
+        coins_list = self._coins_list
+        full_info = self.full_info
+
+        for i in range(n_slots):
+            g = start + i  # global slot index (0-based)
+            # 1. Recharge (clip at capacity via the running shave).
+            cum = cum + recharge_list[g]
+            pre = neg + cum
+            over = pre - self.capacity
+            if over > shave:
+                shave = over
+            battery = pre - shave
+
+            # 2. Activation decision.
+            if table_list is not None:
+                prob = (
+                    table_list[recency - 1]
+                    if recency <= table_size
+                    else tail
+                )
+            else:
+                prob = policy.activation_probability(g + 1, recency)
+            wants_active = coins_list[g] < prob
+            if wants_active and battery < activation_cost:
+                blocked += 1
+                wants_active = False
+
+            # 3. Event arrival and capture.
+            event = events_list[i]
+            captured = False
+            if event:
+                n_events += 1
+            if wants_active:
+                activations += 1
+                if event:
+                    captured = True
+                    n_captures += 1
+                    neg = neg - activation_cost
+                else:
+                    neg = neg - self.delta1
+            if observe is not None:
+                observe(wants_active, captured)
+
+            # Observation bookkeeping: a gap completes when its closing
+            # arrival happens.
+            if event:
+                true_gaps.append(since_event)
+                since_event = 1
+            else:
+                since_event += 1
+            if captured:
+                captured_gaps.append(since_capture)
+                since_capture = 1
+            else:
+                # Missed events still age the capture gap — that is the
+                # censoring the PI observer must undo.
+                since_capture += 1
+
+            # 4. Recency update for the next slot.
+            if full_info:
+                recency = 1 if event else recency + 1
+            else:
+                recency = 1 if captured else recency + 1
+
+        self._cum, self._neg, self._shave = cum, neg, shave
+        self._recency = recency
+        self._slots_since_event = since_event
+        self._slots_since_capture = since_capture
+        self._t = start + n_slots
+        self.n_events += n_events
+        self.n_captures += n_captures
+        return ChunkResult(
+            n_slots=n_slots,
+            n_events=n_events,
+            n_captures=n_captures,
+            activations=activations,
+            blocked_slots=blocked,
+            true_gaps=np.asarray(true_gaps, dtype=np.int64),
+            captured_gaps=np.asarray(captured_gaps, dtype=np.int64),
+            final_battery=(neg + cum) - shave,
+        )

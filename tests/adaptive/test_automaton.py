@@ -1,0 +1,78 @@
+"""Tests for the L_R-I learning-automaton baseline policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive import LinearRewardInactionPolicy
+from repro.core.policy import InfoModel
+from repro.exceptions import PolicyError
+
+
+class TestValidation:
+    @pytest.mark.parametrize("theta", [0.0, 1.0, -0.1, 2.0])
+    def test_theta_out_of_range_raises(self, theta: float) -> None:
+        with pytest.raises(PolicyError):
+            LinearRewardInactionPolicy(theta=theta)
+
+    def test_bounds_must_nest(self) -> None:
+        with pytest.raises(PolicyError):
+            LinearRewardInactionPolicy(p_min=0.8, p_max=0.2)
+
+    def test_initial_outside_bounds_raises(self) -> None:
+        with pytest.raises(PolicyError):
+            LinearRewardInactionPolicy(
+                initial_probability=0.9, p_max=0.5
+            )
+
+
+class TestLearning:
+    def test_reward_moves_p_toward_one(self) -> None:
+        policy = LinearRewardInactionPolicy(
+            initial_probability=0.5, theta=0.1
+        )
+        policy.observe_outcome(active=True, captured=True)
+        assert policy.probability == pytest.approx(0.55)
+        assert policy.n_rewards == 1
+
+    @pytest.mark.parametrize(
+        "active,captured",
+        [(False, False), (True, False), (False, True)],
+    )
+    def test_inaction_on_non_reward(
+        self, active: bool, captured: bool
+    ) -> None:
+        policy = LinearRewardInactionPolicy(initial_probability=0.4)
+        policy.observe_outcome(active=active, captured=captured)
+        assert policy.probability == pytest.approx(0.4)
+        assert policy.n_rewards == 0
+
+    def test_p_capped_at_p_max(self) -> None:
+        policy = LinearRewardInactionPolicy(
+            initial_probability=0.5, theta=0.5, p_max=0.7
+        )
+        for _ in range(50):
+            policy.observe_outcome(active=True, captured=True)
+        assert policy.probability == pytest.approx(0.7)
+
+    def test_repeated_rewards_converge_monotonically(self) -> None:
+        policy = LinearRewardInactionPolicy(
+            initial_probability=0.1, theta=0.05
+        )
+        previous = policy.probability
+        for _ in range(100):
+            policy.observe_outcome(active=True, captured=True)
+            assert policy.probability >= previous
+            previous = policy.probability
+        assert policy.probability > 0.99
+
+    def test_activation_probability_is_current_p(self) -> None:
+        policy = LinearRewardInactionPolicy(
+            initial_probability=0.3, info_model=InfoModel.FULL
+        )
+        assert policy.activation_probability(1, 1) == pytest.approx(0.3)
+        assert policy.activation_probability(500, 17) == pytest.approx(0.3)
+        policy.observe_outcome(active=True, captured=True)
+        assert policy.activation_probability(2, 1) == pytest.approx(
+            policy.probability
+        )

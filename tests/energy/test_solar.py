@@ -40,13 +40,81 @@ class TestMarkovRecharge:
         with pytest.raises(EnergyError):
             MarkovRecharge(1.0, 0.0, p_ss=1.0)
 
+    @pytest.mark.parametrize(
+        "p_ss,p_cc",
+        [
+            (0.95, 0.95),
+            (0.9, 0.8),
+            (0.5, 0.5),
+            (0.99, 0.01),
+            (0.0, 0.0),
+            (0.3, 0.9),
+        ],
+    )
+    @pytest.mark.parametrize("seed", [0, 1, 12345])
+    def test_vectorized_bit_identical_to_reference(self, p_ss, p_cc, seed):
+        """The vectorized sequence must reproduce the reference loop
+        exactly — same RNG draw order, same per-slot values."""
+        p = MarkovRecharge(1.7, 0.25, p_ss=p_ss, p_cc=p_cc)
+        for horizon in (1, 2, 3, 17, 5_000):
+            fast = p.sequence(horizon, np.random.default_rng(seed))
+            slow = p._sequence_reference(
+                horizon, np.random.default_rng(seed)
+            )
+            np.testing.assert_array_equal(fast, slow)
+
+    def test_vectorized_consumes_same_rng_state(self):
+        """Downstream draws must see the same generator state whichever
+        implementation ran."""
+        p = MarkovRecharge(1.0, 0.0, p_ss=0.9, p_cc=0.9)
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        p.sequence(1_000, rng_a)
+        p._sequence_reference(1_000, rng_b)
+        assert rng_a.random() == rng_b.random()
+
 
 class TestDiurnalRecharge:
     def test_mean_rate(self, rng):
         p = DiurnalRecharge(peak=1.0, period=100)
         seq = p.sequence(100_000, rng)
         assert seq.mean() == pytest.approx(1 / np.pi, rel=0.02)
-        assert p.mean_rate == pytest.approx(1 / np.pi)
+        # Large periods approach the continuous limit 1/pi but the
+        # exact value is the discrete profile mean.
+        assert p.mean_rate == pytest.approx(1 / np.pi, rel=0.01)
+        assert p.mean_rate == pytest.approx(seq.mean(), rel=1e-9)
+
+    @pytest.mark.parametrize("period", [2, 3, 4, 6, 24])
+    def test_mean_rate_matches_realized_sequence(self, period, rng):
+        """Regression: mean_rate must equal the realized discrete mean
+        of the clipped-cosine profile, not the continuous-limit peak/pi."""
+        p = DiurnalRecharge(peak=1.0, period=period)
+        for k in (1, 3):
+            seq = p.sequence(k * period, rng)
+            assert p.mean_rate == pytest.approx(
+                float(seq.mean()), rel=1e-12, abs=1e-15
+            )
+
+    def test_mean_rate_small_periods_exact(self):
+        # period=2: slots {1, 0} -> mean 0.5; period=4: {1, ~0, 0, ~0}
+        # -> mean 0.25 (cos(pi/2) leaves a ~1e-17 float residue).
+        assert DiurnalRecharge(peak=1.0, period=2).mean_rate == (
+            pytest.approx(0.5, abs=1e-12)
+        )
+        assert DiurnalRecharge(peak=1.0, period=4).mean_rate == (
+            pytest.approx(0.25, abs=1e-12)
+        )
+        assert DiurnalRecharge(peak=1.0, period=6).mean_rate == (
+            pytest.approx(1 / 3, abs=1e-12)
+        )
+        assert DiurnalRecharge(peak=3.0, period=2).mean_rate == (
+            pytest.approx(1.5, abs=1e-12)
+        )
+
+    def test_mean_rate_respects_phase(self, rng):
+        p = DiurnalRecharge(peak=1.0, period=24, phase=7)
+        seq = p.sequence(24 * 5, rng)
+        assert p.mean_rate == pytest.approx(float(seq.mean()), rel=1e-12)
 
     def test_night_is_dark(self, rng):
         p = DiurnalRecharge(peak=1.0, period=100)

@@ -6,12 +6,15 @@ import numpy as np
 import pytest
 
 from repro.events import (
+    DEGENERATE_WEIBULL_SHAPE,
+    EmpiricalInterArrival,
     GeometricInterArrival,
     MarkovInterArrival,
     WeibullInterArrival,
     estimate_then_optimize,
     fit_empirical_smoothed,
     fit_geometric,
+    fit_is_degenerate,
     fit_markov,
     fit_weibull,
     simulate_markov_chain,
@@ -90,6 +93,97 @@ class TestFitEmpiricalSmoothed:
             fit_empirical_smoothed([])
         with pytest.raises(DistributionError):
             fit_empirical_smoothed([1], smoothing=-1)
+
+
+class TestFitIsDegenerate:
+    def test_all_equal_weibull_sample_is_flagged(self):
+        fitted = fit_weibull([10, 10, 10, 10])
+        assert fitted.shape == pytest.approx(DEGENERATE_WEIBULL_SHAPE)
+        assert fit_is_degenerate(fitted)
+
+    def test_degenerate_shape_is_parametrized(self):
+        fitted = fit_weibull([7, 7, 7], degenerate_shape=30.0)
+        assert fitted.shape == pytest.approx(30.0)
+        assert fit_is_degenerate(fitted, shape_threshold=30.0)
+        with pytest.raises(DistributionError):
+            fit_weibull([7, 7, 7], degenerate_shape=0.0)
+
+    def test_all_ones_geometric_clamp_is_flagged(self):
+        fitted = fit_geometric([1, 1, 1, 1])
+        assert fitted.p == pytest.approx(1.0)
+        assert fitted.support_max == 1
+        assert fit_is_degenerate(fitted)
+
+    def test_healthy_fits_are_not_flagged(self, rng):
+        weibull = fit_weibull(WeibullInterArrival(20, 3).sample(rng, 500))
+        geometric = fit_geometric(GeometricInterArrival(0.2).sample(rng, 500))
+        empirical = fit_empirical_smoothed([2, 3, 3, 4])
+        assert not fit_is_degenerate(weibull)
+        assert not fit_is_degenerate(geometric)
+        assert not fit_is_degenerate(empirical)
+
+
+class TestEstimatorConsistency:
+    """Parameter recovery on seeded samples: error shrinks with n."""
+
+    @pytest.mark.parametrize("p", [0.05, 0.3, 0.8])
+    def test_geometric_recovery(self, p, rng):
+        true = GeometricInterArrival(p)
+        fitted = fit_geometric(true.sample(rng, 40_000))
+        assert fitted.p == pytest.approx(p, rel=0.03)
+
+    @pytest.mark.parametrize("scale,shape", [(30, 2), (8, 4), (60, 1.2)])
+    def test_weibull_recovery(self, scale, shape, rng):
+        true = WeibullInterArrival(scale, shape)
+        fitted = fit_weibull(true.sample(rng, 40_000))
+        assert fitted.scale == pytest.approx(scale, rel=0.05)
+        assert fitted.shape == pytest.approx(shape, rel=0.12)
+
+    def test_weibull_error_shrinks_with_sample_size(self):
+        true = WeibullInterArrival(20, 3)
+        errors = {}
+        for n in (100, 50_000):
+            rel = []
+            for seed in (11, 12, 13):
+                gaps = true.sample(np.random.default_rng(seed), n)
+                fitted = fit_weibull(gaps)
+                rel.append(abs(fitted.shape - 3.0) / 3.0)
+            errors[n] = np.mean(rel)
+        assert errors[50_000] < errors[100]
+
+    def test_empirical_total_variation_shrinks(self):
+        true = EmpiricalInterArrival([0.1, 0.4, 0.3, 0.2])
+        tv = {}
+        for n in (50, 20_000):
+            gaps = true.sample(np.random.default_rng(21), n)
+            fitted = fit_empirical_smoothed(gaps, smoothing=0.1, tail_slots=0)
+            width = max(fitted.support_max, true.support_max)
+            a = np.zeros(width)
+            b = np.zeros(width)
+            a[: fitted.support_max] = fitted.alpha
+            b[: true.support_max] = true.alpha
+            tv[n] = 0.5 * np.abs(a - b).sum()
+        assert tv[20_000] < tv[50]
+        assert tv[20_000] < 0.02
+
+    @pytest.mark.parametrize("a,b", [(0.3, 0.9), (0.7, 0.6), (0.1, 0.97)])
+    def test_markov_round_trip(self, a, b, rng):
+        """fit_markov on the chain's own simulator recovers (a, b) and
+        the induced gap distribution."""
+        true = MarkovInterArrival(a=a, b=b)
+        flags = simulate_markov_chain(a, b, 200_000, rng)
+        fitted = fit_markov(flags)
+        assert fitted.a == pytest.approx(a, abs=0.02)
+        assert fitted.b == pytest.approx(b, abs=0.02)
+        assert fitted.stationary_event_rate == pytest.approx(
+            true.stationary_event_rate, abs=0.02
+        )
+        width = max(fitted.support_max, true.support_max)
+        fa = np.zeros(width)
+        ta = np.zeros(width)
+        fa[: fitted.support_max] = fitted.alpha
+        ta[: true.support_max] = true.alpha
+        assert 0.5 * np.abs(fa - ta).sum() < 0.03
 
 
 class TestEstimateThenOptimize:

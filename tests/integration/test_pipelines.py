@@ -77,7 +77,9 @@ class TestExtensionsCompose:
             [0.5, 0.5],
         )
         recharge = repro.DiurnalRecharge(peak=np.pi * 0.5, period=200)
-        assert recharge.mean_rate == pytest.approx(0.5)
+        # The exact discrete mean sits a hair under the continuous
+        # peak/pi limit at period 200.
+        assert recharge.mean_rate == pytest.approx(0.5, rel=1e-3)
         solution = optimize_multi_region(events, 0.5, DELTA1, DELTA2)
         guarded = OverflowGuardPolicy(solution.policy)
         result = repro.simulate_single(

@@ -1,0 +1,196 @@
+"""Tests for the chunked simulator backing the adaptive loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adaptive import LinearRewardInactionPolicy
+from repro.core.baselines import AggressivePolicy
+from repro.core.policy import InfoModel
+from repro.energy.recharge import ConstantRecharge
+from repro.events import DeterministicInterArrival, WeibullInterArrival
+from repro.exceptions import SimulationError
+from repro.sim import ChunkedSimulator, simulate_single
+
+DELTA1 = 1.0
+DELTA2 = 6.0
+
+
+def _make_sim(
+    seed: int = 7,
+    total_horizon: int = 8000,
+    full_info: bool = True,
+    capacity: float = 100.0,
+    rate: float = 0.5,
+) -> ChunkedSimulator:
+    return ChunkedSimulator(
+        WeibullInterArrival(10, 2),
+        ConstantRecharge(rate),
+        capacity=capacity,
+        delta1=DELTA1,
+        delta2=DELTA2,
+        total_horizon=total_horizon,
+        seed=seed,
+        full_info=full_info,
+    )
+
+
+class TestValidation:
+    def test_horizon_below_one_raises(self) -> None:
+        with pytest.raises(SimulationError):
+            ChunkedSimulator(
+                WeibullInterArrival(10, 2), ConstantRecharge(0.5),
+                capacity=100.0, delta1=DELTA1, delta2=DELTA2,
+                total_horizon=0,
+            )
+
+    def test_chunk_below_one_raises(self) -> None:
+        sim = _make_sim()
+        with pytest.raises(SimulationError):
+            sim.run_chunk(AggressivePolicy(info_model=InfoModel.FULL), 0)
+
+    def test_chunk_past_horizon_raises(self) -> None:
+        sim = _make_sim(total_horizon=100)
+        sim.run_chunk(AggressivePolicy(info_model=InfoModel.FULL), 80)
+        with pytest.raises(SimulationError):
+            sim.run_chunk(AggressivePolicy(info_model=InfoModel.FULL), 21)
+
+    def test_info_model_mismatch_raises(self) -> None:
+        sim = _make_sim(full_info=True)
+        with pytest.raises(SimulationError):
+            sim.run_chunk(
+                AggressivePolicy(info_model=InfoModel.PARTIAL), 100
+            )
+
+    def test_initial_energy_outside_capacity_raises(self) -> None:
+        with pytest.raises(SimulationError):
+            ChunkedSimulator(
+                WeibullInterArrival(10, 2), ConstantRecharge(0.5),
+                capacity=50.0, delta1=DELTA1, delta2=DELTA2,
+                total_horizon=100, initial_energy=60.0,
+            )
+
+
+class TestStatePersistence:
+    def test_same_seed_same_chunking_is_reproducible(self) -> None:
+        sim_a = _make_sim()
+        sim_b = _make_sim()
+        policy = AggressivePolicy(info_model=InfoModel.FULL)
+        for _ in range(4):
+            ra = sim_a.run_chunk(policy, 1000)
+            rb = sim_b.run_chunk(policy, 1000)
+            assert ra.n_events == rb.n_events
+            assert ra.n_captures == rb.n_captures
+            assert ra.final_battery == rb.final_battery
+            np.testing.assert_array_equal(ra.true_gaps, rb.true_gaps)
+            np.testing.assert_array_equal(
+                ra.captured_gaps, rb.captured_gaps
+            )
+
+    def test_counters_accumulate_across_chunks(self) -> None:
+        sim = _make_sim(total_horizon=6000)
+        policy = AggressivePolicy(info_model=InfoModel.FULL)
+        chunks = [sim.run_chunk(policy, 1500) for _ in range(4)]
+        assert sim.n_events == sum(c.n_events for c in chunks)
+        assert sim.n_captures == sum(c.n_captures for c in chunks)
+        assert sim.slots_remaining == 0
+        assert sim.battery == pytest.approx(chunks[-1].final_battery)
+
+    def test_gaps_partition_the_timeline(self) -> None:
+        """Completed true gaps plus the in-flight remainder tile the run."""
+        sim = _make_sim(total_horizon=5000)
+        policy = AggressivePolicy(info_model=InfoModel.FULL)
+        gaps: list[int] = []
+        for _ in range(5):
+            gaps.extend(sim.run_chunk(policy, 1000).true_gaps.tolist())
+        assert all(g >= 1 for g in gaps)
+        # Gaps close at event slots, so their sum can't exceed the horizon.
+        assert sum(gaps) <= 5000
+
+    def test_captured_gaps_are_sums_of_true_gaps(self) -> None:
+        """Under partial info every captured gap spans >= 1 true gaps, so
+        total captured-gap mass is bounded by total true-gap mass."""
+        sim = _make_sim(full_info=False, total_horizon=8000)
+        policy = AggressivePolicy(info_model=InfoModel.PARTIAL)
+        chunk = sim.run_chunk(policy, 8000)
+        assert chunk.n_captures <= chunk.n_events
+        assert chunk.captured_gaps.size == chunk.n_captures
+        if chunk.captured_gaps.size:
+            assert chunk.captured_gaps.min() >= 1
+            assert chunk.captured_gaps.sum() <= 8000
+
+
+class TestDynamics:
+    def test_battery_gate_blocks_when_unaffordable(self) -> None:
+        sim = ChunkedSimulator(
+            WeibullInterArrival(10, 2), ConstantRecharge(0.0),
+            capacity=DELTA1 + DELTA2 - 0.5, delta1=DELTA1, delta2=DELTA2,
+            total_horizon=2000, seed=3, initial_energy=0.0,
+        )
+        chunk = sim.run_chunk(
+            AggressivePolicy(info_model=InfoModel.FULL), 2000
+        )
+        assert chunk.activations == 0
+        assert chunk.blocked_slots == 2000
+        assert chunk.n_captures == 0
+
+    def test_set_distribution_applies_to_future_gaps(self) -> None:
+        sim = _make_sim(total_horizon=4000)
+        policy = AggressivePolicy(info_model=InfoModel.FULL)
+        sim.run_chunk(policy, 1000)
+        sim.set_distribution(DeterministicInterArrival(5))
+        gaps: list[int] = []
+        for _ in range(3):
+            gaps.extend(sim.run_chunk(policy, 1000).true_gaps.tolist())
+        # The in-flight gap completes under the old truth; everything
+        # after is deterministic 5s.
+        assert len(gaps) > 10
+        assert all(g == 5 for g in gaps[1:])
+
+    def test_qom_nan_when_no_events(self) -> None:
+        sim = ChunkedSimulator(
+            DeterministicInterArrival(500), ConstantRecharge(0.5),
+            capacity=100.0, delta1=DELTA1, delta2=DELTA2,
+            total_horizon=1000, seed=1,
+        )
+        chunk = sim.run_chunk(
+            AggressivePolicy(info_model=InfoModel.FULL), 100
+        )
+        assert chunk.n_events == 0
+        assert np.isnan(chunk.qom)
+
+    def test_learning_hook_called_per_slot(self) -> None:
+        sim = _make_sim(full_info=False, total_horizon=4000)
+        automaton = LinearRewardInactionPolicy(
+            initial_probability=0.5, theta=0.05
+        )
+        chunk = sim.run_chunk(automaton, 4000)
+        # Rewards are exactly the captures, and each reward moved p up.
+        assert automaton.n_rewards == chunk.n_captures
+        assert chunk.n_captures > 0
+        assert automaton.probability > 0.5
+
+    def test_agrees_with_simulate_single_statistically(self) -> None:
+        """Chunked and monolithic runs draw events in a different order,
+        so they agree in distribution, not bit for bit."""
+        distribution = WeibullInterArrival(10, 2)
+        recharge = ConstantRecharge(0.5)
+        policy = AggressivePolicy(info_model=InfoModel.FULL)
+        horizon = 40_000
+
+        sim = ChunkedSimulator(
+            distribution, recharge, capacity=100.0,
+            delta1=DELTA1, delta2=DELTA2,
+            total_horizon=horizon, seed=11,
+        )
+        for _ in range(20):
+            sim.run_chunk(policy, horizon // 20)
+        chunked_qom = sim.n_captures / sim.n_events
+
+        mono = simulate_single(
+            distribution, policy, recharge, capacity=100.0,
+            delta1=DELTA1, delta2=DELTA2, horizon=horizon, seed=11,
+        )
+        assert chunked_qom == pytest.approx(mono.qom, abs=0.03)
+        assert sim.n_events == pytest.approx(mono.n_events, rel=0.05)
